@@ -1,0 +1,42 @@
+//! Regenerates every figure of the paper in one run and writes all CSVs to
+//! `bench_results/`. Usage: `all_figures [--quick | --intervals N]`.
+//! `--quick` shrinks every figure's interval count 20× for a fast smoke
+//! reproduction.
+
+use rtmac_bench::figures;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let video = rtmac_bench::intervals_from_args(&args, 5000);
+    let control = rtmac_bench::intervals_from_args(&args, 20_000);
+    let seed = 2018;
+
+    let tables = [
+        figures::fig3(video, seed),
+        figures::fig4(video, seed),
+        figures::fig6(video, seed),
+        figures::fig7(video, seed),
+        figures::fig8(video, seed),
+        figures::fig9(control, seed),
+        figures::fig10(control, seed),
+    ];
+    let names = ["fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10"];
+    for (table, name) in tables.iter().zip(names) {
+        print!("{}", table.render());
+        println!();
+        table.write_csv("bench_results", name).expect("write csv");
+    }
+
+    let fig5 = figures::fig5(video, seed);
+    print!("{}", fig5.table.render());
+    println!("# requirement q_n = {:.4}", fig5.requirement);
+    for (policy, at) in &fig5.convergence {
+        match at {
+            Some(k) => println!("# {policy}: settled within +/-1% of q_n at interval {k}"),
+            None => println!("# {policy}: still outside +/-1% at the end"),
+        }
+    }
+    fig5.table
+        .write_csv("bench_results", "fig5")
+        .expect("write csv");
+}

@@ -1,0 +1,13 @@
+//! Regenerates Fig. 10 (control network, deficiency vs delivery ratio at
+//! λ* = 0.78). Usage: `fig10 [--quick | --intervals N]`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let intervals = rtmac_bench::intervals_from_args(&args, 20_000);
+    eprintln!("running Fig. 10 with {intervals} intervals per point...");
+    let table = rtmac_bench::figures::fig10(intervals, 2018);
+    print!("{}", table.render());
+    table
+        .write_csv("bench_results", "fig10")
+        .expect("write csv");
+}

@@ -1,0 +1,11 @@
+//! Regenerates Fig. 3 (symmetric video network, deficiency vs α*).
+//! Usage: `fig3 [--quick | --intervals N]`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let intervals = rtmac_bench::intervals_from_args(&args, 5000);
+    eprintln!("running Fig. 3 with {intervals} intervals per point...");
+    let table = rtmac_bench::figures::fig3(intervals, 2018);
+    print!("{}", table.render());
+    table.write_csv("bench_results", "fig3").expect("write csv");
+}

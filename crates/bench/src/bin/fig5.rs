@@ -1,0 +1,21 @@
+//! Regenerates Fig. 5 (convergence of the lowest-initial-priority link,
+//! α* = 0.55, ρ = 0.93). Usage: `fig5 [--quick | --intervals N]`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let intervals = rtmac_bench::intervals_from_args(&args, 5000);
+    eprintln!("running Fig. 5 with {intervals} intervals...");
+    let result = rtmac_bench::figures::fig5(intervals, 2018);
+    print!("{}", result.table.render());
+    println!("# requirement q_n = {:.4}", result.requirement);
+    for (policy, at) in &result.convergence {
+        match at {
+            Some(k) => println!("# {policy}: settled within +/-1% of q_n at interval {k}"),
+            None => println!("# {policy}: still outside +/-1% at interval {intervals}"),
+        }
+    }
+    result
+        .table
+        .write_csv("bench_results", "fig5")
+        .expect("write csv");
+}

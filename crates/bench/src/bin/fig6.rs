@@ -1,0 +1,11 @@
+//! Regenerates Fig. 6 (per-priority timely-throughput under a fixed
+//! ordering, α* = 0.6). Usage: `fig6 [--quick | --intervals N]`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let intervals = rtmac_bench::intervals_from_args(&args, 5000);
+    eprintln!("running Fig. 6 with {intervals} intervals...");
+    let table = rtmac_bench::figures::fig6(intervals, 2018);
+    print!("{}", table.render());
+    table.write_csv("bench_results", "fig6").expect("write csv");
+}

@@ -1,0 +1,11 @@
+//! Regenerates Fig. 7 (asymmetric network, group deficiency vs α* at
+//! ρ = 0.9). Usage: `fig7 [--quick | --intervals N]`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let intervals = rtmac_bench::intervals_from_args(&args, 5000);
+    eprintln!("running Fig. 7 with {intervals} intervals per point...");
+    let table = rtmac_bench::figures::fig7(intervals, 2018);
+    print!("{}", table.render());
+    table.write_csv("bench_results", "fig7").expect("write csv");
+}

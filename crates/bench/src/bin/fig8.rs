@@ -1,0 +1,11 @@
+//! Regenerates Fig. 8 (asymmetric network, group deficiency vs delivery
+//! ratio at α* = 0.7). Usage: `fig8 [--quick | --intervals N]`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let intervals = rtmac_bench::intervals_from_args(&args, 5000);
+    eprintln!("running Fig. 8 with {intervals} intervals per point...");
+    let table = rtmac_bench::figures::fig8(intervals, 2018);
+    print!("{}", table.render());
+    table.write_csv("bench_results", "fig8").expect("write csv");
+}

@@ -1,0 +1,11 @@
+//! Regenerates Fig. 9 (control network, deficiency vs λ* at ρ = 0.99).
+//! Usage: `fig9 [--quick | --intervals N]`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let intervals = rtmac_bench::intervals_from_args(&args, 20_000);
+    eprintln!("running Fig. 9 with {intervals} intervals per point...");
+    let table = rtmac_bench::figures::fig9(intervals, 2018);
+    print!("{}", table.render());
+    table.write_csv("bench_results", "fig9").expect("write csv");
+}

@@ -1,0 +1,480 @@
+//! Parameterized reproductions of Figs. 3–10 of the paper.
+//!
+//! Each function simulates the paper's exact workload (Section VI) for the
+//! requested number of intervals and returns a [`SeriesTable`] holding the
+//! same series the figure plots. The paper's defaults: 5000 intervals for
+//! the video figures (Figs. 3–8), 20000 for the control figures
+//! (Figs. 9–10).
+
+use rtmac::model::LinkId;
+use rtmac::{Network, PolicyKind, RunReport};
+use rtmac_traffic::BurstUniform;
+
+use crate::table::SeriesTable;
+
+/// The three contenders of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Contender {
+    /// The paper's decentralized algorithm.
+    DbDp,
+    /// The centralized feasibility-optimal reference.
+    Ldf,
+    /// The discretized Fast-CSMA baseline.
+    Fcsma,
+}
+
+impl Contender {
+    /// All three, in the paper's plotting order.
+    pub const ALL: [Contender; 3] = [Contender::DbDp, Contender::Ldf, Contender::Fcsma];
+
+    /// Display label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Contender::DbDp => "DB-DP",
+            Contender::Ldf => "LDF",
+            Contender::Fcsma => "FCSMA",
+        }
+    }
+
+    /// The corresponding policy configuration.
+    #[must_use]
+    pub fn policy(self) -> PolicyKind {
+        match self {
+            Contender::DbDp => PolicyKind::db_dp(),
+            Contender::Ldf => PolicyKind::Ldf,
+            Contender::Fcsma => PolicyKind::fcsma(),
+        }
+    }
+}
+
+/// Runs the video workload (20 ms deadline, 1500 B payload, burst-uniform
+/// arrivals) with per-link burst probabilities `alpha`, success
+/// probabilities `p`, and delivery ratios `rho`.
+///
+/// # Panics
+///
+/// Panics if the parameter vectors are inconsistent (they come from the
+/// figure definitions below, so this indicates a bug in the caller).
+#[must_use]
+pub fn run_video(
+    alpha: &[f64],
+    p: &[f64],
+    rho: &[f64],
+    policy: PolicyKind,
+    intervals: usize,
+    seed: u64,
+) -> RunReport {
+    let n = alpha.len();
+    let traffic = BurstUniform::new(alpha.to_vec(), 6).expect("valid alpha");
+    let mut net = Network::builder()
+        .links(n)
+        .deadline_ms(20)
+        .payload_bytes(1500)
+        .success_probabilities(p.to_vec())
+        .traffic(Box::new(traffic))
+        .delivery_ratios(rho.to_vec())
+        .policy(policy)
+        .seed(seed)
+        .build()
+        .expect("valid video network");
+    net.run(intervals)
+}
+
+/// Runs the control workload (2 ms deadline, 100 B payload, Bernoulli
+/// arrivals with rate `lambda` on every link).
+///
+/// # Panics
+///
+/// Panics if the parameters are inconsistent.
+#[must_use]
+pub fn run_control(
+    n: usize,
+    lambda: f64,
+    p: f64,
+    rho: f64,
+    policy: PolicyKind,
+    intervals: usize,
+    seed: u64,
+) -> RunReport {
+    let mut net = Network::builder()
+        .links(n)
+        .deadline_ms(2)
+        .payload_bytes(100)
+        .uniform_success_probability(p)
+        .bernoulli_arrivals(lambda)
+        .delivery_ratio(rho)
+        .policy(policy)
+        .seed(seed)
+        .build()
+        .expect("valid control network");
+    net.run(intervals)
+}
+
+fn contender_columns() -> Vec<String> {
+    Contender::ALL.iter().map(|c| c.label().into()).collect()
+}
+
+/// Fig. 3 — total timely-throughput deficiency of the symmetric video
+/// network (N = 20, p = 0.7, ρ = 0.9) as the burst probability `α*` sweeps.
+#[must_use]
+pub fn fig3(intervals: usize, seed: u64) -> SeriesTable {
+    let n = 20;
+    let mut table = SeriesTable::new(
+        "Fig. 3: symmetric video network, 90% delivery ratio (total deficiency vs alpha*)",
+        "alpha*",
+        contender_columns(),
+    );
+    let alphas: Vec<f64> = (0..=6).map(|s| 0.40 + 0.05 * f64::from(s)).collect();
+    let rows = crate::parallel_map(alphas.clone(), |alpha| {
+        Contender::ALL
+            .iter()
+            .map(|c| {
+                run_video(
+                    &vec![alpha; n],
+                    &[0.7; 20],
+                    &[0.9; 20],
+                    c.policy(),
+                    intervals,
+                    seed,
+                )
+                .final_total_deficiency
+            })
+            .collect::<Vec<f64>>()
+    });
+    for (alpha, row) in alphas.into_iter().zip(rows) {
+        table.push_row(alpha, row);
+    }
+    table
+}
+
+/// Fig. 4 — deficiency of the same network at fixed `α* = 0.55` as the
+/// required delivery ratio sweeps.
+#[must_use]
+pub fn fig4(intervals: usize, seed: u64) -> SeriesTable {
+    let n = 20;
+    let mut table = SeriesTable::new(
+        "Fig. 4: symmetric video network, alpha* = 0.55 (total deficiency vs delivery ratio)",
+        "rho",
+        contender_columns(),
+    );
+    let rhos: Vec<f64> = (0..=8).map(|s| 0.80 + 0.025 * f64::from(s)).collect();
+    let rows = crate::parallel_map(rhos.clone(), |rho| {
+        Contender::ALL
+            .iter()
+            .map(|c| {
+                run_video(
+                    &vec![0.55; n],
+                    &[0.7; 20],
+                    &vec![rho; n],
+                    c.policy(),
+                    intervals,
+                    seed,
+                )
+                .final_total_deficiency
+            })
+            .collect::<Vec<f64>>()
+    });
+    for (rho, row) in rhos.into_iter().zip(rows) {
+        table.push_row(rho, row);
+    }
+    table
+}
+
+/// Fig. 5 output: the sampled running-throughput series plus the interval
+/// at which each policy entered the 1% convergence band.
+#[derive(Debug, Clone)]
+pub struct Fig5Result {
+    /// Running timely-throughput of the lowest-initial-priority link,
+    /// sampled every few intervals.
+    pub table: SeriesTable,
+    /// `(policy, first interval within 1% of q_n)`.
+    pub convergence: Vec<(String, Option<usize>)>,
+    /// The tracked link's requirement `q_n`.
+    pub requirement: f64,
+}
+
+/// Fig. 5 — convergence of the link with the lowest priority at time 0
+/// (α* = 0.55, ρ = 0.93) under DB-DP vs LDF.
+#[must_use]
+pub fn fig5(intervals: usize, seed: u64) -> Fig5Result {
+    let n = 20;
+    let tracked = LinkId::new(n - 1); // priority N under the identity σ(0)
+    let q = 0.93 * 3.5 * 0.55;
+    // Three policies: the paper's two, plus DB-DP with three swap pairs
+    // (Remark 6) showing how the reordering rate sets the convergence
+    // constant.
+    let configs: Vec<(String, PolicyKind)> = vec![
+        ("DB-DP".into(), Contender::DbDp.policy()),
+        ("LDF".into(), Contender::Ldf.policy()),
+        (
+            "DB-DP 3 pairs".into(),
+            PolicyKind::DbDp {
+                influence: Box::new(rtmac::model::influence::PaperLog::default()),
+                r: 10.0,
+                swap_pairs: 3,
+            },
+        ),
+    ];
+    let labels: Vec<String> = configs.iter().map(|(l, _)| l.clone()).collect();
+    let results = crate::parallel_map(configs, |(label, policy)| {
+        let traffic = BurstUniform::symmetric(n, 0.55, 6).expect("valid alpha");
+        let mut net = Network::builder()
+            .links(n)
+            .deadline_ms(20)
+            .payload_bytes(1500)
+            .uniform_success_probability(0.7)
+            .traffic(Box::new(traffic))
+            .delivery_ratio(0.93)
+            .policy(policy)
+            .track_link(tracked, 0.01)
+            .seed(seed)
+            .build()
+            .expect("valid fig5 network");
+        let report = net.run(intervals);
+        let tracker = report.tracked.expect("tracking configured");
+        ((label, tracker.settled_at()), tracker.history().to_vec())
+    });
+    let mut histories = Vec::new();
+    let mut convergence = Vec::new();
+    for (conv, history) in results {
+        convergence.push(conv);
+        histories.push(history);
+    }
+    let mut table = SeriesTable::new(
+        "Fig. 5: running timely-throughput of the lowest-initial-priority link (alpha* = 0.55, rho = 0.93)",
+        "interval",
+        labels,
+    );
+    let stride = (intervals / 50).max(1);
+    for k in (0..intervals).step_by(stride) {
+        table.push_row(k as f64, histories.iter().map(|h| h[k]).collect());
+    }
+    Fig5Result {
+        table,
+        convergence,
+        requirement: q,
+    }
+}
+
+/// Fig. 6 — average timely-throughput per priority index under a *fixed*
+/// priority ordering at α* = 0.6: throughput increases with priority and
+/// even the lowest priority is non-zero (the protocol's built-in
+/// anti-starvation).
+#[must_use]
+pub fn fig6(intervals: usize, seed: u64) -> SeriesTable {
+    let n = 20;
+    let traffic = BurstUniform::symmetric(n, 0.6, 6).expect("valid alpha");
+    let mut net = Network::builder()
+        .links(n)
+        .deadline_ms(20)
+        .payload_bytes(1500)
+        .uniform_success_probability(0.7)
+        .traffic(Box::new(traffic))
+        .delivery_ratio(0.9)
+        .policy(PolicyKind::FixedPriority {
+            sigma: rtmac::model::Permutation::identity(n),
+        })
+        .seed(seed)
+        .build()
+        .expect("valid fig6 network");
+    let report = net.run(intervals);
+    let mut table = SeriesTable::new(
+        "Fig. 6: average timely-throughput per priority index under a fixed ordering (alpha* = 0.6)",
+        "priority",
+        vec!["throughput".into()],
+    );
+    // Identity σ: link i holds priority i + 1.
+    for (i, &tp) in report.per_link_throughput.iter().enumerate() {
+        table.push_row((i + 1) as f64, vec![tp]);
+    }
+    table
+}
+
+/// The asymmetric network of Figs. 7–8: links 0–9 form group 1
+/// (p = 0.5, α = 0.5·α*), links 10–19 group 2 (p = 0.8, α = α*).
+fn asymmetric_params(alpha_star: f64) -> (Vec<f64>, Vec<f64>) {
+    let mut alpha = vec![0.5 * alpha_star; 10];
+    alpha.extend(vec![alpha_star; 10]);
+    let mut p = vec![0.5; 10];
+    p.extend(vec![0.8; 10]);
+    (alpha, p)
+}
+
+fn group_columns() -> Vec<String> {
+    let mut cols = Vec::new();
+    for c in Contender::ALL {
+        cols.push(format!("{} g1", c.label()));
+        cols.push(format!("{} g2", c.label()));
+    }
+    cols
+}
+
+fn group_deficiencies(report: &RunReport, rho: &[f64], alpha: &[f64]) -> (f64, f64) {
+    // q_n = ρ_n · λ_n with λ_n = 3.5·α_n.
+    let q: Vec<f64> = rho.iter().zip(alpha).map(|(r, a)| r * 3.5 * a).collect();
+    let g1: Vec<LinkId> = (0..10).map(LinkId::new).collect();
+    let g2: Vec<LinkId> = (10..20).map(LinkId::new).collect();
+    (
+        report.group_deficiency(&q, &g1),
+        report.group_deficiency(&q, &g2),
+    )
+}
+
+/// Fig. 7 — group-wide deficiency of the asymmetric network at ρ = 0.9 as
+/// `α*` sweeps.
+#[must_use]
+pub fn fig7(intervals: usize, seed: u64) -> SeriesTable {
+    let mut table = SeriesTable::new(
+        "Fig. 7: asymmetric network, 90% delivery ratio (group deficiency vs alpha*)",
+        "alpha*",
+        group_columns(),
+    );
+    let alpha_stars: Vec<f64> = (0..=5).map(|s| 0.45 + 0.07 * f64::from(s)).collect();
+    let rows = crate::parallel_map(alpha_stars.clone(), |alpha_star| {
+        let (alpha, p) = asymmetric_params(alpha_star);
+        let rho = vec![0.9; 20];
+        let mut row = Vec::new();
+        for c in Contender::ALL {
+            let report = run_video(&alpha, &p, &rho, c.policy(), intervals, seed);
+            let (g1, g2) = group_deficiencies(&report, &rho, &alpha);
+            row.push(g1);
+            row.push(g2);
+        }
+        row
+    });
+    for (alpha_star, row) in alpha_stars.into_iter().zip(rows) {
+        table.push_row(alpha_star, row);
+    }
+    table
+}
+
+/// Fig. 8 — group-wide deficiency of the asymmetric network at fixed
+/// `α* = 0.7` as the delivery ratio sweeps.
+#[must_use]
+pub fn fig8(intervals: usize, seed: u64) -> SeriesTable {
+    let mut table = SeriesTable::new(
+        "Fig. 8: asymmetric network, alpha* = 0.7 (group deficiency vs delivery ratio)",
+        "rho",
+        group_columns(),
+    );
+    let (alpha, p) = asymmetric_params(0.7);
+    let rhos: Vec<f64> = (0..=6).map(|s| 0.80 + 0.03 * f64::from(s)).collect();
+    let rows = crate::parallel_map(rhos.clone(), |rho_v| {
+        let rho = vec![rho_v; 20];
+        let mut row = Vec::new();
+        for c in Contender::ALL {
+            let report = run_video(&alpha, &p, &rho, c.policy(), intervals, seed);
+            let (g1, g2) = group_deficiencies(&report, &rho, &alpha);
+            row.push(g1);
+            row.push(g2);
+        }
+        row
+    });
+    for (rho_v, row) in rhos.into_iter().zip(rows) {
+        table.push_row(rho_v, row);
+    }
+    table
+}
+
+/// Fig. 9 — total deficiency of the control network (N = 10, p = 0.7,
+/// ρ = 0.99, T = 2 ms, 100 B) as the Bernoulli arrival rate `λ*` sweeps.
+#[must_use]
+pub fn fig9(intervals: usize, seed: u64) -> SeriesTable {
+    let mut table = SeriesTable::new(
+        "Fig. 9: control network, 99% delivery ratio (total deficiency vs lambda*)",
+        "lambda*",
+        contender_columns(),
+    );
+    let lambdas: Vec<f64> = (0..=8).map(|s| 0.50 + 0.05 * f64::from(s)).collect();
+    let rows = crate::parallel_map(lambdas.clone(), |lambda| {
+        Contender::ALL
+            .iter()
+            .map(|c| {
+                run_control(10, lambda, 0.7, 0.99, c.policy(), intervals, seed)
+                    .final_total_deficiency
+            })
+            .collect::<Vec<f64>>()
+    });
+    for (lambda, row) in lambdas.into_iter().zip(rows) {
+        table.push_row(lambda, row);
+    }
+    table
+}
+
+/// Fig. 10 — the control network at fixed `λ* = 0.78` as the delivery
+/// ratio sweeps.
+#[must_use]
+pub fn fig10(intervals: usize, seed: u64) -> SeriesTable {
+    let mut table = SeriesTable::new(
+        "Fig. 10: control network, lambda* = 0.78 (total deficiency vs delivery ratio)",
+        "rho",
+        contender_columns(),
+    );
+    let rhos: Vec<f64> = (0..=5).map(|s| 0.90 + 0.02 * f64::from(s)).collect();
+    let rows = crate::parallel_map(rhos.clone(), |rho| {
+        Contender::ALL
+            .iter()
+            .map(|c| {
+                run_control(10, 0.78, 0.7, rho, c.policy(), intervals, seed).final_total_deficiency
+            })
+            .collect::<Vec<f64>>()
+    });
+    for (rho, row) in rhos.into_iter().zip(rows) {
+        table.push_row(rho, row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Small interval counts keep these as smoke tests; the binaries run the
+    // full lengths.
+
+    #[test]
+    fn fig3_has_expected_shape() {
+        let t = fig3(40, 7);
+        assert_eq!(t.rows().len(), 7);
+        assert_eq!(t.columns().len(), 3);
+        // At the lightest load every policy's deficiency is small-ish and
+        // at the heaviest load FCSMA is the worst.
+        let first = &t.rows()[0];
+        let last = t.rows().last().unwrap();
+        assert!(first.1[1] < last.1[1], "LDF deficiency grows with load");
+        assert!(
+            last.1[2] >= last.1[1],
+            "FCSMA should not beat LDF under overload"
+        );
+    }
+
+    #[test]
+    fn fig5_tracks_convergence() {
+        let r = fig5(300, 3);
+        assert_eq!(r.convergence.len(), 3); // DB-DP, LDF, DB-DP 3 pairs
+        assert!(r.requirement > 0.0);
+        assert!(!r.table.rows().is_empty());
+        assert_eq!(r.table.columns().len(), 3);
+    }
+
+    #[test]
+    fn fig6_throughput_increases_with_priority() {
+        let t = fig6(300, 5);
+        assert_eq!(t.rows().len(), 20);
+        let first = t.rows()[0].1[0];
+        let last = t.rows()[19].1[0];
+        assert!(
+            first > last,
+            "priority 1 ({first}) should out-deliver priority 20 ({last})"
+        );
+        assert!(last > 0.0, "lowest priority must not starve");
+    }
+
+    #[test]
+    fn control_runner_is_deterministic() {
+        let a = run_control(4, 0.6, 0.7, 0.95, PolicyKind::Ldf, 50, 11);
+        let b = run_control(4, 0.6, 0.7, 0.95, PolicyKind::Ldf, 50, 11);
+        assert_eq!(a.per_link_throughput, b.per_link_throughput);
+    }
+}

@@ -1,0 +1,158 @@
+//! Minimal text/CSV series tables for the figure binaries.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A table with an x column and one or more named series columns — the
+/// textual equivalent of one paper figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesTable {
+    title: String,
+    x_label: String,
+    columns: Vec<String>,
+    rows: Vec<(f64, Vec<f64>)>,
+}
+
+impl SeriesTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(title: impl Into<String>, x_label: impl Into<String>, columns: Vec<String>) -> Self {
+        SeriesTable {
+            title: title.into(),
+            x_label: x_label.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the number of columns.
+    pub fn push_row(&mut self, x: f64, values: Vec<f64>) {
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "row width must match column count"
+        );
+        self.rows.push((x, values));
+    }
+
+    /// The table title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The rows recorded so far.
+    #[must_use]
+    pub fn rows(&self) -> &[(f64, Vec<f64>)] {
+        &self.rows
+    }
+
+    /// Column labels.
+    #[must_use]
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Renders an aligned text table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let width = 14usize;
+        let _ = write!(out, "{:>width$}", self.x_label);
+        for c in &self.columns {
+            let _ = write!(out, "{c:>width$}");
+        }
+        let _ = writeln!(out);
+        for (x, values) in &self.rows {
+            let _ = write!(out, "{x:>width$.4}");
+            for v in values {
+                let _ = write!(out, "{v:>width$.4}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Renders CSV with a header row.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{}", self.x_label);
+        for c in &self.columns {
+            let _ = write!(out, ",{c}");
+        }
+        let _ = writeln!(out);
+        for (x, values) in &self.rows {
+            let _ = write!(out, "{x}");
+            for v in values {
+                let _ = write!(out, ",{v}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Writes the CSV to `dir/<name>.csv`, creating `dir` if necessary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv(&self, dir: impl AsRef<Path>, name: &str) -> io::Result<()> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        fs::write(dir.join(format!("{name}.csv")), self.to_csv())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SeriesTable {
+        let mut t = SeriesTable::new("Fig X", "alpha", vec!["DB-DP".into(), "LDF".into()]);
+        t.push_row(0.5, vec![0.1, 0.05]);
+        t.push_row(0.6, vec![1.25, 1.0]);
+        t
+    }
+
+    #[test]
+    fn render_contains_everything() {
+        let s = sample().render();
+        assert!(s.contains("Fig X"));
+        assert!(s.contains("alpha"));
+        assert!(s.contains("DB-DP"));
+        assert!(s.contains("1.2500"));
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "alpha,DB-DP,LDF");
+        assert_eq!(lines[1], "0.5,0.1,0.05");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        sample().push_row(0.7, vec![1.0]);
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let dir = std::env::temp_dir().join("rtmac_bench_test_csv");
+        let _ = std::fs::remove_dir_all(&dir);
+        sample().write_csv(&dir, "fig_x").unwrap();
+        let content = std::fs::read_to_string(dir.join("fig_x.csv")).unwrap();
+        assert!(content.starts_with("alpha,"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,464 @@
+//! Command-line grammar and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// A parse- or run-time CLI error.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CliError {
+    /// The first token was not a known subcommand.
+    UnknownCommand(String),
+    /// A flag is not recognized by this subcommand.
+    UnknownFlag(String),
+    /// A flag was given without its value.
+    MissingValue(String),
+    /// A value failed to parse.
+    BadValue {
+        /// The flag.
+        flag: String,
+        /// The raw value.
+        value: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// The parameters are individually valid but inconsistent as a whole
+    /// (surfaced from the simulator's own validation).
+    Invalid(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::UnknownCommand(c) => {
+                write!(f, "unknown command `{c}` (try run, compare, sweep, help)")
+            }
+            CliError::UnknownFlag(flag) => write!(f, "unknown flag `{flag}`"),
+            CliError::MissingValue(flag) => write!(f, "flag `{flag}` needs a value"),
+            CliError::BadValue {
+                flag,
+                value,
+                expected,
+            } => write!(f, "flag `{flag}`: `{value}` is not {expected}"),
+            CliError::Invalid(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for CliError {}
+
+/// Which arrival process to use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalSpec {
+    /// `burst:ALPHA` — the paper's video model, `U{1..6}` w.p. `ALPHA`.
+    Burst(f64),
+    /// `bernoulli:LAMBDA` — the paper's control model.
+    Bernoulli(f64),
+    /// `constant` — exactly one packet per link per interval.
+    Constant,
+}
+
+/// Which transmission policy to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicySpec {
+    /// The paper's decentralized algorithm.
+    DbDp,
+    /// Centralized largest-debt-first.
+    Ldf,
+    /// Centralized ELDF with the paper's log influence.
+    Eldf,
+    /// The discretized FCSMA baseline.
+    Fcsma,
+    /// IEEE 802.11 DCF.
+    Dcf,
+    /// Frame-based CSMA (per-frame open-loop schedules).
+    FrameCsma,
+}
+
+impl PolicySpec {
+    /// Display label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicySpec::DbDp => "DB-DP",
+            PolicySpec::Ldf => "LDF",
+            PolicySpec::Eldf => "ELDF",
+            PolicySpec::Fcsma => "FCSMA",
+            PolicySpec::Dcf => "DCF",
+            PolicySpec::FrameCsma => "Frame-CSMA",
+        }
+    }
+}
+
+/// The swept parameter of `rtmac sweep`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepParam {
+    /// Burst probability of the video arrival model.
+    Alpha,
+    /// Rate of the Bernoulli arrival model.
+    Lambda,
+    /// Required delivery ratio.
+    Ratio,
+    /// Channel success probability.
+    SuccessProbability,
+}
+
+/// Network and simulation options shared by every subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkOpts {
+    /// Number of links.
+    pub links: usize,
+    /// Per-packet deadline in microseconds.
+    pub deadline_us: u64,
+    /// Payload size in bytes.
+    pub payload: u32,
+    /// Uniform channel success probability.
+    pub p: f64,
+    /// Arrival process.
+    pub arrivals: ArrivalSpec,
+    /// Required delivery ratio.
+    pub ratio: f64,
+    /// Number of intervals to simulate.
+    pub intervals: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for NetworkOpts {
+    fn default() -> Self {
+        NetworkOpts {
+            links: 10,
+            deadline_us: 20_000,
+            payload: 1500,
+            p: 0.7,
+            arrivals: ArrivalSpec::Burst(0.5),
+            ratio: 0.9,
+            intervals: 1000,
+            seed: 0,
+        }
+    }
+}
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Simulate one policy.
+    Run {
+        /// Shared options.
+        opts: NetworkOpts,
+        /// The policy.
+        policy: PolicySpec,
+    },
+    /// Run DB-DP, LDF, and FCSMA on the same network.
+    Compare {
+        /// Shared options.
+        opts: NetworkOpts,
+    },
+    /// Sweep one parameter, comparing the three contenders at each point.
+    Sweep {
+        /// Shared options (the swept field's value is overridden).
+        opts: NetworkOpts,
+        /// Which parameter to sweep.
+        param: SweepParam,
+        /// First value.
+        from: f64,
+        /// Last value (inclusive).
+        to: f64,
+        /// Number of points (≥ 2 unless `from == to`).
+        steps: usize,
+    },
+    /// Render ASCII timelines of the DP protocol on the air.
+    Timeline {
+        /// Shared options (`intervals` bounds how many timelines print).
+        opts: NetworkOpts,
+    },
+    /// Print usage.
+    Help,
+}
+
+fn parse_num<T: std::str::FromStr>(
+    flag: &str,
+    value: &str,
+    expected: &'static str,
+) -> Result<T, CliError> {
+    value.parse().map_err(|_| CliError::BadValue {
+        flag: flag.to_string(),
+        value: value.to_string(),
+        expected,
+    })
+}
+
+fn parse_arrivals(flag: &str, value: &str) -> Result<ArrivalSpec, CliError> {
+    if value == "constant" {
+        return Ok(ArrivalSpec::Constant);
+    }
+    if let Some(alpha) = value.strip_prefix("burst:") {
+        return Ok(ArrivalSpec::Burst(parse_num(flag, alpha, "a probability")?));
+    }
+    if let Some(lambda) = value.strip_prefix("bernoulli:") {
+        return Ok(ArrivalSpec::Bernoulli(parse_num(
+            flag,
+            lambda,
+            "a probability",
+        )?));
+    }
+    Err(CliError::BadValue {
+        flag: flag.to_string(),
+        value: value.to_string(),
+        expected: "burst:ALPHA, bernoulli:LAMBDA, or constant",
+    })
+}
+
+fn parse_policy(flag: &str, value: &str) -> Result<PolicySpec, CliError> {
+    match value {
+        "db-dp" | "dbdp" => Ok(PolicySpec::DbDp),
+        "ldf" => Ok(PolicySpec::Ldf),
+        "eldf" => Ok(PolicySpec::Eldf),
+        "fcsma" => Ok(PolicySpec::Fcsma),
+        "dcf" => Ok(PolicySpec::Dcf),
+        "frame-csma" | "framecsma" => Ok(PolicySpec::FrameCsma),
+        _ => Err(CliError::BadValue {
+            flag: flag.to_string(),
+            value: value.to_string(),
+            expected: "db-dp, ldf, eldf, fcsma, dcf, or frame-csma",
+        }),
+    }
+}
+
+fn parse_sweep_param(flag: &str, value: &str) -> Result<SweepParam, CliError> {
+    match value {
+        "alpha" => Ok(SweepParam::Alpha),
+        "lambda" => Ok(SweepParam::Lambda),
+        "ratio" => Ok(SweepParam::Ratio),
+        "p" => Ok(SweepParam::SuccessProbability),
+        _ => Err(CliError::BadValue {
+            flag: flag.to_string(),
+            value: value.to_string(),
+            expected: "alpha, lambda, ratio, or p",
+        }),
+    }
+}
+
+/// Parses a full argument vector into a [`Command`].
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing the first problem encountered.
+pub fn parse(argv: &[String]) -> Result<Command, CliError> {
+    let Some(command) = argv.first() else {
+        return Ok(Command::Help);
+    };
+    match command.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "run" | "compare" | "sweep" | "timeline" => parse_subcommand(command, &argv[1..]),
+        other => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}
+
+fn parse_subcommand(command: &str, rest: &[String]) -> Result<Command, CliError> {
+    let mut opts = NetworkOpts::default();
+    let mut policy = PolicySpec::DbDp;
+    let mut param = None;
+    let mut from = None;
+    let mut to = None;
+    let mut steps = 5usize;
+
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value_for = || -> Result<&String, CliError> {
+            it.next()
+                .ok_or_else(|| CliError::MissingValue(flag.clone()))
+        };
+        match flag.as_str() {
+            "--links" => opts.links = parse_num(flag, value_for()?, "a positive integer")?,
+            "--deadline-ms" => {
+                opts.deadline_us = parse_num::<u64>(flag, value_for()?, "a duration in ms")? * 1000;
+            }
+            "--deadline-us" => {
+                opts.deadline_us = parse_num(flag, value_for()?, "a duration in us")?;
+            }
+            "--payload" => opts.payload = parse_num(flag, value_for()?, "a byte count")?,
+            "--p" => opts.p = parse_num(flag, value_for()?, "a probability")?,
+            "--arrivals" => opts.arrivals = parse_arrivals(flag, value_for()?)?,
+            "--ratio" => opts.ratio = parse_num(flag, value_for()?, "a ratio in (0,1]")?,
+            "--intervals" => opts.intervals = parse_num(flag, value_for()?, "an interval count")?,
+            "--seed" => opts.seed = parse_num(flag, value_for()?, "an integer seed")?,
+            "--policy" if command == "run" => policy = parse_policy(flag, value_for()?)?,
+            "--param" if command == "sweep" => param = Some(parse_sweep_param(flag, value_for()?)?),
+            "--from" if command == "sweep" => {
+                from = Some(parse_num(flag, value_for()?, "a number")?);
+            }
+            "--to" if command == "sweep" => to = Some(parse_num(flag, value_for()?, "a number")?),
+            "--steps" if command == "sweep" => {
+                steps = parse_num(flag, value_for()?, "a point count")?;
+            }
+            other => return Err(CliError::UnknownFlag(other.to_string())),
+        }
+    }
+
+    match command {
+        "run" => Ok(Command::Run { opts, policy }),
+        "compare" => Ok(Command::Compare { opts }),
+        "timeline" => Ok(Command::Timeline { opts }),
+        "sweep" => {
+            let param = param.ok_or(CliError::MissingValue("--param".into()))?;
+            let from = from.ok_or(CliError::MissingValue("--from".into()))?;
+            let to = to.ok_or(CliError::MissingValue("--to".into()))?;
+            if steps == 0 {
+                return Err(CliError::BadValue {
+                    flag: "--steps".into(),
+                    value: "0".into(),
+                    expected: "at least 1 point",
+                });
+            }
+            Ok(Command::Sweep {
+                opts,
+                param,
+                from,
+                to,
+                steps,
+            })
+        }
+        _ => unreachable!("caller filters commands"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn empty_and_help_forms() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        for form in ["help", "--help", "-h"] {
+            assert_eq!(parse(&argv(form)).unwrap(), Command::Help);
+        }
+    }
+
+    #[test]
+    fn run_parses_all_flags() {
+        let cmd = parse(&argv(
+            "run --links 20 --deadline-ms 20 --payload 1500 --p 0.7 \
+             --arrivals burst:0.55 --ratio 0.9 --policy fcsma \
+             --intervals 5000 --seed 42",
+        ))
+        .unwrap();
+        let Command::Run { opts, policy } = cmd else {
+            panic!("expected run");
+        };
+        assert_eq!(policy, PolicySpec::Fcsma);
+        assert_eq!(opts.links, 20);
+        assert_eq!(opts.deadline_us, 20_000);
+        assert_eq!(opts.payload, 1500);
+        assert_eq!(opts.arrivals, ArrivalSpec::Burst(0.55));
+        assert_eq!(opts.seed, 42);
+    }
+
+    #[test]
+    fn deadline_us_form() {
+        let cmd = parse(&argv("run --deadline-us 700")).unwrap();
+        let Command::Run { opts, .. } = cmd else {
+            panic!()
+        };
+        assert_eq!(opts.deadline_us, 700);
+    }
+
+    #[test]
+    fn arrivals_variants() {
+        assert_eq!(
+            parse_arrivals("--arrivals", "bernoulli:0.78").unwrap(),
+            ArrivalSpec::Bernoulli(0.78)
+        );
+        assert_eq!(
+            parse_arrivals("--arrivals", "constant").unwrap(),
+            ArrivalSpec::Constant
+        );
+        assert!(parse_arrivals("--arrivals", "poisson:2").is_err());
+        assert!(parse_arrivals("--arrivals", "burst:x").is_err());
+    }
+
+    #[test]
+    fn every_policy_name_parses() {
+        for (name, spec) in [
+            ("db-dp", PolicySpec::DbDp),
+            ("dbdp", PolicySpec::DbDp),
+            ("ldf", PolicySpec::Ldf),
+            ("eldf", PolicySpec::Eldf),
+            ("fcsma", PolicySpec::Fcsma),
+            ("dcf", PolicySpec::Dcf),
+            ("frame-csma", PolicySpec::FrameCsma),
+        ] {
+            assert_eq!(parse_policy("--policy", name).unwrap(), spec);
+        }
+        assert!(parse_policy("--policy", "tdma").is_err());
+    }
+
+    #[test]
+    fn sweep_requires_param_from_to() {
+        assert_eq!(
+            parse(&argv("sweep --from 0.1 --to 0.2")),
+            Err(CliError::MissingValue("--param".into()))
+        );
+        assert_eq!(
+            parse(&argv("sweep --param alpha --to 0.2")),
+            Err(CliError::MissingValue("--from".into()))
+        );
+        let cmd = parse(&argv("sweep --param ratio --from 0.8 --to 1.0 --steps 3")).unwrap();
+        let Command::Sweep {
+            param,
+            from,
+            to,
+            steps,
+            ..
+        } = cmd
+        else {
+            panic!()
+        };
+        assert_eq!(param, SweepParam::Ratio);
+        assert_eq!((from, to, steps), (0.8, 1.0, 3));
+    }
+
+    #[test]
+    fn sweep_rejects_zero_steps() {
+        assert!(matches!(
+            parse(&argv("sweep --param p --from 0.5 --to 0.9 --steps 0")),
+            Err(CliError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        assert_eq!(
+            parse(&argv("teleport")),
+            Err(CliError::UnknownCommand("teleport".into()))
+        );
+        assert_eq!(
+            parse(&argv("run --bogus 1")),
+            Err(CliError::UnknownFlag("--bogus".into()))
+        );
+        assert_eq!(
+            parse(&argv("run --links")),
+            Err(CliError::MissingValue("--links".into()))
+        );
+        // run-only flags rejected elsewhere:
+        assert_eq!(
+            parse(&argv("compare --policy ldf")),
+            Err(CliError::UnknownFlag("--policy".into()))
+        );
+    }
+
+    #[test]
+    fn error_messages_are_lowercase_and_helpful() {
+        let msg = CliError::BadValue {
+            flag: "--p".into(),
+            value: "two".into(),
+            expected: "a probability",
+        }
+        .to_string();
+        assert!(msg.contains("--p") && msg.contains("two") && msg.contains("probability"));
+    }
+}

@@ -1,0 +1,327 @@
+//! Command execution: builds networks from parsed options and formats the
+//! results.
+
+use std::fmt::Write as _;
+
+use rtmac::sim::Nanos;
+use rtmac::{Network, PolicyKind, RunReport};
+use rtmac_traffic::{ArrivalProcess, BernoulliArrivals, BurstUniform, ConstantArrivals};
+
+use crate::args::{ArrivalSpec, CliError, Command, NetworkOpts, PolicySpec, SweepParam};
+
+const USAGE: &str = "rtmac — real-time wireless MAC simulator (Hsieh & Hou, ICDCS 2018)
+
+Usage:
+  rtmac run      [network flags] --policy <db-dp|ldf|eldf|fcsma|dcf|frame-csma>
+  rtmac compare  [network flags]
+  rtmac sweep    [network flags] --param <alpha|lambda|ratio|p>
+                 --from X --to Y [--steps N]
+  rtmac timeline [network flags]   (ASCII protocol trace, <= 10 intervals)
+  rtmac help
+
+Network flags (defaults in parentheses):
+  --links N          number of fully-interfering links (10)
+  --deadline-ms T    per-packet deadline in ms (20); or --deadline-us T
+  --payload B        data payload bytes (1500)
+  --p P              uniform channel success probability (0.7)
+  --arrivals SPEC    burst:ALPHA | bernoulli:LAMBDA | constant (burst:0.5)
+  --ratio R          required delivery ratio (0.9)
+  --intervals K      intervals to simulate (1000)
+  --seed S           RNG seed (0)
+
+Examples:
+  rtmac run --links 20 --arrivals burst:0.55 --policy db-dp --intervals 5000
+  rtmac sweep --param lambda --from 0.5 --to 0.9 --steps 9 \\
+              --links 10 --deadline-ms 2 --payload 100 --ratio 0.99
+";
+
+fn arrivals_box(spec: ArrivalSpec, links: usize) -> Result<Box<dyn ArrivalProcess>, CliError> {
+    let to_cli = |e: rtmac::model::ConfigError| CliError::Invalid(e.to_string());
+    Ok(match spec {
+        ArrivalSpec::Burst(alpha) => {
+            Box::new(BurstUniform::symmetric(links, alpha, 6).map_err(to_cli)?)
+        }
+        ArrivalSpec::Bernoulli(lambda) => {
+            Box::new(BernoulliArrivals::symmetric(links, lambda).map_err(to_cli)?)
+        }
+        ArrivalSpec::Constant => Box::new(ConstantArrivals::one_each(links).map_err(to_cli)?),
+    })
+}
+
+fn policy_kind(spec: PolicySpec) -> PolicyKind {
+    match spec {
+        PolicySpec::DbDp => PolicyKind::db_dp(),
+        PolicySpec::Ldf => PolicyKind::Ldf,
+        PolicySpec::Eldf => PolicyKind::eldf(),
+        PolicySpec::Fcsma => PolicyKind::fcsma(),
+        PolicySpec::Dcf => PolicyKind::dcf(),
+        PolicySpec::FrameCsma => PolicyKind::frame_csma(),
+    }
+}
+
+fn build_network(opts: &NetworkOpts, policy: PolicySpec) -> Result<Network, CliError> {
+    Network::builder()
+        .links(opts.links)
+        .deadline(Nanos::from_micros(opts.deadline_us))
+        .payload_bytes(opts.payload)
+        .uniform_success_probability(opts.p)
+        .traffic(arrivals_box(opts.arrivals, opts.links)?)
+        .delivery_ratio(opts.ratio)
+        .policy(policy_kind(policy))
+        .seed(opts.seed)
+        .build()
+        .map_err(|e| CliError::Invalid(e.to_string()))
+}
+
+fn simulate(opts: &NetworkOpts, policy: PolicySpec) -> Result<RunReport, CliError> {
+    let mut network = build_network(opts, policy)?;
+    Ok(network.run(opts.intervals))
+}
+
+fn render_run(opts: &NetworkOpts, report: &RunReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "policy: {}", report.policy);
+    let _ = writeln!(
+        out,
+        "network: {} links, deadline {}, {} B payload, p = {}, {} intervals",
+        opts.links,
+        Nanos::from_micros(opts.deadline_us),
+        opts.payload,
+        opts.p,
+        report.intervals
+    );
+    let _ = writeln!(
+        out,
+        "total timely-throughput deficiency: {:.4}",
+        report.final_total_deficiency
+    );
+    let _ = writeln!(
+        out,
+        "collisions: {}   idle slots: {}   empty packets: {}",
+        report.collisions, report.idle_slots, report.empty_packets
+    );
+    let _ = writeln!(
+        out,
+        "{:>8} {:>12} {:>10} {:>10}",
+        "link", "throughput", "debt", "attempts"
+    );
+    for (i, tp) in report.per_link_throughput.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{i:>8} {tp:>12.4} {:>10.2} {:>10}",
+            report.final_debts[i], report.attempts[i]
+        );
+    }
+    out
+}
+
+const CONTENDERS: [PolicySpec; 3] = [PolicySpec::DbDp, PolicySpec::Ldf, PolicySpec::Fcsma];
+
+fn render_compare(opts: &NetworkOpts) -> Result<String, CliError> {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>8} {:>12} {:>12} {:>12} {:>14}",
+        "policy", "deficiency", "collisions", "idle slots", "empty packets"
+    );
+    for spec in CONTENDERS {
+        let report = simulate(opts, spec)?;
+        let _ = writeln!(
+            out,
+            "{:>8} {:>12.4} {:>12} {:>12} {:>14}",
+            spec.label(),
+            report.final_total_deficiency,
+            report.collisions,
+            report.idle_slots,
+            report.empty_packets
+        );
+    }
+    Ok(out)
+}
+
+fn apply_sweep(opts: &NetworkOpts, param: SweepParam, value: f64) -> Result<NetworkOpts, CliError> {
+    let mut o = opts.clone();
+    match param {
+        SweepParam::Alpha => o.arrivals = ArrivalSpec::Burst(value),
+        SweepParam::Lambda => o.arrivals = ArrivalSpec::Bernoulli(value),
+        SweepParam::Ratio => o.ratio = value,
+        SweepParam::SuccessProbability => o.p = value,
+    }
+    Ok(o)
+}
+
+fn render_sweep(
+    opts: &NetworkOpts,
+    param: SweepParam,
+    from: f64,
+    to: f64,
+    steps: usize,
+) -> Result<String, CliError> {
+    let mut out = String::new();
+    let name = match param {
+        SweepParam::Alpha => "alpha",
+        SweepParam::Lambda => "lambda",
+        SweepParam::Ratio => "ratio",
+        SweepParam::SuccessProbability => "p",
+    };
+    let _ = writeln!(
+        out,
+        "{name:>12} {:>12} {:>12} {:>12}",
+        "DB-DP", "LDF", "FCSMA"
+    );
+    for i in 0..steps {
+        let value = if steps == 1 {
+            from
+        } else {
+            from + (to - from) * i as f64 / (steps - 1) as f64
+        };
+        let point = apply_sweep(opts, param, value)?;
+        let _ = write!(out, "{value:>12.4}");
+        for spec in CONTENDERS {
+            let report = simulate(&point, spec)?;
+            let _ = write!(out, " {:>12.4}", report.final_total_deficiency);
+        }
+        let _ = writeln!(out);
+    }
+    Ok(out)
+}
+
+fn render_timeline(opts: &NetworkOpts) -> Result<String, CliError> {
+    use rtmac::mac::{timeline, DpConfig, DpEngine, MacTiming};
+    use rtmac::phy::{channel::Bernoulli, PhyProfile};
+    use rtmac::sim::SeedStream;
+
+    let timing = MacTiming::new(
+        PhyProfile::ieee80211a(),
+        Nanos::from_micros(opts.deadline_us),
+        opts.payload,
+    );
+    let mut engine = DpEngine::new(DpConfig::new(timing.clone()).with_trace(true), opts.links);
+    let mut channel =
+        Bernoulli::new(vec![opts.p; opts.links]).map_err(|e| CliError::Invalid(e.to_string()))?;
+    let mut arrivals = arrivals_box(opts.arrivals, opts.links)?;
+    let seeds = SeedStream::new(opts.seed);
+    let mut rng = seeds.rng(2);
+    let mut arr_rng = seeds.rng(1);
+    let mu = vec![0.5; opts.links];
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "DP protocol timelines (constant mu = 0.5; # data, e empty claim, \u{b7} idle)\n"
+    );
+    let mut buf = Vec::new();
+    for k in 0..opts.intervals.clamp(1, 10) {
+        arrivals.sample(&mut arr_rng, &mut buf);
+        let report = engine.run_interval(&buf, &mu, &mut channel, &mut rng);
+        let _ = writeln!(
+            out,
+            "interval {k}: sigma = {}  C = {:?}  swaps = {}",
+            engine.sigma(),
+            report.candidates,
+            report.swaps.len()
+        );
+        let _ = write!(
+            out,
+            "{}",
+            timeline::render(&report.trace, &timing, opts.links, 100)
+        );
+        let _ = writeln!(out);
+    }
+    Ok(out)
+}
+
+/// Executes a parsed [`Command`] and returns its printable output.
+///
+/// # Errors
+///
+/// Returns a [`CliError::Invalid`] when the simulator rejects the
+/// configuration.
+pub fn execute(command: Command) -> Result<String, CliError> {
+    match command {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Run { opts, policy } => {
+            let report = simulate(&opts, policy)?;
+            Ok(render_run(&opts, &report))
+        }
+        Command::Compare { opts } => render_compare(&opts),
+        Command::Sweep {
+            opts,
+            param,
+            from,
+            to,
+            steps,
+        } => render_sweep(&opts, param, from, to, steps),
+        Command::Timeline { opts } => render_timeline(&opts),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_opts() -> NetworkOpts {
+        NetworkOpts {
+            links: 3,
+            deadline_us: 2000,
+            payload: 100,
+            p: 0.8,
+            arrivals: ArrivalSpec::Bernoulli(0.7),
+            ratio: 0.9,
+            intervals: 100,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn run_report_lists_every_link() {
+        let report = simulate(&quick_opts(), PolicySpec::Ldf).unwrap();
+        let text = render_run(&quick_opts(), &report);
+        for i in 0..3 {
+            assert!(
+                text.contains(&format!("\n{i:>8} ")),
+                "missing link {i}:\n{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_configuration_is_reported() {
+        let mut opts = quick_opts();
+        opts.p = 1.5;
+        assert!(matches!(
+            simulate(&opts, PolicySpec::Ldf),
+            Err(CliError::Invalid(_))
+        ));
+        let mut opts = quick_opts();
+        opts.links = 0;
+        assert!(simulate(&opts, PolicySpec::DbDp).is_err());
+    }
+
+    #[test]
+    fn sweep_single_step_uses_from() {
+        let out = render_sweep(&quick_opts(), SweepParam::Ratio, 0.85, 0.99, 1).unwrap();
+        assert!(out.contains("0.8500"));
+        assert!(!out.contains("0.9900"));
+    }
+
+    #[test]
+    fn sweep_endpoints_inclusive() {
+        let out = render_sweep(&quick_opts(), SweepParam::SuccessProbability, 0.5, 0.9, 3).unwrap();
+        assert!(out.contains("0.5000") && out.contains("0.7000") && out.contains("0.9000"));
+    }
+
+    #[test]
+    fn every_policy_spec_builds() {
+        for spec in [
+            PolicySpec::DbDp,
+            PolicySpec::Ldf,
+            PolicySpec::Eldf,
+            PolicySpec::Fcsma,
+            PolicySpec::Dcf,
+            PolicySpec::FrameCsma,
+        ] {
+            assert!(build_network(&quick_opts(), spec).is_ok(), "{spec:?}");
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! # rtmac
+//!
+//! A Rust implementation of Hsieh & Hou, *A Decentralized Medium Access
+//! Protocol for Real-Time Wireless Ad Hoc Networks With Unreliable
+//! Transmissions* (ICDCS 2018).
+//!
+//! The paper's setting: `N` fully-interfering wireless links carry
+//! deadline-constrained traffic — packets arrive at the start of each
+//! interval of length `T` and are dropped at its end — over unreliable
+//! channels (per-link success probability `p_n`). Each link must sustain a
+//! timely-throughput `q_n`. The paper proposes:
+//!
+//! * **ELDF / LDF** ([`Eldf`]) — a centralized feasibility-optimal
+//!   scheduler: serve links in decreasing `f(d_n⁺)·p_n`, where `d_n` is the
+//!   delivery debt and `f` a [debt influence function](rtmac_model::influence).
+//! * **The DP protocol** ([`rtmac_mac::DpEngine`]) — a fully decentralized
+//!   priority-maintenance protocol built from carrier sensing and
+//!   collision-free backoff alone.
+//! * **DB-DP** ([`DbDp`]) — the DP protocol with Glauber-dynamics coin
+//!   parameters `μ_n = exp(f(d_n⁺)p_n)/(R + exp(f(d_n⁺)p_n))` (Eq. 14),
+//!   which is feasibility-optimal (Theorem 1) while remaining fully
+//!   decentralized.
+//!
+//! This crate ties the substrates together: build a [`Network`], pick a
+//! [`PolicyKind`], run intervals, and read a [`RunReport`].
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rtmac::{Network, PolicyKind};
+//! use rtmac_model::influence::PaperLog;
+//!
+//! // A small symmetric network: 4 links, p = 0.8, 2 ms deadline, 100 B
+//! // control packets, one arrival per interval, 95% delivery ratio.
+//! let mut network = Network::builder()
+//!     .links(4)
+//!     .deadline_ms(2)
+//!     .payload_bytes(100)
+//!     .uniform_success_probability(0.8)
+//!     .bernoulli_arrivals(1.0)
+//!     .delivery_ratio(0.95)
+//!     .policy(PolicyKind::db_dp())
+//!     .seed(42)
+//!     .build()?;
+//! let report = network.run(500);
+//! // The requirement is comfortably feasible: deficiency dies out.
+//! assert!(report.final_total_deficiency < 0.05);
+//! # Ok::<(), rtmac_model::ConfigError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod network;
+mod policy;
+mod report;
+
+pub use network::{Network, NetworkBuilder};
+pub use policy::{
+    eq14_mu, DbDp, DcfPolicy, Eldf, FcsmaPolicy, FixedPriority, FrameCsmaPolicy, PolicyKind,
+    TransmissionPolicy,
+};
+pub use report::RunReport;
+
+// Re-export the substrate crates so downstream users need only one
+// dependency.
+pub use rtmac_mac as mac;
+pub use rtmac_model as model;
+pub use rtmac_phy as phy;
+pub use rtmac_sim as sim;
+pub use rtmac_traffic as traffic;

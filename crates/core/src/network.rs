@@ -1,0 +1,624 @@
+//! The end-to-end network simulator: arrivals → policy → debts → metrics.
+
+use rtmac_mac::{IntervalOutcome, MacTiming};
+use rtmac_model::metrics::{ConvergenceTracker, DeficiencySeries};
+use rtmac_model::{ConfigError, DebtLedger, LinkId, NetworkConfig, Requirements};
+use rtmac_phy::channel::{Bernoulli, LossModel};
+use rtmac_phy::PhyProfile;
+use rtmac_sim::{Nanos, SeedStream, SimRng};
+use rtmac_traffic::{ArrivalProcess, BernoulliArrivals, BurstUniform, ConstantArrivals};
+
+use crate::{PolicyKind, RunReport, TransmissionPolicy};
+
+/// A complete simulated network: topology and channel (`rtmac-model`,
+/// `rtmac-phy`), traffic (`rtmac-traffic`), a transmission policy, and the
+/// delivery-debt ledger that closes the control loop.
+///
+/// Construct one with [`Network::builder`], then call [`Network::run`] (or
+/// [`Network::step`] to drive interval by interval).
+pub struct Network {
+    config: NetworkConfig,
+    requirements: Requirements,
+    debts: DebtLedger,
+    traffic: Box<dyn ArrivalProcess>,
+    channel: Box<dyn LossModel>,
+    policy: Box<dyn TransmissionPolicy>,
+    arrival_rng: SimRng,
+    protocol_rng: SimRng,
+    arrivals_buf: Vec<u32>,
+    // accumulated counters
+    intervals: usize,
+    deficiency: DeficiencySeries,
+    attempts: Vec<u64>,
+    latency_sums: Vec<Nanos>,
+    collisions: u64,
+    empty_packets: u64,
+    idle_slots: u64,
+    busy_time: Nanos,
+    tracked: Option<ConvergenceTracker>,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("links", &self.config.n_links())
+            .field("policy", &self.policy.name())
+            .field("intervals", &self.intervals)
+            .finish()
+    }
+}
+
+impl Network {
+    /// Starts building a network.
+    #[must_use]
+    pub fn builder() -> NetworkBuilder {
+        NetworkBuilder::default()
+    }
+
+    /// The static network description.
+    #[must_use]
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// The timely-throughput requirements.
+    #[must_use]
+    pub fn requirements(&self) -> &Requirements {
+        &self.requirements
+    }
+
+    /// The live delivery-debt ledger.
+    #[must_use]
+    pub fn debts(&self) -> &DebtLedger {
+        &self.debts
+    }
+
+    /// The policy's name.
+    #[must_use]
+    pub fn policy_name(&self) -> String {
+        self.policy.name()
+    }
+
+    /// The policy's current priority permutation, if it maintains one.
+    #[must_use]
+    pub fn sigma(&self) -> Option<&rtmac_model::Permutation> {
+        self.policy.sigma()
+    }
+
+    /// Number of intervals simulated so far.
+    #[must_use]
+    pub fn intervals(&self) -> usize {
+        self.intervals
+    }
+
+    /// Simulates one interval: samples arrivals, runs the policy, settles
+    /// debts, and updates the metric streams. Returns the interval outcome.
+    pub fn step(&mut self) -> IntervalOutcome {
+        self.traffic
+            .sample(&mut self.arrival_rng, &mut self.arrivals_buf);
+        let arrivals = self.arrivals_buf.clone();
+        let outcome = self.policy.run_interval(
+            &arrivals,
+            &self.debts,
+            self.channel.as_mut(),
+            &mut self.protocol_rng,
+        );
+        self.debts.settle_interval(&outcome.deliveries);
+        self.deficiency.record(&self.debts);
+        if let Some(tracker) = &mut self.tracked {
+            tracker.record(&self.debts);
+        }
+        for (a, &x) in self.attempts.iter_mut().zip(&outcome.attempts) {
+            *a += x;
+        }
+        for (l, &x) in self.latency_sums.iter_mut().zip(&outcome.latency_sum) {
+            *l += x;
+        }
+        self.collisions += outcome.collisions;
+        self.empty_packets += outcome.empty_packets;
+        self.idle_slots += outcome.idle_slots;
+        self.busy_time += outcome.busy_time;
+        self.intervals += 1;
+        outcome
+    }
+
+    /// Runs `intervals` more intervals and returns the cumulative report.
+    pub fn run(&mut self, intervals: usize) -> RunReport {
+        for _ in 0..intervals {
+            self.step();
+        }
+        self.report()
+    }
+
+    /// The cumulative report over everything simulated so far.
+    #[must_use]
+    pub fn report(&self) -> RunReport {
+        let n = self.config.n_links();
+        RunReport {
+            policy: self.policy.name(),
+            intervals: self.intervals,
+            final_total_deficiency: self.deficiency.last().unwrap_or_else(|| {
+                // No interval yet: deficiency is the full requirement.
+                self.requirements.total()
+            }),
+            deficiency: self.deficiency.clone(),
+            per_link_throughput: (0..n)
+                .map(|l| self.debts.empirical_throughput(LinkId::new(l)))
+                .collect(),
+            final_debts: self.debts.debts().to_vec(),
+            attempts: self.attempts.clone(),
+            mean_latency: (0..n)
+                .map(|l| {
+                    self.latency_sums[l]
+                        .as_nanos()
+                        .checked_div(self.debts.cumulative_deliveries(LinkId::new(l)))
+                        .map(Nanos::from_nanos)
+                })
+                .collect(),
+            collisions: self.collisions,
+            empty_packets: self.empty_packets,
+            idle_slots: self.idle_slots,
+            busy_time: self.busy_time,
+            tracked: self.tracked.clone(),
+        }
+    }
+}
+
+/// Fluent builder for [`Network`].
+///
+/// Minimal required calls: [`links`](Self::links), an arrival process, a
+/// requirement (delivery ratio or explicit `q`), and a policy. Everything
+/// else has paper defaults (802.11a PHY, 20 ms deadline, 1500 B payload,
+/// reliable channel, seed 0).
+pub struct NetworkBuilder {
+    n_links: usize,
+    deadline: Nanos,
+    payload_bytes: u32,
+    link_payloads: Option<Vec<u32>>,
+    phy: PhyProfile,
+    success: Option<Vec<f64>>,
+    traffic: Option<Box<dyn ArrivalProcess>>,
+    requirements: Option<Requirements>,
+    delivery_ratio: Option<Vec<f64>>,
+    policy: Option<PolicyKind>,
+    channel: Option<Box<dyn LossModel>>,
+    seed: u64,
+    track: Option<(LinkId, f64)>,
+}
+
+impl Default for NetworkBuilder {
+    fn default() -> Self {
+        NetworkBuilder {
+            n_links: 0,
+            deadline: Nanos::from_millis(20),
+            payload_bytes: 1500,
+            link_payloads: None,
+            phy: PhyProfile::ieee80211a(),
+            success: None,
+            traffic: None,
+            requirements: None,
+            delivery_ratio: None,
+            policy: None,
+            channel: None,
+            seed: 0,
+            track: None,
+        }
+    }
+}
+
+impl NetworkBuilder {
+    /// Sets the number of links `N` (required).
+    #[must_use]
+    pub fn links(mut self, n: usize) -> Self {
+        self.n_links = n;
+        self
+    }
+
+    /// Sets the per-packet deadline in milliseconds (default 20).
+    #[must_use]
+    pub fn deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline = Nanos::from_millis(ms);
+        self
+    }
+
+    /// Sets the per-packet deadline exactly.
+    #[must_use]
+    pub fn deadline(mut self, t: Nanos) -> Self {
+        self.deadline = t;
+        self
+    }
+
+    /// Sets the data payload size in bytes (default 1500).
+    #[must_use]
+    pub fn payload_bytes(mut self, bytes: u32) -> Self {
+        self.payload_bytes = bytes;
+        self
+    }
+
+    /// Gives each link its own payload size — mixed traffic classes (e.g.
+    /// video and control links) sharing one medium. Overrides
+    /// [`payload_bytes`](Self::payload_bytes) per link.
+    #[must_use]
+    pub fn link_payloads(mut self, payloads: Vec<u32>) -> Self {
+        self.link_payloads = Some(payloads);
+        self
+    }
+
+    /// Sets the PHY profile (default IEEE 802.11a).
+    #[must_use]
+    pub fn phy(mut self, phy: PhyProfile) -> Self {
+        self.phy = phy;
+        self
+    }
+
+    /// Every link succeeds with probability `p`.
+    #[must_use]
+    pub fn uniform_success_probability(mut self, p: f64) -> Self {
+        self.success = Some(vec![p; self.n_links]);
+        self
+    }
+
+    /// Per-link success probabilities.
+    #[must_use]
+    pub fn success_probabilities(mut self, p: Vec<f64>) -> Self {
+        self.success = Some(p);
+        self
+    }
+
+    /// Uses an arbitrary arrival process.
+    #[must_use]
+    pub fn traffic(mut self, traffic: Box<dyn ArrivalProcess>) -> Self {
+        self.traffic = Some(traffic);
+        self
+    }
+
+    /// The paper's video traffic: `U{1..6}` packets with probability
+    /// `alpha`, else none.
+    ///
+    /// Call after [`links`](Self::links); validation happens in
+    /// [`build`](Self::build).
+    #[must_use]
+    pub fn burst_arrivals(mut self, alpha: f64) -> Self {
+        // An invalid alpha leaves traffic unset; build() then reports the
+        // missing/invalid arrival process.
+        self.traffic = BurstUniform::symmetric(self.n_links.max(1), alpha, 6)
+            .ok()
+            .map(|t| Box::new(t) as Box<dyn ArrivalProcess>);
+        self
+    }
+
+    /// The paper's control traffic: one packet with probability `lambda`.
+    #[must_use]
+    pub fn bernoulli_arrivals(mut self, lambda: f64) -> Self {
+        self.traffic = BernoulliArrivals::symmetric(self.n_links.max(1), lambda)
+            .ok()
+            .map(|t| Box::new(t) as Box<dyn ArrivalProcess>);
+        self
+    }
+
+    /// Exactly one packet per link per interval.
+    #[must_use]
+    pub fn constant_arrivals(mut self) -> Self {
+        self.traffic = ConstantArrivals::one_each(self.n_links.max(1))
+            .ok()
+            .map(|t| Box::new(t) as Box<dyn ArrivalProcess>);
+        self
+    }
+
+    /// Requires delivery ratio `rho` on every link (`q_n = ρ·λ_n`, with
+    /// `λ_n` taken from the traffic process).
+    #[must_use]
+    pub fn delivery_ratio(mut self, rho: f64) -> Self {
+        self.delivery_ratio = Some(vec![rho; self.n_links]);
+        self
+    }
+
+    /// Per-link delivery ratios.
+    #[must_use]
+    pub fn delivery_ratios(mut self, rho: Vec<f64>) -> Self {
+        self.delivery_ratio = Some(rho);
+        self
+    }
+
+    /// Explicit timely-throughput requirements `q_n` (overrides delivery
+    /// ratios).
+    #[must_use]
+    pub fn requirements(mut self, q: Requirements) -> Self {
+        self.requirements = Some(q);
+        self
+    }
+
+    /// Selects the transmission policy (required).
+    #[must_use]
+    pub fn policy(mut self, kind: PolicyKind) -> Self {
+        self.policy = Some(kind);
+        self
+    }
+
+    /// Overrides the loss model (default: Bernoulli with the configured
+    /// success probabilities).
+    #[must_use]
+    pub fn channel(mut self, channel: Box<dyn LossModel>) -> Self {
+        self.channel = Some(channel);
+        self
+    }
+
+    /// Seeds every random stream (default 0). Equal seeds give bit-equal
+    /// runs.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Tracks one link's running timely-throughput and convergence into a
+    /// `1 − band` neighborhood of its requirement (Fig. 5).
+    #[must_use]
+    pub fn track_link(mut self, link: LinkId, band: f64) -> Self {
+        self.track = Some((link, band));
+        self
+    }
+
+    /// Validates everything and builds the [`Network`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the topology, probabilities, traffic,
+    /// requirements, or policy are missing or inconsistent.
+    pub fn build(self) -> Result<Network, ConfigError> {
+        let success = self.success.unwrap_or_else(|| vec![1.0; self.n_links]);
+        let config = NetworkConfig::builder(self.n_links)
+            .deadline(self.deadline)
+            .success_probabilities(success)
+            .build()?;
+
+        let traffic = self.traffic.ok_or(ConfigError::InvalidParameter {
+            name: "traffic (arrival process required, and its parameters must be valid)",
+            value: f64::NAN,
+        })?;
+        if traffic.n_links() != config.n_links() {
+            return Err(ConfigError::LengthMismatch {
+                what: "arrival process links",
+                expected: config.n_links(),
+                actual: traffic.n_links(),
+            });
+        }
+
+        let requirements = match (self.requirements, self.delivery_ratio) {
+            (Some(q), _) => q,
+            (None, Some(rho)) => {
+                let lambda: Vec<f64> = (0..config.n_links())
+                    .map(|l| traffic.mean(LinkId::new(l)))
+                    .collect();
+                Requirements::from_delivery_ratios(&lambda, &rho)?
+            }
+            (None, None) => {
+                return Err(ConfigError::InvalidParameter {
+                    name: "requirements (set delivery_ratio or requirements)",
+                    value: f64::NAN,
+                })
+            }
+        };
+        if requirements.len() != config.n_links() {
+            return Err(ConfigError::LengthMismatch {
+                what: "requirements",
+                expected: config.n_links(),
+                actual: requirements.len(),
+            });
+        }
+
+        let channel = match self.channel {
+            Some(c) => {
+                if c.n_links() != config.n_links() {
+                    return Err(ConfigError::LengthMismatch {
+                        what: "channel links",
+                        expected: config.n_links(),
+                        actual: c.n_links(),
+                    });
+                }
+                c
+            }
+            None => Box::new(Bernoulli::new(config.success_probabilities().to_vec())?),
+        };
+
+        let kind = self.policy.ok_or(ConfigError::InvalidParameter {
+            name: "policy (call .policy(PolicyKind::...))",
+            value: f64::NAN,
+        })?;
+        let mut timing = MacTiming::new(self.phy, config.deadline(), self.payload_bytes);
+        if let Some(payloads) = self.link_payloads {
+            if payloads.len() != config.n_links() {
+                return Err(ConfigError::LengthMismatch {
+                    what: "per-link payloads",
+                    expected: config.n_links(),
+                    actual: payloads.len(),
+                });
+            }
+            timing = timing.with_link_payloads(&payloads);
+        }
+        let policy = kind.instantiate(config.n_links(), config.success_probabilities(), timing);
+
+        let seeds = SeedStream::new(self.seed);
+        let tracked = match self.track {
+            Some((link, band)) => {
+                if link.index() >= config.n_links() {
+                    return Err(ConfigError::InvalidParameter {
+                        name: "tracked link",
+                        value: link.index() as f64,
+                    });
+                }
+                Some(ConvergenceTracker::new(link, requirements.q(link), band))
+            }
+            None => None,
+        };
+
+        let n = config.n_links();
+        Ok(Network {
+            config,
+            debts: DebtLedger::new(requirements.clone()),
+            requirements,
+            traffic,
+            channel,
+            policy,
+            arrival_rng: seeds.rng(1),
+            protocol_rng: seeds.rng(2),
+            arrivals_buf: Vec::with_capacity(n),
+            intervals: 0,
+            deficiency: DeficiencySeries::new(),
+            attempts: vec![0; n],
+            latency_sums: vec![Nanos::ZERO; n],
+            collisions: 0,
+            empty_packets: 0,
+            idle_slots: 0,
+            busy_time: Nanos::ZERO,
+            tracked,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_builder() -> NetworkBuilder {
+        Network::builder()
+            .links(4)
+            .deadline_ms(2)
+            .payload_bytes(100)
+            .uniform_success_probability(0.8)
+            .bernoulli_arrivals(0.9)
+            .delivery_ratio(0.9)
+            .seed(1)
+    }
+
+    #[test]
+    fn builds_and_runs_db_dp() {
+        let mut net = base_builder().policy(PolicyKind::db_dp()).build().unwrap();
+        let report = net.run(200);
+        assert_eq!(report.intervals, 200);
+        assert_eq!(report.per_link_throughput.len(), 4);
+        assert!(report.final_total_deficiency < 0.2);
+        assert_eq!(report.collisions, 0, "DP protocol is collision-free");
+    }
+
+    #[test]
+    fn deterministic_under_equal_seeds() {
+        let run = || {
+            let mut net = base_builder().policy(PolicyKind::db_dp()).build().unwrap();
+            net.run(100).per_link_throughput
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let run = |seed: u64| {
+            let mut net = base_builder()
+                .seed(seed)
+                .policy(PolicyKind::db_dp())
+                .build()
+                .unwrap();
+            net.run(100).deficiency.as_slice().to_vec()
+        };
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn ldf_baseline_fulfills_feasible_requirement() {
+        let mut net = base_builder().policy(PolicyKind::Ldf).build().unwrap();
+        let report = net.run(400);
+        assert!(report.final_total_deficiency < 0.1);
+    }
+
+    #[test]
+    fn missing_pieces_are_reported() {
+        assert!(Network::builder().links(2).build().is_err()); // no traffic
+        assert!(Network::builder()
+            .links(2)
+            .bernoulli_arrivals(0.5)
+            .build()
+            .is_err()); // no requirements
+        assert!(Network::builder()
+            .links(2)
+            .bernoulli_arrivals(0.5)
+            .delivery_ratio(0.9)
+            .build()
+            .is_err()); // no policy
+        assert!(Network::builder()
+            .links(0)
+            .bernoulli_arrivals(0.5)
+            .delivery_ratio(0.9)
+            .policy(PolicyKind::Ldf)
+            .build()
+            .is_err()); // no links
+    }
+
+    #[test]
+    fn tracker_follows_link() {
+        let mut net = base_builder()
+            .track_link(LinkId::new(2), 0.05)
+            .policy(PolicyKind::Ldf)
+            .build()
+            .unwrap();
+        let report = net.run(300);
+        let tracker = report.tracked.expect("tracker configured");
+        assert_eq!(tracker.link(), LinkId::new(2));
+        assert_eq!(tracker.history().len(), 300);
+        assert!(tracker.converged_at().is_some());
+    }
+
+    #[test]
+    fn step_exposes_interval_outcomes() {
+        let mut net = base_builder().policy(PolicyKind::Ldf).build().unwrap();
+        let out = net.step();
+        assert_eq!(out.deliveries.len(), 4);
+        assert_eq!(net.intervals(), 1);
+        assert_eq!(net.debts().interval(), 1);
+    }
+
+    #[test]
+    fn report_before_any_interval_shows_full_requirement() {
+        let net = base_builder().policy(PolicyKind::Ldf).build().unwrap();
+        let report = net.report();
+        // q_n = 0.9 · 0.9 = 0.81 per link, 4 links.
+        assert!((report.final_total_deficiency - 4.0 * 0.81).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_payloads_validated_and_applied() {
+        // Wrong length rejected.
+        assert!(matches!(
+            base_builder()
+                .link_payloads(vec![100, 1500])
+                .policy(PolicyKind::Ldf)
+                .build(),
+            Err(ConfigError::LengthMismatch { .. })
+        ));
+        // Correct length builds and runs.
+        let mut net = base_builder()
+            .link_payloads(vec![100, 1500, 100, 1500])
+            .policy(PolicyKind::Ldf)
+            .build()
+            .unwrap();
+        let report = net.run(100);
+        assert_eq!(report.per_link_throughput.len(), 4);
+    }
+
+    #[test]
+    fn mean_latency_reported_within_deadline() {
+        let mut net = base_builder().policy(PolicyKind::Ldf).build().unwrap();
+        let report = net.run(300);
+        for latency in report.mean_latency.iter().flatten() {
+            assert!(*latency <= Nanos::from_millis(2));
+            assert!(!latency.is_zero());
+        }
+    }
+
+    #[test]
+    fn sigma_accessor_for_dp_policies() {
+        let net = base_builder().policy(PolicyKind::db_dp()).build().unwrap();
+        assert!(net.sigma().is_some());
+        let net = base_builder().policy(PolicyKind::Ldf).build().unwrap();
+        assert!(net.sigma().is_none());
+    }
+}

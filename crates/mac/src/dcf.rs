@@ -1,0 +1,271 @@
+//! IEEE 802.11 DCF with binary exponential backoff — the classic
+//! debt-unaware random-access baseline.
+//!
+//! Not part of the paper's comparison, but the natural extra ablation: the
+//! paper cites Bianchi's analysis of DCF to argue that exponential-backoff
+//! contention loses significant capacity even at modest network sizes. This
+//! engine lets the benches measure that directly against DP/FCSMA/LDF.
+
+use rand::Rng;
+use rtmac_model::LinkId;
+use rtmac_phy::channel::LossModel;
+use rtmac_phy::Medium;
+use rtmac_sim::{Nanos, SimRng};
+
+use crate::{IntervalOutcome, MacTiming};
+
+/// DCF parameters (defaults follow 802.11a: CWmin 16, CWmax 1024, 7
+/// retries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DcfConfig {
+    /// Initial contention window (slots).
+    pub cw_min: u32,
+    /// Maximum contention window (slots).
+    pub cw_max: u32,
+    /// Retransmission limit before a packet is dropped.
+    pub retry_limit: u32,
+}
+
+impl Default for DcfConfig {
+    fn default() -> Self {
+        DcfConfig {
+            cw_min: 16,
+            cw_max: 1024,
+            retry_limit: 7,
+        }
+    }
+}
+
+/// Per-link DCF contention state within an interval.
+#[derive(Debug, Clone, Copy)]
+struct LinkState {
+    backoff: u32,
+    cw: u32,
+    retries: u32,
+}
+
+/// The DCF per-interval engine: uniform random backoff in `[0, CW)`,
+/// doubling on every failed attempt (collision or channel loss), one data
+/// packet per successful capture.
+///
+/// # Example
+///
+/// ```
+/// use rtmac_mac::{DcfConfig, DcfEngine, MacTiming};
+/// use rtmac_phy::{channel::Bernoulli, PhyProfile};
+/// use rtmac_sim::{Nanos, SeedStream};
+///
+/// let timing = MacTiming::new(PhyProfile::ieee80211a(), Nanos::from_millis(20), 1500);
+/// let mut engine = DcfEngine::new(DcfConfig::default(), timing);
+/// let mut channel = Bernoulli::reliable(2);
+/// let mut rng = SeedStream::new(1).rng(0);
+/// let out = engine.run_interval(&[2, 2], &mut channel, &mut rng);
+/// assert!(out.total_deliveries() <= 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DcfEngine {
+    config: DcfConfig,
+    timing: MacTiming,
+}
+
+impl DcfEngine {
+    /// Creates the engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cw_min` is zero or exceeds `cw_max`.
+    #[must_use]
+    pub fn new(config: DcfConfig, timing: MacTiming) -> Self {
+        assert!(config.cw_min > 0, "CWmin must be positive");
+        assert!(
+            config.cw_min <= config.cw_max,
+            "CWmin must not exceed CWmax"
+        );
+        DcfEngine { config, timing }
+    }
+
+    /// The timing context.
+    #[must_use]
+    pub fn timing(&self) -> &MacTiming {
+        &self.timing
+    }
+
+    fn draw(&self, cw: u32, rng: &mut SimRng) -> u32 {
+        rng.random_range(0..cw)
+    }
+
+    /// Runs one interval of DCF contention over the given arrivals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel's link count differs from `arrivals.len()`.
+    pub fn run_interval(
+        &mut self,
+        arrivals: &[u32],
+        channel: &mut dyn LossModel,
+        rng: &mut SimRng,
+    ) -> IntervalOutcome {
+        let n = arrivals.len();
+        assert_eq!(channel.n_links(), n, "channel link count mismatch");
+
+        let mut data: Vec<u32> = arrivals.to_vec();
+        let mut state: Vec<LinkState> = (0..n)
+            .map(|_| LinkState {
+                backoff: self.draw(self.config.cw_min, rng),
+                cw: self.config.cw_min,
+                retries: 0,
+            })
+            .collect();
+        let mut outcome = IntervalOutcome::empty(n);
+        let mut medium = Medium::new();
+        let slot = self.timing.slot();
+        let deadline = self.timing.deadline();
+
+        let mut t = Nanos::ZERO;
+        while t < deadline {
+            let any_fits =
+                (0..n).any(|l| data[l] > 0 && self.timing.fits(t, self.timing.data_airtime_for(l)));
+            if !any_fits {
+                break;
+            }
+            let ready: Vec<usize> = (0..n)
+                .filter(|&l| {
+                    data[l] > 0
+                        && state[l].backoff == 0
+                        && self.timing.fits(t, self.timing.data_airtime_for(l))
+                })
+                .collect();
+            if ready.is_empty() {
+                for l in 0..n {
+                    if data[l] > 0 && state[l].backoff > 0 {
+                        state[l].backoff -= 1;
+                    }
+                }
+                outcome.idle_slots += 1;
+                t += slot;
+                continue;
+            }
+
+            let airtimes: Vec<Nanos> = ready
+                .iter()
+                .map(|&l| self.timing.data_airtime_for(l))
+                .collect();
+            let tx = medium.transmit(t, &airtimes);
+            if ready.len() == 1 {
+                let l = ready[0];
+                outcome.attempts[l] += 1;
+                if channel.attempt(LinkId::new(l), rng) {
+                    data[l] -= 1;
+                    outcome.deliveries[l] += 1;
+                    outcome.latency_sum[l] += tx.ends_at;
+                    state[l].cw = self.config.cw_min;
+                    state[l].retries = 0;
+                } else {
+                    self.on_failure(&mut state[l], &mut data[l], rng);
+                }
+                state[l].backoff = self.draw(state[l].cw, rng);
+            } else {
+                for &l in &ready {
+                    outcome.attempts[l] += 1;
+                    self.on_failure(&mut state[l], &mut data[l], rng);
+                    state[l].backoff = self.draw(state[l].cw, rng);
+                }
+            }
+            t = tx.ends_at + slot;
+        }
+
+        outcome.collisions = medium.stats().collisions;
+        outcome.busy_time = medium.stats().busy_time;
+        outcome.leftover = deadline.saturating_sub(medium.busy_until());
+        outcome
+    }
+
+    /// Failure handling: double the window; past the retry limit the head
+    /// packet is dropped and contention state resets.
+    fn on_failure(&self, s: &mut LinkState, data: &mut u32, _rng: &mut SimRng) {
+        s.retries += 1;
+        s.cw = (s.cw * 2).min(self.config.cw_max);
+        if s.retries > self.config.retry_limit {
+            *data = data.saturating_sub(1);
+            s.retries = 0;
+            s.cw = self.config.cw_min;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtmac_phy::channel::Bernoulli;
+    use rtmac_phy::PhyProfile;
+    use rtmac_sim::SeedStream;
+
+    fn timing() -> MacTiming {
+        MacTiming::new(PhyProfile::ieee80211a(), Nanos::from_millis(20), 1500)
+    }
+
+    #[test]
+    fn lone_link_delivers_its_buffer() {
+        let mut e = DcfEngine::new(DcfConfig::default(), timing());
+        let mut ch = Bernoulli::reliable(1);
+        let mut rng = SeedStream::new(1).rng(0);
+        let out = e.run_interval(&[4], &mut ch, &mut rng);
+        assert_eq!(out.deliveries, [4]);
+        assert_eq!(out.collisions, 0);
+    }
+
+    #[test]
+    fn contention_wastes_capacity_at_scale() {
+        // 20 saturated links: DCF must deliver less than the collision-free
+        // budget of ~61.
+        let mut e = DcfEngine::new(DcfConfig::default(), timing());
+        let n = 20;
+        let mut ch = Bernoulli::reliable(n);
+        let mut rng = SeedStream::new(2).rng(0);
+        let mut total = 0;
+        for _ in 0..20 {
+            let out = e.run_interval(&vec![6; n], &mut ch, &mut rng);
+            total += out.total_deliveries();
+        }
+        let per_interval = total as f64 / 20.0;
+        assert!(per_interval < 58.0, "got {per_interval}");
+        assert!(per_interval > 10.0, "got {per_interval}");
+    }
+
+    #[test]
+    fn retry_limit_drops_packets() {
+        // Channel that always fails: every packet is eventually dropped
+        // after retry_limit + 1 attempts; deliveries stay zero but the
+        // engine terminates.
+        let mut e = DcfEngine::new(
+            DcfConfig {
+                cw_min: 2,
+                cw_max: 4,
+                retry_limit: 1,
+            },
+            timing(),
+        );
+        // p must be > 0 per the model; emulate certain failure with the
+        // collision path instead: two always-ready links collide forever.
+        // Here instead use p close to 0.
+        let mut ch = Bernoulli::new(vec![1e-9]).unwrap();
+        let mut rng = SeedStream::new(3).rng(0);
+        let out = e.run_interval(&[3], &mut ch, &mut rng);
+        assert_eq!(out.deliveries, [0]);
+        // 3 packets × (retry_limit + 1 = 2) attempts each.
+        assert_eq!(out.attempts, [6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "CWmin")]
+    fn zero_cwmin_rejected() {
+        let _ = DcfEngine::new(
+            DcfConfig {
+                cw_min: 0,
+                cw_max: 4,
+                retry_limit: 1,
+            },
+            timing(),
+        );
+    }
+}

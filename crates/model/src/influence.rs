@@ -1,0 +1,286 @@
+//! Debt influence functions (Definition 6 of the paper).
+//!
+//! A *debt influence function* `f : ℝ≥0 → ℝ≥0` must be
+//!
+//! 1. nondecreasing, continuous, Riemann integrable, with
+//!    `f(x) → ∞` as `x → ∞`; and
+//! 2. asymptotically translation-invariant: for every finite `c`,
+//!    `f(x+c)/f(x) → 1` as `x → ∞`.
+//!
+//! Property 2 is what rules out exponentials (`a^x`) and admits powers and
+//! logarithms. The DB-DP algorithm weighs links by `f(d_n⁺)·p_n`, so the
+//! choice of `f` trades convergence speed against the fidelity of the
+//! two-time-scale ("quasi-stationary") approximation — the paper follows
+//! Q-CSMA practice and uses a logarithm.
+
+use std::fmt::Debug;
+
+/// A debt influence function (Definition 6).
+///
+/// Implementations must satisfy the two properties above on their entire
+/// domain `x ≥ 0`; [`check_properties`] probes them numerically and is used
+/// in this crate's test suite against every built-in implementation.
+///
+/// # Example
+///
+/// ```
+/// use rtmac_model::influence::{DebtInfluence, Linear, PaperLog};
+///
+/// let f = PaperLog::default();
+/// assert_eq!(f.eval(0.0), (100.0f64).ln()); // log(max{1, 100·(0+1)})
+/// let id = Linear;
+/// assert_eq!(id.eval(3.5), 3.5);
+/// ```
+pub trait DebtInfluence: Debug + Send + Sync {
+    /// Evaluates `f(x)`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `x` is negative or NaN; callers must
+    /// pass the positive part `d⁺` of a debt.
+    fn eval(&self, x: f64) -> f64;
+
+    /// A short human-readable name, used in reports and bench output.
+    fn name(&self) -> &'static str;
+}
+
+/// `f(x) = x` — recovers the classic Largest-Debt-First policy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Linear;
+
+impl DebtInfluence for Linear {
+    fn eval(&self, x: f64) -> f64 {
+        debug_assert!(x >= 0.0, "debt influence domain is x >= 0");
+        x
+    }
+
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+}
+
+/// `f(x) = x^m` for a fixed exponent `m ≥ 0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Power {
+    exponent: f64,
+}
+
+impl Power {
+    /// Creates `f(x) = x^m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is negative or non-finite (such an `f` would violate
+    /// Definition 6).
+    #[must_use]
+    pub fn new(m: f64) -> Self {
+        assert!(
+            m.is_finite() && m >= 0.0,
+            "power influence exponent must be finite and nonnegative"
+        );
+        Power { exponent: m }
+    }
+
+    /// The exponent `m`.
+    #[must_use]
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+}
+
+impl DebtInfluence for Power {
+    fn eval(&self, x: f64) -> f64 {
+        debug_assert!(x >= 0.0, "debt influence domain is x >= 0");
+        x.powf(self.exponent)
+    }
+
+    fn name(&self) -> &'static str {
+        "power"
+    }
+}
+
+/// `f(x) = log(1 + x)` — shifted so `f(0) = 0` and `f` stays nonnegative.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Log1p;
+
+impl DebtInfluence for Log1p {
+    fn eval(&self, x: f64) -> f64 {
+        debug_assert!(x >= 0.0, "debt influence domain is x >= 0");
+        x.ln_1p()
+    }
+
+    fn name(&self) -> &'static str {
+        "log1p"
+    }
+}
+
+/// The paper's simulation choice: `f(x) = log(max{1, scale·(x+1)})`
+/// with `scale = 100` (Section VI).
+///
+/// The inner scaling makes small debts already produce meaningfully
+/// different weights, which speeds up convergence of the priority chain
+/// while keeping the `log` growth that justifies the two-time-scale
+/// argument.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperLog {
+    scale: f64,
+}
+
+impl PaperLog {
+    /// Creates the paper's influence function with a custom inner scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not strictly positive and finite.
+    #[must_use]
+    pub fn with_scale(scale: f64) -> Self {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "paper-log scale must be positive and finite"
+        );
+        PaperLog { scale }
+    }
+
+    /// The inner scale (100 in the paper).
+    #[must_use]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+impl Default for PaperLog {
+    /// The exact parameters used in Section VI: `scale = 100`.
+    fn default() -> Self {
+        PaperLog { scale: 100.0 }
+    }
+}
+
+impl DebtInfluence for PaperLog {
+    fn eval(&self, x: f64) -> f64 {
+        debug_assert!(x >= 0.0, "debt influence domain is x >= 0");
+        (self.scale * (x + 1.0)).max(1.0).ln()
+    }
+
+    fn name(&self) -> &'static str {
+        "paper-log"
+    }
+}
+
+/// Numerically probes the two Definition-6 properties of `f` on `[0, hi]`.
+///
+/// Checks (a) monotonicity on a grid, (b) nonnegativity, (c) divergence
+/// proxy `f(hi) > f(1) + 1`, and (d) the translation-invariance ratio
+/// `|f(x+c)/f(x) − 1| ≤ eps` at `x = hi` for `c ∈ {1, 10}`.
+///
+/// Returns `true` when all probes pass. This is a *test aid*, not a proof —
+/// it exists so every new influence function gets sanity-checked the same
+/// way.
+#[must_use]
+pub fn check_properties(f: &dyn DebtInfluence, hi: f64, eps: f64) -> bool {
+    let steps = 1000;
+    let mut prev = f.eval(0.0);
+    if prev.is_nan() || prev < 0.0 {
+        return false;
+    }
+    for i in 1..=steps {
+        let x = hi * i as f64 / steps as f64;
+        let y = f.eval(x);
+        if y < prev - 1e-12 || y < 0.0 || !y.is_finite() {
+            return false;
+        }
+        prev = y;
+    }
+    if f.eval(hi) <= f.eval(1.0) + 1.0 {
+        return false;
+    }
+    for c in [1.0, 10.0] {
+        let ratio = f.eval(hi + c) / f.eval(hi);
+        if (ratio - 1.0).abs() > eps {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn linear_is_identity() {
+        assert_eq!(Linear.eval(0.0), 0.0);
+        assert_eq!(Linear.eval(7.25), 7.25);
+        assert_eq!(Linear.name(), "linear");
+    }
+
+    #[test]
+    fn power_matches_powf() {
+        let f = Power::new(2.0);
+        assert_eq!(f.eval(3.0), 9.0);
+        assert_eq!(f.exponent(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn power_rejects_negative_exponent() {
+        let _ = Power::new(-1.0);
+    }
+
+    #[test]
+    fn paper_log_matches_formula() {
+        let f = PaperLog::default();
+        assert_eq!(f.scale(), 100.0);
+        // log(max{1, 100·(x+1)})
+        assert!((f.eval(0.0) - 100f64.ln()).abs() < 1e-12);
+        assert!((f.eval(2.0) - 300f64.ln()).abs() < 1e-12);
+        // With a tiny scale the max{1,·} clamp engages near zero.
+        let tiny = PaperLog::with_scale(1e-6);
+        assert_eq!(tiny.eval(0.0), 0.0);
+    }
+
+    #[test]
+    fn builtin_functions_satisfy_definition_6() {
+        // The translation-invariance probe: logs converge fast, powers need
+        // a large horizon but still pass.
+        assert!(check_properties(&Linear, 1e7, 1e-4));
+        assert!(check_properties(&Power::new(2.0), 1e7, 1e-4));
+        assert!(check_properties(&Log1p, 1e6, 1e-3));
+        assert!(check_properties(&PaperLog::default(), 1e6, 1e-3));
+    }
+
+    #[test]
+    fn exponential_fails_definition_6() {
+        // f(x) = 2^x violates property 2: f(x+1)/f(x) = 2, not → 1.
+        #[derive(Debug)]
+        struct Exp;
+        impl DebtInfluence for Exp {
+            fn eval(&self, x: f64) -> f64 {
+                2f64.powf(x.min(500.0)) // clamp to keep it finite for the probe
+            }
+            fn name(&self) -> &'static str {
+                "exp"
+            }
+        }
+        assert!(!check_properties(&Exp, 100.0, 1e-3));
+    }
+
+    proptest! {
+        /// All built-ins are nondecreasing and nonnegative on random pairs.
+        #[test]
+        fn prop_monotone_nonnegative(a in 0.0f64..1e4, b in 0.0f64..1e4) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let fns: Vec<Box<dyn DebtInfluence>> = vec![
+                Box::new(Linear),
+                Box::new(Power::new(0.5)),
+                Box::new(Power::new(3.0)),
+                Box::new(Log1p),
+                Box::new(PaperLog::default()),
+            ];
+            for f in &fns {
+                prop_assert!(f.eval(lo) >= 0.0);
+                prop_assert!(f.eval(lo) <= f.eval(hi) + 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! # rtmac-model
+//!
+//! Domain primitives shared by every crate in the `rtmac` workspace, modeling
+//! the system of Hsieh & Hou, *A Decentralized Medium Access Protocol for
+//! Real-Time Wireless Ad Hoc Networks With Unreliable Transmissions*
+//! (ICDCS 2018):
+//!
+//! * [`LinkId`] — a typed index for the `N` directed links.
+//! * [`NetworkConfig`] — the `(N, A, T, p)` network description: link count,
+//!   per-packet deadline `T`, and per-link success probabilities `p_n`.
+//! * [`Requirements`] — timely-throughput requirements `q_n` (equivalently
+//!   delivery ratios `ρ_n = q_n / λ_n`).
+//! * [`DebtLedger`] — delivery debts `d_n(k+1) = d_n(k) − S_n(k) + q_n`
+//!   (Eq. 1 of the paper).
+//! * [`influence`] — *debt influence functions* (Definition 6): the
+//!   nondecreasing, asymptotically translation-invariant weights `f` used by
+//!   both ELDF and DB-DP.
+//! * [`Permutation`] — transmission priority vectors `σ ∈ S_N` with the
+//!   adjacent-transposition and symmetric-difference machinery of
+//!   Definitions 7–9.
+//! * [`metrics`] — timely-throughput deficiency (Definition 1) and
+//!   convergence tracking.
+//!
+//! # Example
+//!
+//! ```
+//! use rtmac_model::{DebtLedger, Requirements};
+//! use rtmac_model::influence::{DebtInfluence, PaperLog};
+//!
+//! // Two links, each requiring 0.9 deliveries per interval.
+//! let reqs = Requirements::uniform(2, 0.9)?;
+//! let mut debts = DebtLedger::new(reqs);
+//! debts.settle_interval(&[1, 0]); // link 0 delivered, link 1 did not
+//! assert_eq!(debts.debt(1.into()), 0.9);
+//! assert!(debts.debt(0.into()) < 0.0);
+//!
+//! // The paper's debt influence function f(x) = log(max{1, 100(x+1)}).
+//! let f = PaperLog::default();
+//! assert!(f.eval(debts.positive(1.into())) > 0.0);
+//! # Ok::<(), rtmac_model::ConfigError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod debt;
+mod error;
+pub mod influence;
+mod link;
+pub mod metrics;
+mod perm;
+mod requirements;
+
+pub use config::NetworkConfig;
+pub use debt::DebtLedger;
+pub use error::ConfigError;
+pub use link::LinkId;
+pub use perm::{AdjacentTransposition, Permutation};
+pub use requirements::Requirements;

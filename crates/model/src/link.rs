@@ -1,0 +1,90 @@
+//! Typed link identifiers.
+
+use std::fmt;
+
+/// The identifier of one directed wireless link.
+///
+/// Links are numbered `0..N` internally (the paper numbers them `1..N`; we
+/// keep zero-based indices for direct slice indexing and translate only in
+/// display output).
+///
+/// # Example
+///
+/// ```
+/// use rtmac_model::LinkId;
+///
+/// let link = LinkId::new(3);
+/// assert_eq!(link.index(), 3);
+/// assert_eq!(link.to_string(), "link#3");
+/// let from_usize: LinkId = 3.into();
+/// assert_eq!(link, from_usize);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(usize);
+
+impl LinkId {
+    /// Creates a link id from a zero-based index.
+    #[must_use]
+    pub const fn new(index: usize) -> Self {
+        LinkId(index)
+    }
+
+    /// The zero-based index, suitable for slice indexing.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+
+    /// Iterates over all link ids `0..n`.
+    ///
+    /// ```
+    /// # use rtmac_model::LinkId;
+    /// let ids: Vec<LinkId> = LinkId::all(3).collect();
+    /// assert_eq!(ids, [LinkId::new(0), LinkId::new(1), LinkId::new(2)]);
+    /// ```
+    pub fn all(n: usize) -> impl Iterator<Item = LinkId> {
+        (0..n).map(LinkId)
+    }
+}
+
+impl From<usize> for LinkId {
+    fn from(index: usize) -> Self {
+        LinkId(index)
+    }
+}
+
+impl From<LinkId> for usize {
+    fn from(id: LinkId) -> usize {
+        id.0
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "link#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_through_usize() {
+        let id = LinkId::new(7);
+        let raw: usize = id.into();
+        assert_eq!(LinkId::from(raw), id);
+    }
+
+    #[test]
+    fn all_yields_each_link_once() {
+        assert_eq!(LinkId::all(0).count(), 0);
+        let v: Vec<usize> = LinkId::all(5).map(LinkId::index).collect();
+        assert_eq!(v, [0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn ordering_matches_index() {
+        assert!(LinkId::new(1) < LinkId::new(2));
+    }
+}

@@ -1,0 +1,203 @@
+//! Timely-throughput requirements.
+
+use crate::{ConfigError, LinkId};
+
+/// Per-link timely-throughput requirements `q = [q_n]`.
+///
+/// `q_n` is the minimum average number of on-time deliveries link `n` needs
+/// per interval (Section II-C of the paper). When each link has exactly one
+/// arrival per interval, `q_n` equals the delivery ratio; in general
+/// `q_n = ρ_n · λ_n` for delivery ratio `ρ_n` and arrival rate `λ_n`.
+///
+/// # Example
+///
+/// ```
+/// use rtmac_model::Requirements;
+///
+/// // Video workload of Fig. 3: λ = 3.5·α*, ρ = 0.9.
+/// let alpha = 0.55;
+/// let reqs = Requirements::from_delivery_ratios(&[3.5 * alpha; 20], &[0.9; 20])?;
+/// assert!((reqs.q(0.into()) - 0.9 * 3.5 * alpha).abs() < 1e-12);
+/// assert_eq!(reqs.len(), 20);
+/// # Ok::<(), rtmac_model::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Requirements {
+    q: Vec<f64>,
+}
+
+impl Requirements {
+    /// Creates requirements from explicit per-link `q_n` values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::NoLinks`] for an empty vector and
+    /// [`ConfigError::InvalidRequirement`] for negative or non-finite values.
+    pub fn new(q: Vec<f64>) -> Result<Self, ConfigError> {
+        if q.is_empty() {
+            return Err(ConfigError::NoLinks);
+        }
+        for (link, &value) in q.iter().enumerate() {
+            if !value.is_finite() || value < 0.0 {
+                return Err(ConfigError::InvalidRequirement { link, value });
+            }
+        }
+        Ok(Requirements { q })
+    }
+
+    /// Creates uniform requirements: every one of `n` links needs `q`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Requirements::new`].
+    pub fn uniform(n: usize, q: f64) -> Result<Self, ConfigError> {
+        Self::new(vec![q; n])
+    }
+
+    /// Creates requirements `q_n = ρ_n · λ_n` from arrival rates and
+    /// delivery ratios.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::LengthMismatch`] if the slices disagree in
+    /// length, [`ConfigError::InvalidDeliveryRatio`] if some `ρ_n ∉ (0, 1]`,
+    /// and [`ConfigError::InvalidArrivalRate`] for negative or non-finite
+    /// rates.
+    pub fn from_delivery_ratios(lambda: &[f64], rho: &[f64]) -> Result<Self, ConfigError> {
+        if lambda.len() != rho.len() {
+            return Err(ConfigError::LengthMismatch {
+                what: "delivery ratios",
+                expected: lambda.len(),
+                actual: rho.len(),
+            });
+        }
+        for (link, &r) in rho.iter().enumerate() {
+            if !r.is_finite() || r <= 0.0 || r > 1.0 {
+                return Err(ConfigError::InvalidDeliveryRatio { link, value: r });
+            }
+        }
+        for (link, &l) in lambda.iter().enumerate() {
+            if !l.is_finite() || l < 0.0 {
+                return Err(ConfigError::InvalidArrivalRate { link, value: l });
+            }
+        }
+        Self::new(lambda.iter().zip(rho).map(|(l, r)| l * r).collect())
+    }
+
+    /// The requirement of one link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    #[must_use]
+    pub fn q(&self, link: LinkId) -> f64 {
+        self.q[link.index()]
+    }
+
+    /// All requirements as a slice, indexed by link.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.q
+    }
+
+    /// Number of links.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// Returns `true` if there are no links (never constructible; kept for
+    /// API completeness alongside [`Requirements::len`]).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// Sum of all requirements — the total timely-throughput the network
+    /// must sustain per interval.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.q.iter().sum()
+    }
+
+    /// Scales every requirement by `factor`, e.g. to probe strict
+    /// feasibility of `(1+α)q` (Definition 3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::InvalidParameter`] if `factor` is negative or
+    /// non-finite.
+    pub fn scaled(&self, factor: f64) -> Result<Self, ConfigError> {
+        if !factor.is_finite() || factor < 0.0 {
+            return Err(ConfigError::InvalidParameter {
+                name: "scale factor",
+                value: factor,
+            });
+        }
+        Self::new(self.q.iter().map(|&q| q * factor).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_fills_every_link() {
+        let r = Requirements::uniform(4, 0.25).unwrap();
+        assert_eq!(r.as_slice(), [0.25; 4]);
+        assert_eq!(r.total(), 1.0);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(Requirements::new(vec![]), Err(ConfigError::NoLinks));
+    }
+
+    #[test]
+    fn rejects_negative_and_nan() {
+        assert!(matches!(
+            Requirements::new(vec![0.5, -0.1]),
+            Err(ConfigError::InvalidRequirement { link: 1, .. })
+        ));
+        assert!(matches!(
+            Requirements::new(vec![f64::NAN]),
+            Err(ConfigError::InvalidRequirement { link: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn delivery_ratio_constructor_multiplies() {
+        let r = Requirements::from_delivery_ratios(&[2.0, 3.0], &[0.5, 1.0]).unwrap();
+        assert_eq!(r.as_slice(), [1.0, 3.0]);
+    }
+
+    #[test]
+    fn delivery_ratio_bounds_checked() {
+        assert!(matches!(
+            Requirements::from_delivery_ratios(&[1.0], &[0.0]),
+            Err(ConfigError::InvalidDeliveryRatio { .. })
+        ));
+        assert!(matches!(
+            Requirements::from_delivery_ratios(&[1.0], &[1.1]),
+            Err(ConfigError::InvalidDeliveryRatio { .. })
+        ));
+        assert!(matches!(
+            Requirements::from_delivery_ratios(&[1.0, 1.0], &[0.9]),
+            Err(ConfigError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            Requirements::from_delivery_ratios(&[-1.0], &[0.9]),
+            Err(ConfigError::InvalidArrivalRate { .. })
+        ));
+    }
+
+    #[test]
+    fn scaling_probes_strict_feasibility() {
+        let r = Requirements::uniform(2, 0.8).unwrap();
+        let inflated = r.scaled(1.05).unwrap();
+        assert!((inflated.q(0.into()) - 0.84).abs() < 1e-12);
+        assert!(r.scaled(-1.0).is_err());
+        assert!(r.scaled(f64::INFINITY).is_err());
+    }
+}

@@ -1,0 +1,221 @@
+//! The shared wireless medium of a fully-interfering network.
+
+use rtmac_sim::Nanos;
+
+/// Counters accumulated by a [`Medium`] across its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MediumStats {
+    /// Total time the medium was occupied by transmissions.
+    pub busy_time: Nanos,
+    /// Number of transmission episodes (a collision of `k` frames counts
+    /// as one episode).
+    pub episodes: u64,
+    /// Number of individual frames sent (collided frames included).
+    pub frames: u64,
+    /// Number of collision episodes (two or more simultaneous frames).
+    pub collisions: u64,
+}
+
+/// The shared channel: since every link interferes with every other link
+/// (the paper's complete conflict graph), the medium is a single busy/idle
+/// resource. Carrier sensing is the [`Medium::is_busy`] query; simultaneous
+/// transmission starts are collisions that destroy all frames involved.
+///
+/// # Example
+///
+/// ```
+/// use rtmac_phy::Medium;
+/// use rtmac_sim::Nanos;
+///
+/// let mut medium = Medium::new();
+/// let outcome = medium.transmit(Nanos::ZERO, &[Nanos::from_micros(326)]);
+/// assert!(!outcome.collided);
+/// assert!(medium.is_busy(Nanos::from_micros(100)));
+/// assert!(!medium.is_busy(Nanos::from_micros(326))); // end instant is idle
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Medium {
+    busy_until: Nanos,
+    stats: MediumStats,
+}
+
+/// Result of starting one or more simultaneous transmissions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransmitOutcome {
+    /// `true` if two or more frames started together and all were destroyed.
+    pub collided: bool,
+    /// The instant the medium becomes idle again.
+    pub ends_at: Nanos,
+}
+
+impl Medium {
+    /// A fresh, idle medium.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Carrier sense: is the medium occupied at `now`?
+    ///
+    /// The instant a transmission ends counts as idle, matching the
+    /// slot-boundary semantics of the MAC engines (a link may start at the
+    /// exact end of the previous frame).
+    #[must_use]
+    pub fn is_busy(&self, now: Nanos) -> bool {
+        now < self.busy_until
+    }
+
+    /// The instant the medium next becomes idle (`now` if already idle).
+    #[must_use]
+    pub fn busy_until(&self) -> Nanos {
+        self.busy_until
+    }
+
+    /// Starts `airtimes.len()` simultaneous transmissions at `now`.
+    ///
+    /// A single frame occupies the medium for its airtime; two or more
+    /// frames collide, all fail, and the medium stays busy for the longest
+    /// of them (the paper: "if multiple links transmit simultaneously, a
+    /// transmission collision occurs and all transmissions fail").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `airtimes` is empty or if the medium is still busy at
+    /// `now` — the MAC engines carrier-sense before transmitting, so
+    /// transmitting over an ongoing frame is a protocol-logic error worth
+    /// failing loudly on.
+    pub fn transmit(&mut self, now: Nanos, airtimes: &[Nanos]) -> TransmitOutcome {
+        assert!(!airtimes.is_empty(), "transmit requires at least one frame");
+        assert!(
+            !self.is_busy(now),
+            "listen-before-talk violated: medium busy until {} at {}",
+            self.busy_until,
+            now
+        );
+        let longest = airtimes.iter().copied().max().expect("nonempty");
+        let collided = airtimes.len() > 1;
+        self.busy_until = now + longest;
+        self.stats.busy_time += longest;
+        self.stats.episodes += 1;
+        self.stats.frames += airtimes.len() as u64;
+        if collided {
+            self.stats.collisions += 1;
+        }
+        TransmitOutcome {
+            collided,
+            ends_at: self.busy_until,
+        }
+    }
+
+    /// Lifetime counters.
+    #[must_use]
+    pub fn stats(&self) -> &MediumStats {
+        &self.stats
+    }
+
+    /// Clears busy state and counters.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_frame_is_clean() {
+        let mut m = Medium::new();
+        let out = m.transmit(Nanos::from_micros(10), &[Nanos::from_micros(100)]);
+        assert!(!out.collided);
+        assert_eq!(out.ends_at, Nanos::from_micros(110));
+        assert_eq!(m.stats().collisions, 0);
+        assert_eq!(m.stats().frames, 1);
+        assert_eq!(m.stats().busy_time, Nanos::from_micros(100));
+    }
+
+    #[test]
+    fn simultaneous_frames_collide_for_longest_airtime() {
+        let mut m = Medium::new();
+        let out = m.transmit(
+            Nanos::ZERO,
+            &[
+                Nanos::from_micros(118),
+                Nanos::from_micros(326),
+                Nanos::from_micros(62),
+            ],
+        );
+        assert!(out.collided);
+        assert_eq!(out.ends_at, Nanos::from_micros(326));
+        assert_eq!(m.stats().collisions, 1);
+        assert_eq!(m.stats().episodes, 1);
+        assert_eq!(m.stats().frames, 3);
+    }
+
+    #[test]
+    fn carrier_sense_boundaries() {
+        let mut m = Medium::new();
+        assert!(!m.is_busy(Nanos::ZERO));
+        m.transmit(Nanos::ZERO, &[Nanos::from_micros(50)]);
+        assert!(m.is_busy(Nanos::ZERO));
+        assert!(m.is_busy(Nanos::from_nanos(49_999)));
+        assert!(!m.is_busy(Nanos::from_micros(50)));
+        // Back-to-back start at the exact end is allowed.
+        m.transmit(Nanos::from_micros(50), &[Nanos::from_micros(10)]);
+        assert_eq!(m.busy_until(), Nanos::from_micros(60));
+    }
+
+    #[test]
+    #[should_panic(expected = "listen-before-talk")]
+    fn transmitting_while_busy_panics() {
+        let mut m = Medium::new();
+        m.transmit(Nanos::ZERO, &[Nanos::from_micros(100)]);
+        m.transmit(Nanos::from_micros(50), &[Nanos::from_micros(10)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn empty_transmit_panics() {
+        Medium::new().transmit(Nanos::ZERO, &[]);
+    }
+
+    #[test]
+    fn reset_restores_pristine_state() {
+        let mut m = Medium::new();
+        m.transmit(
+            Nanos::ZERO,
+            &[Nanos::from_micros(10), Nanos::from_micros(5)],
+        );
+        m.reset();
+        assert_eq!(m, Medium::new());
+    }
+
+    proptest! {
+        /// Busy time accumulates the longest airtime of each episode and
+        /// collision count equals the number of multi-frame episodes.
+        #[test]
+        fn prop_stats_accumulate(episodes in proptest::collection::vec(
+            proptest::collection::vec(1u64..500, 1..4), 1..20)) {
+            let mut m = Medium::new();
+            let mut t = Nanos::ZERO;
+            let mut expect_busy = Nanos::ZERO;
+            let mut expect_collisions = 0u64;
+            let mut expect_frames = 0u64;
+            for ep in &episodes {
+                let airtimes: Vec<Nanos> = ep.iter().map(|&u| Nanos::from_micros(u)).collect();
+                let out = m.transmit(t, &airtimes);
+                let longest = *airtimes.iter().max().unwrap();
+                expect_busy += longest;
+                expect_frames += airtimes.len() as u64;
+                if airtimes.len() > 1 { expect_collisions += 1; }
+                prop_assert_eq!(out.collided, airtimes.len() > 1);
+                t = out.ends_at + Nanos::from_micros(1); // a gap, then next episode
+            }
+            prop_assert_eq!(m.stats().busy_time, expect_busy);
+            prop_assert_eq!(m.stats().collisions, expect_collisions);
+            prop_assert_eq!(m.stats().frames, expect_frames);
+            prop_assert_eq!(m.stats().episodes, episodes.len() as u64);
+        }
+    }
+}

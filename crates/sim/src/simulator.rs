@@ -1,0 +1,267 @@
+//! A minimal generic event loop.
+
+use crate::{EventQueue, Nanos};
+
+/// What the event handler wants the loop to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimControl {
+    /// Keep dispatching events.
+    Continue,
+    /// Stop the loop immediately (remaining events stay queued).
+    Halt,
+}
+
+/// A simple discrete-event simulator: a clock plus an [`EventQueue`].
+///
+/// The MAC engines in `rtmac-mac` drive their own specialized inner loops for
+/// speed, but `Simulator` is the general-purpose tool for composing event
+/// logic (and it is what the integration tests use to cross-check the
+/// specialized engines).
+///
+/// # Example
+///
+/// ```
+/// use rtmac_sim::{Nanos, SimControl, Simulator};
+///
+/// #[derive(Debug)]
+/// enum Ev { Ping, Done }
+///
+/// let mut sim = Simulator::new();
+/// sim.schedule_at(Nanos::from_micros(1), Ev::Ping);
+/// sim.schedule_at(Nanos::from_micros(2), Ev::Done);
+/// let mut pings = 0;
+/// sim.run(|sim, ev| {
+///     match ev {
+///         Ev::Ping => {
+///             pings += 1;
+///             // relative scheduling uses the current clock
+///             if pings < 3 {
+///                 sim.schedule_in(Nanos::from_nanos(100), Ev::Ping);
+///             }
+///             SimControl::Continue
+///         }
+///         Ev::Done => SimControl::Continue,
+///     }
+/// });
+/// assert_eq!(pings, 3);
+/// assert_eq!(sim.now(), Nanos::from_micros(2));
+/// ```
+#[derive(Debug)]
+pub struct Simulator<E> {
+    now: Nanos,
+    queue: EventQueue<E>,
+    dispatched: u64,
+}
+
+/// Handle passed to the event handler for scheduling follow-up events.
+#[derive(Debug)]
+pub struct SimHandle<'a, E> {
+    now: Nanos,
+    queue: &'a mut EventQueue<E>,
+}
+
+impl<E> SimHandle<'_, E> {
+    /// Current simulation time.
+    #[must_use]
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current time — scheduling into the past
+    /// is always a logic error.
+    pub fn schedule_at(&mut self, at: Nanos, event: E) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.queue.schedule(at, event);
+    }
+
+    /// Schedules `event` after a relative delay.
+    pub fn schedule_in(&mut self, delay: Nanos, event: E) {
+        self.queue.schedule(self.now + delay, event);
+    }
+}
+
+impl<E> Simulator<E> {
+    /// Creates a simulator with the clock at zero and no events.
+    #[must_use]
+    pub fn new() -> Self {
+        Simulator {
+            now: Nanos::ZERO,
+            queue: EventQueue::new(),
+            dispatched: 0,
+        }
+    }
+
+    /// Current simulation time (the timestamp of the last dispatched event).
+    #[must_use]
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Total number of events dispatched so far.
+    #[must_use]
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Schedules an event at an absolute time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current clock.
+    pub fn schedule_at(&mut self, at: Nanos, event: E) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.queue.schedule(at, event);
+    }
+
+    /// Schedules an event after a relative delay from the current clock.
+    pub fn schedule_in(&mut self, delay: Nanos, event: E) {
+        self.queue.schedule(self.now + delay, event);
+    }
+
+    /// Number of events still queued.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Runs until the queue drains or the handler returns [`SimControl::Halt`].
+    ///
+    /// The handler receives a [`SimHandle`] for scheduling follow-up events
+    /// and the event being dispatched. Returns the number of events
+    /// dispatched by this call.
+    pub fn run<F>(&mut self, mut handler: F) -> u64
+    where
+        F: FnMut(&mut SimHandle<'_, E>, E) -> SimControl,
+    {
+        let mut count = 0;
+        while let Some((time, event)) = self.queue.pop() {
+            debug_assert!(time >= self.now, "event queue went backwards");
+            self.now = time;
+            self.dispatched += 1;
+            count += 1;
+            let mut handle = SimHandle {
+                now: self.now,
+                queue: &mut self.queue,
+            };
+            if handler(&mut handle, event) == SimControl::Halt {
+                break;
+            }
+        }
+        count
+    }
+
+    /// Runs until the clock would pass `deadline`; events after `deadline`
+    /// stay queued. Returns the number of events dispatched.
+    pub fn run_until<F>(&mut self, deadline: Nanos, mut handler: F) -> u64
+    where
+        F: FnMut(&mut SimHandle<'_, E>, E) -> SimControl,
+    {
+        let mut count = 0;
+        while let Some(next) = self.queue.peek_time() {
+            if next > deadline {
+                break;
+            }
+            let (time, event) = self.queue.pop().expect("peeked event exists");
+            self.now = time;
+            self.dispatched += 1;
+            count += 1;
+            let mut handle = SimHandle {
+                now: self.now,
+                queue: &mut self.queue,
+            };
+            if handler(&mut handle, event) == SimControl::Halt {
+                break;
+            }
+        }
+        count
+    }
+}
+
+impl<E> Default for Simulator<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drains_in_order() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(Nanos::from_nanos(5), 'b');
+        sim.schedule_at(Nanos::from_nanos(1), 'a');
+        let mut seen = Vec::new();
+        sim.run(|_, e| {
+            seen.push(e);
+            SimControl::Continue
+        });
+        assert_eq!(seen, ['a', 'b']);
+        assert_eq!(sim.now(), Nanos::from_nanos(5));
+        assert_eq!(sim.dispatched(), 2);
+    }
+
+    #[test]
+    fn halt_stops_early() {
+        let mut sim = Simulator::new();
+        for i in 0..10u32 {
+            sim.schedule_at(Nanos::from_nanos(u64::from(i)), i);
+        }
+        let n = sim.run(|_, e| {
+            if e == 3 {
+                SimControl::Halt
+            } else {
+                SimControl::Continue
+            }
+        });
+        assert_eq!(n, 4);
+        assert_eq!(sim.pending(), 6);
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut sim = Simulator::new();
+        for i in 1..=10u64 {
+            sim.schedule_at(Nanos::from_nanos(i * 10), i);
+        }
+        let mut seen = Vec::new();
+        sim.run_until(Nanos::from_nanos(35), |_, e| {
+            seen.push(e);
+            SimControl::Continue
+        });
+        assert_eq!(seen, [1, 2, 3]);
+        assert_eq!(sim.pending(), 7);
+    }
+
+    #[test]
+    fn handler_can_chain_events() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(Nanos::ZERO, 0u32);
+        let mut total = 0u32;
+        sim.run(|h, e| {
+            total += 1;
+            if e < 4 {
+                h.schedule_in(Nanos::from_nanos(1), e + 1);
+            }
+            SimControl::Continue
+        });
+        assert_eq!(total, 5);
+        assert_eq!(sim.now(), Nanos::from_nanos(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(Nanos::from_nanos(10), ());
+        sim.run(|h, ()| {
+            h.schedule_at(Nanos::from_nanos(5), ());
+            SimControl::Continue
+        });
+    }
+}

@@ -1,0 +1,63 @@
+//! Ultra-low-latency control messaging (Section VI-B of the paper): 10
+//! sensor/actuator links exchange 100 B control packets under a 2 ms
+//! deadline with a 99% delivery-ratio requirement — the industrial
+//! networked-control setting that motivates the paper.
+//!
+//! Demonstrates per-link convergence tracking and debt inspection.
+//!
+//! ```sh
+//! cargo run --release --example factory_control
+//! ```
+
+use rtmac::model::LinkId;
+use rtmac::PolicyKind;
+use rtmac_suite::scenarios;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let intervals = 10_000; // 20 seconds of factory time
+    let watched = LinkId::new(9); // the lowest-priority link at startup
+
+    let mut network = scenarios::control(10, 0.78, 0.99, 3)
+        .policy(PolicyKind::db_dp())
+        .track_link(watched, 0.01)
+        .build()?;
+    let report = network.run(intervals);
+
+    println!("control workload: 10 links, Bernoulli(0.78), p = 0.7, 2 ms deadline, 99% ratio");
+    println!("policy: {}\n", report.policy);
+    println!(
+        "total deficiency after {} intervals: {:.4}",
+        report.intervals, report.final_total_deficiency
+    );
+    println!("collisions: {}", report.collisions);
+
+    let tracker = report.tracked.as_ref().expect("tracking configured");
+    let q = network.requirements().q(watched);
+    println!("\nwatched {watched} (priority 10 at startup): requirement {q:.3} per interval");
+    println!(
+        "  running throughput after {} intervals: {:.4}",
+        intervals,
+        tracker.history().last().copied().unwrap_or(0.0)
+    );
+    match tracker.settled_at() {
+        Some(k) => println!("  settled within ±1% of the requirement at interval {k}"),
+        None => println!("  still oscillating around the requirement at ±1% scale"),
+    }
+
+    println!("\nper-link state:");
+    for link in network.config().links() {
+        let latency = report.mean_latency[link.index()]
+            .map_or("-".to_string(), |l| format!("{:.0} us", l.as_micros_f64()));
+        println!(
+            "  {link}: throughput {:.4}, debt {:+.3}, mean delivery latency {latency}",
+            report.per_link_throughput[link.index()],
+            report.final_debts[link.index()],
+        );
+    }
+    println!(
+        "\nmean delivery latency stays well inside the 2 ms deadline — the \
+         debt-driven rotation keeps every link near the front of the \
+         interval often enough."
+    );
+    Ok(())
+}

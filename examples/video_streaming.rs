@@ -1,0 +1,45 @@
+//! Real-time video delivery (Section VI-A of the paper): 20 collocated
+//! camera links stream 1500 B packets with a 20 ms deadline over a lossy
+//! channel. Compares the paper's decentralized DB-DP algorithm against the
+//! centralized LDF reference and the FCSMA random-access baseline.
+//!
+//! ```sh
+//! cargo run --release --example video_streaming
+//! ```
+
+use rtmac_suite::scenarios;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let intervals = 3000;
+    let (alpha, rho) = (0.55, 0.9);
+    println!(
+        "video workload: 20 links, burst U{{1..6}} w.p. {alpha}, p = 0.7, \
+         delivery ratio {rho}, {intervals} intervals (60 s)\n"
+    );
+    println!(
+        "{:>12} {:>12} {:>12} {:>12} {:>14}",
+        "policy", "deficiency", "collisions", "idle slots", "empty packets"
+    );
+    let mut lineup = scenarios::contenders();
+    lineup.push(("Frame-CSMA", rtmac::PolicyKind::frame_csma()));
+    lineup.push(("DCF", rtmac::PolicyKind::dcf()));
+    for (label, policy) in lineup {
+        let mut network = scenarios::video(20, alpha, rho, 42)
+            .policy(policy)
+            .build()?;
+        let report = network.run(intervals);
+        println!(
+            "{label:>12} {:>12.4} {:>12} {:>12} {:>14}",
+            report.final_total_deficiency,
+            report.collisions,
+            report.idle_slots,
+            report.empty_packets,
+        );
+    }
+    println!(
+        "\nDB-DP matches the centralized LDF while staying fully \
+         decentralized and collision-free; FCSMA pays for random backoff \
+         with collisions and idle slots."
+    );
+    Ok(())
+}

@@ -4,13 +4,11 @@
 //! Usage: `ablations [--quick | --intervals N]`.
 
 use rtmac::mac::{CentralizedEngine, DpConfig, DpEngine, MacTiming};
-use rtmac::model::influence::{DebtInfluence, Linear, Log1p, PaperLog, Power};
 use rtmac::model::{LinkId, Permutation};
 use rtmac::phy::{channel::Bernoulli, PhyProfile};
+use rtmac::scenario::{self, InfluenceSpec, PolicySpec};
 use rtmac::sim::{Nanos, SeedStream};
-use rtmac::{Network, PolicyKind};
 use rtmac_bench::table::SeriesTable;
-use rtmac_traffic::BurstUniform;
 
 /// DB-DP deliveries per interval under a given slot width, in the regime
 /// where the overhead binds: every link has exactly one packet and the
@@ -55,30 +53,22 @@ fn influence_table(intervals: usize) -> SeriesTable {
         "variant",
         vec!["deficiency".into()],
     );
-    let variants: Vec<(f64, Box<dyn DebtInfluence>)> = vec![
-        (0.0, Box::new(Linear)),
-        (1.0, Box::new(Log1p)),
-        (2.0, Box::new(PaperLog::default())),
-        (3.0, Box::new(Power::new(2.0))),
+    let variants = [
+        (0.0, InfluenceSpec::Linear),
+        (1.0, InfluenceSpec::Log1p),
+        (2.0, InfluenceSpec::PaperLog),
+        (3.0, InfluenceSpec::Power(2.0)),
     ];
     for (code, influence) in variants {
-        let traffic = BurstUniform::symmetric(20, 0.6, 6).expect("valid alpha");
-        let mut net = Network::builder()
-            .links(20)
-            .deadline_ms(20)
-            .payload_bytes(1500)
-            .uniform_success_probability(0.7)
-            .traffic(Box::new(traffic))
-            .delivery_ratio(0.9)
-            .policy(PolicyKind::DbDp {
+        let report = scenario::video(20, 0.6, 0.9, 7)
+            .with_intervals(intervals)
+            .with_policy(PolicySpec::DbDp {
                 influence,
                 r: 10.0,
                 swap_pairs: 1,
             })
-            .seed(7)
-            .build()
+            .run()
             .expect("valid network");
-        let report = net.run(intervals);
         table.push_row(code, vec![report.final_total_deficiency]);
     }
     println!("# variant codes: 0 = linear, 1 = log1p, 2 = paper-log, 3 = x^2");
@@ -93,24 +83,16 @@ fn r_constant_table(intervals: usize) -> SeriesTable {
         vec!["converged_at".into(), "deficiency".into()],
     );
     for r in [1.0, 10.0, 100.0] {
-        let traffic = BurstUniform::symmetric(20, 0.55, 6).expect("valid alpha");
-        let mut net = Network::builder()
-            .links(20)
-            .deadline_ms(20)
-            .payload_bytes(1500)
-            .uniform_success_probability(0.7)
-            .traffic(Box::new(traffic))
-            .delivery_ratio(0.93)
-            .policy(PolicyKind::DbDp {
-                influence: Box::new(PaperLog::default()),
+        let report = scenario::video(20, 0.55, 0.93, 7)
+            .with_intervals(intervals)
+            .with_track(19, 0.01)
+            .with_policy(PolicySpec::DbDp {
+                influence: InfluenceSpec::PaperLog,
                 r,
                 swap_pairs: 1,
             })
-            .track_link(LinkId::new(19), 0.01)
-            .seed(7)
-            .build()
+            .run()
             .expect("valid network");
-        let report = net.run(intervals);
         let converged = report
             .tracked
             .as_ref()
@@ -129,24 +111,12 @@ fn swap_pairs_table(intervals: usize) -> SeriesTable {
         vec!["converged_at".into(), "deficiency".into()],
     );
     for pairs in [1usize, 2, 3, 5] {
-        let traffic = BurstUniform::symmetric(20, 0.55, 6).expect("valid alpha");
-        let mut net = Network::builder()
-            .links(20)
-            .deadline_ms(20)
-            .payload_bytes(1500)
-            .uniform_success_probability(0.7)
-            .traffic(Box::new(traffic))
-            .delivery_ratio(0.93)
-            .policy(PolicyKind::DbDp {
-                influence: Box::new(PaperLog::default()),
-                r: 10.0,
-                swap_pairs: pairs,
-            })
-            .track_link(LinkId::new(19), 0.01)
-            .seed(7)
-            .build()
+        let report = scenario::video(20, 0.55, 0.93, 7)
+            .with_intervals(intervals)
+            .with_track(19, 0.01)
+            .with_policy(PolicySpec::db_dp_pairs(pairs))
+            .run()
             .expect("valid network");
-        let report = net.run(intervals);
         let converged = report
             .tracked
             .as_ref()

@@ -1,14 +1,15 @@
 //! Parameterized reproductions of Figs. 3–10 of the paper.
 //!
-//! Each function simulates the paper's exact workload (Section VI) for the
-//! requested number of intervals and returns a [`SeriesTable`] holding the
-//! same series the figure plots. The paper's defaults: 5000 intervals for
-//! the video figures (Figs. 3–8), 20000 for the control figures
-//! (Figs. 9–10).
+//! Every figure is phrased through the [`rtmac::scenario`] registry: the
+//! workload and sweep definitions live in `rtmac` itself, and this module
+//! only decides which contenders to run at each sweep point and how to lay
+//! the results out in a [`SeriesTable`]. The paper's defaults: 5000
+//! intervals for the video figures (Figs. 3–8), 20000 for the control
+//! figures (Figs. 9–10).
 
 use rtmac::model::LinkId;
-use rtmac::{Network, PolicyKind, RunReport};
-use rtmac_traffic::BurstUniform;
+use rtmac::scenario::{self, Param, PolicySpec, Sweep, TrafficSpec};
+use rtmac::RunReport;
 
 use crate::table::SeriesTable;
 
@@ -37,13 +38,14 @@ impl Contender {
         }
     }
 
-    /// The corresponding policy configuration.
+    /// The declarative policy selection (instantiated once per run by the
+    /// scenario layer).
     #[must_use]
-    pub fn policy(self) -> PolicyKind {
+    pub fn spec(self) -> PolicySpec {
         match self {
-            Contender::DbDp => PolicyKind::db_dp(),
-            Contender::Ldf => PolicyKind::Ldf,
-            Contender::Fcsma => PolicyKind::fcsma(),
+            Contender::DbDp => PolicySpec::db_dp(),
+            Contender::Ldf => PolicySpec::Ldf,
+            Contender::Fcsma => PolicySpec::Fcsma,
         }
     }
 }
@@ -61,24 +63,15 @@ pub fn run_video(
     alpha: &[f64],
     p: &[f64],
     rho: &[f64],
-    policy: PolicyKind,
+    policy: PolicySpec,
     intervals: usize,
     seed: u64,
 ) -> RunReport {
-    let n = alpha.len();
-    let traffic = BurstUniform::new(alpha.to_vec(), 6).expect("valid alpha");
-    let mut net = Network::builder()
-        .links(n)
-        .deadline_ms(20)
-        .payload_bytes(1500)
-        .success_probabilities(p.to_vec())
-        .traffic(Box::new(traffic))
-        .delivery_ratios(rho.to_vec())
-        .policy(policy)
-        .seed(seed)
-        .build()
-        .expect("valid video network");
-    net.run(intervals)
+    scenario::video_per_link(alpha.to_vec(), p.to_vec(), rho.to_vec(), seed)
+        .with_policy(policy)
+        .with_intervals(intervals)
+        .run()
+        .expect("valid video network")
 }
 
 /// Runs the control workload (2 ms deadline, 100 B payload, Bernoulli
@@ -93,92 +86,61 @@ pub fn run_control(
     lambda: f64,
     p: f64,
     rho: f64,
-    policy: PolicyKind,
+    policy: PolicySpec,
     intervals: usize,
     seed: u64,
 ) -> RunReport {
-    let mut net = Network::builder()
-        .links(n)
-        .deadline_ms(2)
-        .payload_bytes(100)
-        .uniform_success_probability(p)
-        .bernoulli_arrivals(lambda)
-        .delivery_ratio(rho)
-        .policy(policy)
-        .seed(seed)
-        .build()
-        .expect("valid control network");
-    net.run(intervals)
+    let mut sc = scenario::control(n, lambda, rho, seed)
+        .with_policy(policy)
+        .with_intervals(intervals);
+    sc.success = Param::Uniform(p);
+    sc.run().expect("valid control network")
 }
 
 fn contender_columns() -> Vec<String> {
     Contender::ALL.iter().map(|c| c.label().into()).collect()
 }
 
+/// Runs every contender at every point of `sweep` and tabulates the total
+/// deficiency (the y-axis shared by Figs. 3, 4, 9, 10).
+fn deficiency_table(title: &str, sweep: &Sweep) -> SeriesTable {
+    let mut table = SeriesTable::new(title, sweep.axis.label(), contender_columns());
+    let rows = crate::parallel_map(sweep.scenarios(), |sc| {
+        Contender::ALL
+            .iter()
+            .map(|c| {
+                sc.clone()
+                    .with_policy(c.spec())
+                    .run()
+                    .expect("valid sweep point")
+                    .final_total_deficiency
+            })
+            .collect::<Vec<f64>>()
+    });
+    for (&x, row) in sweep.points.iter().zip(rows) {
+        table.push_row(x, row);
+    }
+    table
+}
+
 /// Fig. 3 — total timely-throughput deficiency of the symmetric video
 /// network (N = 20, p = 0.7, ρ = 0.9) as the burst probability `α*` sweeps.
 #[must_use]
 pub fn fig3(intervals: usize, seed: u64) -> SeriesTable {
-    let n = 20;
-    let mut table = SeriesTable::new(
+    deficiency_table(
         "Fig. 3: symmetric video network, 90% delivery ratio (total deficiency vs alpha*)",
-        "alpha*",
-        contender_columns(),
-    );
-    let alphas: Vec<f64> = (0..=6).map(|s| 0.40 + 0.05 * f64::from(s)).collect();
-    let rows = crate::parallel_map(alphas.clone(), |alpha| {
-        Contender::ALL
-            .iter()
-            .map(|c| {
-                run_video(
-                    &vec![alpha; n],
-                    &[0.7; 20],
-                    &[0.9; 20],
-                    c.policy(),
-                    intervals,
-                    seed,
-                )
-                .final_total_deficiency
-            })
-            .collect::<Vec<f64>>()
-    });
-    for (alpha, row) in alphas.into_iter().zip(rows) {
-        table.push_row(alpha, row);
-    }
-    table
+        &scenario::fig3(intervals, seed),
+    )
 }
 
 /// Fig. 4 — deficiency of the same network at fixed `α* = 0.55` as the
 /// required delivery ratio sweeps.
 #[must_use]
 pub fn fig4(intervals: usize, seed: u64) -> SeriesTable {
-    let n = 20;
-    let mut table = SeriesTable::new(
+    deficiency_table(
         "Fig. 4: symmetric video network, alpha* = 0.55 (total deficiency vs delivery ratio)",
-        "rho",
-        contender_columns(),
-    );
-    let rhos: Vec<f64> = (0..=8).map(|s| 0.80 + 0.025 * f64::from(s)).collect();
-    let rows = crate::parallel_map(rhos.clone(), |rho| {
-        Contender::ALL
-            .iter()
-            .map(|c| {
-                run_video(
-                    &vec![0.55; n],
-                    &[0.7; 20],
-                    &vec![rho; n],
-                    c.policy(),
-                    intervals,
-                    seed,
-                )
-                .final_total_deficiency
-            })
-            .collect::<Vec<f64>>()
-    });
-    for (rho, row) in rhos.into_iter().zip(rows) {
-        table.push_row(rho, row);
-    }
-    table
+        &scenario::fig4(intervals, seed),
+    )
 }
 
 /// Fig. 5 output: the sampled running-throughput series plus the interval
@@ -198,47 +160,30 @@ pub struct Fig5Result {
 /// (α* = 0.55, ρ = 0.93) under DB-DP vs LDF.
 #[must_use]
 pub fn fig5(intervals: usize, seed: u64) -> Fig5Result {
-    let n = 20;
-    let tracked = LinkId::new(n - 1); // priority N under the identity σ(0)
+    let base = scenario::fig5(intervals, seed);
     let q = 0.93 * 3.5 * 0.55;
     // Three policies: the paper's two, plus DB-DP with three swap pairs
     // (Remark 6) showing how the reordering rate sets the convergence
     // constant.
-    let configs: Vec<(String, PolicyKind)> = vec![
-        ("DB-DP".into(), Contender::DbDp.policy()),
-        ("LDF".into(), Contender::Ldf.policy()),
-        (
-            "DB-DP 3 pairs".into(),
-            PolicyKind::DbDp {
-                influence: Box::new(rtmac::model::influence::PaperLog::default()),
-                r: 10.0,
-                swap_pairs: 3,
-            },
-        ),
+    let configs = vec![
+        Contender::DbDp.spec(),
+        Contender::Ldf.spec(),
+        PolicySpec::db_dp_pairs(3),
     ];
-    let labels: Vec<String> = configs.iter().map(|(l, _)| l.clone()).collect();
-    let results = crate::parallel_map(configs, |(label, policy)| {
-        let traffic = BurstUniform::symmetric(n, 0.55, 6).expect("valid alpha");
-        let mut net = Network::builder()
-            .links(n)
-            .deadline_ms(20)
-            .payload_bytes(1500)
-            .uniform_success_probability(0.7)
-            .traffic(Box::new(traffic))
-            .delivery_ratio(0.93)
-            .policy(policy)
-            .track_link(tracked, 0.01)
-            .seed(seed)
-            .build()
+    let labels: Vec<String> = configs.iter().map(PolicySpec::label).collect();
+    let results = crate::parallel_map(configs, |spec| {
+        let report = base
+            .clone()
+            .with_policy(spec)
+            .run()
             .expect("valid fig5 network");
-        let report = net.run(intervals);
         let tracker = report.tracked.expect("tracking configured");
-        ((label, tracker.settled_at()), tracker.history().to_vec())
+        (tracker.settled_at(), tracker.history().to_vec())
     });
     let mut histories = Vec::new();
     let mut convergence = Vec::new();
-    for (conv, history) in results {
-        convergence.push(conv);
+    for (label, (settled, history)) in labels.iter().zip(results) {
+        convergence.push((label.clone(), settled));
         histories.push(history);
     }
     let mut table = SeriesTable::new(
@@ -263,22 +208,9 @@ pub fn fig5(intervals: usize, seed: u64) -> Fig5Result {
 /// anti-starvation).
 #[must_use]
 pub fn fig6(intervals: usize, seed: u64) -> SeriesTable {
-    let n = 20;
-    let traffic = BurstUniform::symmetric(n, 0.6, 6).expect("valid alpha");
-    let mut net = Network::builder()
-        .links(n)
-        .deadline_ms(20)
-        .payload_bytes(1500)
-        .uniform_success_probability(0.7)
-        .traffic(Box::new(traffic))
-        .delivery_ratio(0.9)
-        .policy(PolicyKind::FixedPriority {
-            sigma: rtmac::model::Permutation::identity(n),
-        })
-        .seed(seed)
-        .build()
+    let report = scenario::fig6(intervals, seed)
+        .run()
         .expect("valid fig6 network");
-    let report = net.run(intervals);
     let mut table = SeriesTable::new(
         "Fig. 6: average timely-throughput per priority index under a fixed ordering (alpha* = 0.6)",
         "priority",
@@ -289,16 +221,6 @@ pub fn fig6(intervals: usize, seed: u64) -> SeriesTable {
         table.push_row((i + 1) as f64, vec![tp]);
     }
     table
-}
-
-/// The asymmetric network of Figs. 7–8: links 0–9 form group 1
-/// (p = 0.5, α = 0.5·α*), links 10–19 group 2 (p = 0.8, α = α*).
-fn asymmetric_params(alpha_star: f64) -> (Vec<f64>, Vec<f64>) {
-    let mut alpha = vec![0.5 * alpha_star; 10];
-    alpha.extend(vec![alpha_star; 10]);
-    let mut p = vec![0.5; 10];
-    p.extend(vec![0.8; 10]);
-    (alpha, p)
 }
 
 fn group_columns() -> Vec<String> {
@@ -321,109 +243,73 @@ fn group_deficiencies(report: &RunReport, rho: &[f64], alpha: &[f64]) -> (f64, f
     )
 }
 
-/// Fig. 7 — group-wide deficiency of the asymmetric network at ρ = 0.9 as
-/// `α*` sweeps.
-#[must_use]
-pub fn fig7(intervals: usize, seed: u64) -> SeriesTable {
-    let mut table = SeriesTable::new(
-        "Fig. 7: asymmetric network, 90% delivery ratio (group deficiency vs alpha*)",
-        "alpha*",
-        group_columns(),
-    );
-    let alpha_stars: Vec<f64> = (0..=5).map(|s| 0.45 + 0.07 * f64::from(s)).collect();
-    let rows = crate::parallel_map(alpha_stars.clone(), |alpha_star| {
-        let (alpha, p) = asymmetric_params(alpha_star);
-        let rho = vec![0.9; 20];
+/// Runs every contender at every point of an asymmetric-network sweep and
+/// tabulates the two group deficiencies (Figs. 7–8).
+fn group_table(title: &str, sweep: &Sweep) -> SeriesTable {
+    let mut table = SeriesTable::new(title, sweep.axis.label(), group_columns());
+    let rows = crate::parallel_map(sweep.scenarios(), |sc| {
+        let rho = sc.ratio.expand(sc.links);
+        let alpha = match &sc.traffic {
+            TrafficSpec::Burst { alpha, .. } => alpha.expand(sc.links),
+            other => panic!("asymmetric sweep over non-burst traffic {other:?}"),
+        };
         let mut row = Vec::new();
         for c in Contender::ALL {
-            let report = run_video(&alpha, &p, &rho, c.policy(), intervals, seed);
+            let report = sc
+                .clone()
+                .with_policy(c.spec())
+                .run()
+                .expect("valid sweep point");
             let (g1, g2) = group_deficiencies(&report, &rho, &alpha);
             row.push(g1);
             row.push(g2);
         }
         row
     });
-    for (alpha_star, row) in alpha_stars.into_iter().zip(rows) {
-        table.push_row(alpha_star, row);
+    for (&x, row) in sweep.points.iter().zip(rows) {
+        table.push_row(x, row);
     }
     table
+}
+
+/// Fig. 7 — group-wide deficiency of the asymmetric network at ρ = 0.9 as
+/// `α*` sweeps.
+#[must_use]
+pub fn fig7(intervals: usize, seed: u64) -> SeriesTable {
+    group_table(
+        "Fig. 7: asymmetric network, 90% delivery ratio (group deficiency vs alpha*)",
+        &scenario::fig7(intervals, seed),
+    )
 }
 
 /// Fig. 8 — group-wide deficiency of the asymmetric network at fixed
 /// `α* = 0.7` as the delivery ratio sweeps.
 #[must_use]
 pub fn fig8(intervals: usize, seed: u64) -> SeriesTable {
-    let mut table = SeriesTable::new(
+    group_table(
         "Fig. 8: asymmetric network, alpha* = 0.7 (group deficiency vs delivery ratio)",
-        "rho",
-        group_columns(),
-    );
-    let (alpha, p) = asymmetric_params(0.7);
-    let rhos: Vec<f64> = (0..=6).map(|s| 0.80 + 0.03 * f64::from(s)).collect();
-    let rows = crate::parallel_map(rhos.clone(), |rho_v| {
-        let rho = vec![rho_v; 20];
-        let mut row = Vec::new();
-        for c in Contender::ALL {
-            let report = run_video(&alpha, &p, &rho, c.policy(), intervals, seed);
-            let (g1, g2) = group_deficiencies(&report, &rho, &alpha);
-            row.push(g1);
-            row.push(g2);
-        }
-        row
-    });
-    for (rho_v, row) in rhos.into_iter().zip(rows) {
-        table.push_row(rho_v, row);
-    }
-    table
+        &scenario::fig8(intervals, seed),
+    )
 }
 
 /// Fig. 9 — total deficiency of the control network (N = 10, p = 0.7,
 /// ρ = 0.99, T = 2 ms, 100 B) as the Bernoulli arrival rate `λ*` sweeps.
 #[must_use]
 pub fn fig9(intervals: usize, seed: u64) -> SeriesTable {
-    let mut table = SeriesTable::new(
+    deficiency_table(
         "Fig. 9: control network, 99% delivery ratio (total deficiency vs lambda*)",
-        "lambda*",
-        contender_columns(),
-    );
-    let lambdas: Vec<f64> = (0..=8).map(|s| 0.50 + 0.05 * f64::from(s)).collect();
-    let rows = crate::parallel_map(lambdas.clone(), |lambda| {
-        Contender::ALL
-            .iter()
-            .map(|c| {
-                run_control(10, lambda, 0.7, 0.99, c.policy(), intervals, seed)
-                    .final_total_deficiency
-            })
-            .collect::<Vec<f64>>()
-    });
-    for (lambda, row) in lambdas.into_iter().zip(rows) {
-        table.push_row(lambda, row);
-    }
-    table
+        &scenario::fig9(intervals, seed),
+    )
 }
 
 /// Fig. 10 — the control network at fixed `λ* = 0.78` as the delivery
 /// ratio sweeps.
 #[must_use]
 pub fn fig10(intervals: usize, seed: u64) -> SeriesTable {
-    let mut table = SeriesTable::new(
+    deficiency_table(
         "Fig. 10: control network, lambda* = 0.78 (total deficiency vs delivery ratio)",
-        "rho",
-        contender_columns(),
-    );
-    let rhos: Vec<f64> = (0..=5).map(|s| 0.90 + 0.02 * f64::from(s)).collect();
-    let rows = crate::parallel_map(rhos.clone(), |rho| {
-        Contender::ALL
-            .iter()
-            .map(|c| {
-                run_control(10, 0.78, 0.7, rho, c.policy(), intervals, seed).final_total_deficiency
-            })
-            .collect::<Vec<f64>>()
-    });
-    for (rho, row) in rhos.into_iter().zip(rows) {
-        table.push_row(rho, row);
-    }
-    table
+        &scenario::fig10(intervals, seed),
+    )
 }
 
 #[cfg(test)]
@@ -453,6 +339,7 @@ mod tests {
     fn fig5_tracks_convergence() {
         let r = fig5(300, 3);
         assert_eq!(r.convergence.len(), 3); // DB-DP, LDF, DB-DP 3 pairs
+        assert_eq!(r.convergence[2].0, "DB-DP 3 pairs");
         assert!(r.requirement > 0.0);
         assert!(!r.table.rows().is_empty());
         assert_eq!(r.table.columns().len(), 3);
@@ -473,8 +360,8 @@ mod tests {
 
     #[test]
     fn control_runner_is_deterministic() {
-        let a = run_control(4, 0.6, 0.7, 0.95, PolicyKind::Ldf, 50, 11);
-        let b = run_control(4, 0.6, 0.7, 0.95, PolicyKind::Ldf, 50, 11);
+        let a = run_control(4, 0.6, 0.7, 0.95, PolicySpec::Ldf, 50, 11);
+        let b = run_control(4, 0.6, 0.7, 0.95, PolicySpec::Ldf, 50, 11);
         assert_eq!(a.per_link_throughput, b.per_link_throughput);
     }
 }

@@ -18,27 +18,18 @@
 pub mod figures;
 pub mod table;
 
-/// Maps `f` over `items` on one thread per item (scoped; no dependencies).
-/// The figure sweeps use it to run independent simulation points
-/// concurrently — results come back in input order, so output is identical
-/// to the sequential run.
+/// Maps `f` over `items` on the default [`rtmac::Runner`] worker pool (one
+/// worker per CPU, shared work queue). The figure sweeps use it to run
+/// independent simulation points concurrently — results come back in input
+/// order, so output is identical to the sequential run regardless of the
+/// worker count.
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let f = &f;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = items
-            .into_iter()
-            .map(|item| scope.spawn(move || f(item)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("simulation point panicked"))
-            .collect()
-    })
+    rtmac::Runner::default().map(items, f)
 }
 
 /// Parses `--intervals N` and `--quick` from a binary's argument list,
@@ -106,7 +97,7 @@ mod tests {
     fn replicated_simulation_point_is_stable() {
         // The Fig. 9 point (λ = 0.6, feasible): deficiency ~0 across seeds.
         let (mean, std) = replicate(0..4, |seed| {
-            crate::figures::run_control(4, 0.6, 0.7, 0.9, rtmac::PolicyKind::Ldf, 200, seed)
+            crate::figures::run_control(4, 0.6, 0.7, 0.9, rtmac::PolicySpec::Ldf, 200, seed)
                 .final_total_deficiency
         });
         assert!(mean < 0.1, "mean {mean}");

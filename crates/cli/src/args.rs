@@ -1,7 +1,11 @@
-//! Command-line grammar and parsing.
+//! Command-line grammar: parsing flags into [`Scenario`]s and rendering
+//! [`Scenario`]s back into flags.
 
 use std::error::Error;
 use std::fmt;
+
+use rtmac::scenario::{self, Param, Scenario, TrafficSpec};
+pub use rtmac::PolicySpec;
 
 /// A parse- or run-time CLI error.
 #[derive(Debug, Clone, PartialEq)]
@@ -58,38 +62,6 @@ pub enum ArrivalSpec {
     Constant,
 }
 
-/// Which transmission policy to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum PolicySpec {
-    /// The paper's decentralized algorithm.
-    DbDp,
-    /// Centralized largest-debt-first.
-    Ldf,
-    /// Centralized ELDF with the paper's log influence.
-    Eldf,
-    /// The discretized FCSMA baseline.
-    Fcsma,
-    /// IEEE 802.11 DCF.
-    Dcf,
-    /// Frame-based CSMA (per-frame open-loop schedules).
-    FrameCsma,
-}
-
-impl PolicySpec {
-    /// Display label.
-    #[must_use]
-    pub fn label(self) -> &'static str {
-        match self {
-            PolicySpec::DbDp => "DB-DP",
-            PolicySpec::Ldf => "LDF",
-            PolicySpec::Eldf => "ELDF",
-            PolicySpec::Fcsma => "FCSMA",
-            PolicySpec::Dcf => "DCF",
-            PolicySpec::FrameCsma => "Frame-CSMA",
-        }
-    }
-}
-
 /// The swept parameter of `rtmac sweep`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SweepParam {
@@ -106,6 +78,9 @@ pub enum SweepParam {
 /// Network and simulation options shared by every subcommand.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NetworkOpts {
+    /// A named workload from [`scenario::by_name`]; overrides the
+    /// network-shape flags below.
+    pub scenario: Option<String>,
     /// Number of links.
     pub links: usize,
     /// Per-packet deadline in microseconds.
@@ -127,6 +102,7 @@ pub struct NetworkOpts {
 impl Default for NetworkOpts {
     fn default() -> Self {
         NetworkOpts {
+            scenario: None,
             links: 10,
             deadline_us: 20_000,
             payload: 1500,
@@ -136,6 +112,53 @@ impl Default for NetworkOpts {
             intervals: 1000,
             seed: 0,
         }
+    }
+}
+
+impl NetworkOpts {
+    /// The [`Scenario`] this option set describes: the named registry entry
+    /// when `--scenario` was given (with `--intervals`, `--seed`, and the
+    /// policy still applied on top), otherwise a `"custom"` scenario built
+    /// from the individual flags.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CliError::BadValue`] for an unknown scenario name.
+    pub fn to_scenario(&self, policy: PolicySpec) -> Result<Scenario, CliError> {
+        let mut sc = match &self.scenario {
+            Some(name) => scenario::by_name(name).ok_or_else(|| CliError::BadValue {
+                flag: "--scenario".into(),
+                value: name.clone(),
+                expected: "one of video20, control10, asym, tiny",
+            })?,
+            None => Scenario {
+                name: "custom",
+                links: self.links,
+                deadline_us: self.deadline_us,
+                payload_bytes: self.payload,
+                success: Param::Uniform(self.p),
+                traffic: match self.arrivals {
+                    ArrivalSpec::Burst(alpha) => TrafficSpec::Burst {
+                        alpha: Param::Uniform(alpha),
+                        burst_max: 6,
+                    },
+                    ArrivalSpec::Bernoulli(lambda) => TrafficSpec::Bernoulli {
+                        lambda: Param::Uniform(lambda),
+                    },
+                    ArrivalSpec::Constant => TrafficSpec::Constant,
+                },
+                ratio: Param::Uniform(self.ratio),
+                policy,
+                intervals: self.intervals,
+                seed: self.seed,
+                replications: 1,
+                track: None,
+            },
+        };
+        sc.policy = policy;
+        sc.intervals = self.intervals;
+        sc.seed = self.seed;
+        Ok(sc)
     }
 }
 
@@ -211,12 +234,12 @@ fn parse_arrivals(flag: &str, value: &str) -> Result<ArrivalSpec, CliError> {
 
 fn parse_policy(flag: &str, value: &str) -> Result<PolicySpec, CliError> {
     match value {
-        "db-dp" | "dbdp" => Ok(PolicySpec::DbDp),
+        "db-dp" | "dbdp" => Ok(PolicySpec::db_dp()),
         "ldf" => Ok(PolicySpec::Ldf),
-        "eldf" => Ok(PolicySpec::Eldf),
+        "eldf" => Ok(PolicySpec::eldf()),
         "fcsma" => Ok(PolicySpec::Fcsma),
         "dcf" => Ok(PolicySpec::Dcf),
-        "frame-csma" | "framecsma" => Ok(PolicySpec::FrameCsma),
+        "frame-csma" | "framecsma" => Ok(PolicySpec::frame_csma()),
         _ => Err(CliError::BadValue {
             flag: flag.to_string(),
             value: value.to_string(),
@@ -225,18 +248,65 @@ fn parse_policy(flag: &str, value: &str) -> Result<PolicySpec, CliError> {
     }
 }
 
-fn parse_sweep_param(flag: &str, value: &str) -> Result<SweepParam, CliError> {
-    match value {
-        "alpha" => Ok(SweepParam::Alpha),
-        "lambda" => Ok(SweepParam::Lambda),
-        "ratio" => Ok(SweepParam::Ratio),
-        "p" => Ok(SweepParam::SuccessProbability),
-        _ => Err(CliError::BadValue {
-            flag: flag.to_string(),
-            value: value.to_string(),
-            expected: "alpha, lambda, ratio, or p",
-        }),
+/// The `--policy` spelling of a [`PolicySpec`], when it has one (only the
+/// flag-default configurations do; e.g. a DB-DP with extra swap pairs is
+/// not expressible).
+#[must_use]
+pub fn policy_flag(spec: PolicySpec) -> Option<&'static str> {
+    if spec == PolicySpec::db_dp() {
+        Some("db-dp")
+    } else if spec == PolicySpec::Ldf {
+        Some("ldf")
+    } else if spec == PolicySpec::eldf() {
+        Some("eldf")
+    } else if spec == PolicySpec::Fcsma {
+        Some("fcsma")
+    } else if spec == PolicySpec::Dcf {
+        Some("dcf")
+    } else if spec == PolicySpec::frame_csma() {
+        Some("frame-csma")
+    } else {
+        None
     }
+}
+
+/// Renders a scenario back into `rtmac run` argument tokens — the inverse
+/// of [`parse`] for every configuration the flag grammar can express
+/// (uniform parameters, the paper's burst size, a flag-named policy;
+/// `None` otherwise). Round trip: parsing the rendered tokens and calling
+/// [`NetworkOpts::to_scenario`] reproduces the scenario, field for field.
+#[must_use]
+pub fn render_run_command(sc: &Scenario) -> Option<Vec<String>> {
+    if sc.track.is_some() || sc.replications != 1 {
+        return None;
+    }
+    let arrivals = match &sc.traffic {
+        TrafficSpec::Burst {
+            alpha,
+            burst_max: 6,
+        } => format!("burst:{}", alpha.uniform_value()?),
+        TrafficSpec::Burst { .. } => return None,
+        TrafficSpec::Bernoulli { lambda } => format!("bernoulli:{}", lambda.uniform_value()?),
+        TrafficSpec::Constant => "constant".to_string(),
+    };
+    let policy = policy_flag(sc.policy)?;
+    let tokens = [
+        ("--links", sc.links.to_string()),
+        ("--deadline-us", sc.deadline_us.to_string()),
+        ("--payload", sc.payload_bytes.to_string()),
+        ("--p", sc.success.uniform_value()?.to_string()),
+        ("--arrivals", arrivals),
+        ("--ratio", sc.ratio.uniform_value()?.to_string()),
+        ("--intervals", sc.intervals.to_string()),
+        ("--seed", sc.seed.to_string()),
+        ("--policy", policy.to_string()),
+    ];
+    let mut argv = vec!["run".to_string()];
+    for (flag, value) in tokens {
+        argv.push(flag.to_string());
+        argv.push(value);
+    }
+    Some(argv)
 }
 
 /// Parses a full argument vector into a [`Command`].
@@ -257,11 +327,14 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
 
 fn parse_subcommand(command: &str, rest: &[String]) -> Result<Command, CliError> {
     let mut opts = NetworkOpts::default();
-    let mut policy = PolicySpec::DbDp;
+    let mut policy = PolicySpec::db_dp();
     let mut param = None;
     let mut from = None;
     let mut to = None;
     let mut steps = 5usize;
+    // A named scenario fixes the network shape, so shape flags conflict
+    // with `--scenario` (while --intervals/--seed/--policy compose).
+    let mut shape_flag: Option<String> = None;
 
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
@@ -269,18 +342,43 @@ fn parse_subcommand(command: &str, rest: &[String]) -> Result<Command, CliError>
             it.next()
                 .ok_or_else(|| CliError::MissingValue(flag.clone()))
         };
+        let mut shape = |flag: &str| {
+            if shape_flag.is_none() {
+                shape_flag = Some(flag.to_string());
+            }
+        };
         match flag.as_str() {
-            "--links" => opts.links = parse_num(flag, value_for()?, "a positive integer")?,
+            "--scenario" if command != "timeline" => {
+                opts.scenario = Some(value_for()?.clone());
+            }
+            "--links" => {
+                shape(flag);
+                opts.links = parse_num(flag, value_for()?, "a positive integer")?;
+            }
             "--deadline-ms" => {
+                shape(flag);
                 opts.deadline_us = parse_num::<u64>(flag, value_for()?, "a duration in ms")? * 1000;
             }
             "--deadline-us" => {
+                shape(flag);
                 opts.deadline_us = parse_num(flag, value_for()?, "a duration in us")?;
             }
-            "--payload" => opts.payload = parse_num(flag, value_for()?, "a byte count")?,
-            "--p" => opts.p = parse_num(flag, value_for()?, "a probability")?,
-            "--arrivals" => opts.arrivals = parse_arrivals(flag, value_for()?)?,
-            "--ratio" => opts.ratio = parse_num(flag, value_for()?, "a ratio in (0,1]")?,
+            "--payload" => {
+                shape(flag);
+                opts.payload = parse_num(flag, value_for()?, "a byte count")?;
+            }
+            "--p" => {
+                shape(flag);
+                opts.p = parse_num(flag, value_for()?, "a probability")?;
+            }
+            "--arrivals" => {
+                shape(flag);
+                opts.arrivals = parse_arrivals(flag, value_for()?)?;
+            }
+            "--ratio" => {
+                shape(flag);
+                opts.ratio = parse_num(flag, value_for()?, "a ratio in (0,1]")?;
+            }
             "--intervals" => opts.intervals = parse_num(flag, value_for()?, "an interval count")?,
             "--seed" => opts.seed = parse_num(flag, value_for()?, "an integer seed")?,
             "--policy" if command == "run" => policy = parse_policy(flag, value_for()?)?,
@@ -294,6 +392,13 @@ fn parse_subcommand(command: &str, rest: &[String]) -> Result<Command, CliError>
             }
             other => return Err(CliError::UnknownFlag(other.to_string())),
         }
+    }
+
+    if let (Some(_), Some(flag)) = (&opts.scenario, &shape_flag) {
+        return Err(CliError::Invalid(format!(
+            "`--scenario` fixes the network shape and cannot be combined with `{flag}` \
+             (use --intervals/--seed/--policy to customize, or drop --scenario)"
+        )));
     }
 
     match command {
@@ -320,6 +425,20 @@ fn parse_subcommand(command: &str, rest: &[String]) -> Result<Command, CliError>
             })
         }
         _ => unreachable!("caller filters commands"),
+    }
+}
+
+fn parse_sweep_param(flag: &str, value: &str) -> Result<SweepParam, CliError> {
+    match value {
+        "alpha" => Ok(SweepParam::Alpha),
+        "lambda" => Ok(SweepParam::Lambda),
+        "ratio" => Ok(SweepParam::Ratio),
+        "p" => Ok(SweepParam::SuccessProbability),
+        _ => Err(CliError::BadValue {
+            flag: flag.to_string(),
+            value: value.to_string(),
+            expected: "alpha, lambda, ratio, or p",
+        }),
     }
 }
 
@@ -368,6 +487,46 @@ mod tests {
     }
 
     #[test]
+    fn scenario_flag_selects_named_workload() {
+        let cmd = parse(&argv("run --scenario video20 --intervals 50 --seed 9")).unwrap();
+        let Command::Run { opts, policy } = cmd else {
+            panic!()
+        };
+        let sc = opts.to_scenario(policy).unwrap();
+        assert_eq!(sc.name, "video20");
+        assert_eq!(sc.links, 20);
+        assert_eq!(sc.intervals, 50);
+        assert_eq!(sc.seed, 9);
+    }
+
+    #[test]
+    fn scenario_flag_conflicts_with_shape_flags() {
+        assert!(matches!(
+            parse(&argv("run --scenario video20 --links 5")),
+            Err(CliError::Invalid(_))
+        ));
+        // Order does not matter.
+        assert!(matches!(
+            parse(&argv("compare --p 0.8 --scenario tiny")),
+            Err(CliError::Invalid(_))
+        ));
+        // --intervals/--seed compose fine.
+        assert!(parse(&argv("run --scenario tiny --intervals 10 --seed 3")).is_ok());
+    }
+
+    #[test]
+    fn unknown_scenario_is_reported_at_lookup() {
+        let cmd = parse(&argv("run --scenario warehouse")).unwrap();
+        let Command::Run { opts, policy } = cmd else {
+            panic!()
+        };
+        assert!(matches!(
+            opts.to_scenario(policy),
+            Err(CliError::BadValue { .. })
+        ));
+    }
+
+    #[test]
     fn arrivals_variants() {
         assert_eq!(
             parse_arrivals("--arrivals", "bernoulli:0.78").unwrap(),
@@ -384,17 +543,50 @@ mod tests {
     #[test]
     fn every_policy_name_parses() {
         for (name, spec) in [
-            ("db-dp", PolicySpec::DbDp),
-            ("dbdp", PolicySpec::DbDp),
+            ("db-dp", PolicySpec::db_dp()),
+            ("dbdp", PolicySpec::db_dp()),
             ("ldf", PolicySpec::Ldf),
-            ("eldf", PolicySpec::Eldf),
+            ("eldf", PolicySpec::eldf()),
             ("fcsma", PolicySpec::Fcsma),
             ("dcf", PolicySpec::Dcf),
-            ("frame-csma", PolicySpec::FrameCsma),
+            ("frame-csma", PolicySpec::frame_csma()),
         ] {
             assert_eq!(parse_policy("--policy", name).unwrap(), spec);
         }
         assert!(parse_policy("--policy", "tdma").is_err());
+    }
+
+    #[test]
+    fn policy_flags_round_trip() {
+        for name in ["db-dp", "ldf", "eldf", "fcsma", "dcf", "frame-csma"] {
+            let spec = parse_policy("--policy", name).unwrap();
+            assert_eq!(policy_flag(spec), Some(name));
+        }
+        assert_eq!(policy_flag(PolicySpec::db_dp_pairs(3)), None);
+    }
+
+    #[test]
+    fn render_covers_the_flag_grammar_only() {
+        let sc = scenario::by_name("video20").unwrap();
+        let argv = render_run_command(&sc).expect("video20 is flag-expressible");
+        let Command::Run { opts, policy } = parse(&argv).unwrap() else {
+            panic!()
+        };
+        let back = opts.to_scenario(policy).unwrap();
+        assert_eq!(
+            Scenario {
+                name: "video20",
+                ..back
+            },
+            sc
+        );
+        // Per-link parameters are not expressible.
+        assert_eq!(
+            render_run_command(&scenario::by_name("asym").unwrap()),
+            None
+        );
+        // Neither is Fig. 5's tracking instrumentation.
+        assert_eq!(render_run_command(&scenario::fig5(100, 0)), None);
     }
 
     #[test]
@@ -448,6 +640,12 @@ mod tests {
         assert_eq!(
             parse(&argv("compare --policy ldf")),
             Err(CliError::UnknownFlag("--policy".into()))
+        );
+        // timeline does not take --scenario (it drives the engine, not a
+        // network):
+        assert_eq!(
+            parse(&argv("timeline --scenario tiny")),
+            Err(CliError::UnknownFlag("--scenario".into()))
         );
     }
 

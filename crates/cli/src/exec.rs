@@ -1,10 +1,11 @@
-//! Command execution: builds networks from parsed options and formats the
-//! results.
+//! Command execution: turns parsed options into [`Scenario`]s, runs them,
+//! and formats the results.
 
 use std::fmt::Write as _;
 
+use rtmac::scenario::{Param, Scenario, TrafficSpec};
 use rtmac::sim::Nanos;
-use rtmac::{Network, PolicyKind, RunReport};
+use rtmac::{RunReport, Runner};
 use rtmac_traffic::{ArrivalProcess, BernoulliArrivals, BurstUniform, ConstantArrivals};
 
 use crate::args::{ArrivalSpec, CliError, Command, NetworkOpts, PolicySpec, SweepParam};
@@ -12,14 +13,21 @@ use crate::args::{ArrivalSpec, CliError, Command, NetworkOpts, PolicySpec, Sweep
 const USAGE: &str = "rtmac — real-time wireless MAC simulator (Hsieh & Hou, ICDCS 2018)
 
 Usage:
-  rtmac run      [network flags] --policy <db-dp|ldf|eldf|fcsma|dcf|frame-csma>
-  rtmac compare  [network flags]
-  rtmac sweep    [network flags] --param <alpha|lambda|ratio|p>
+  rtmac run      [--scenario NAME | network flags]
+                 --policy <db-dp|ldf|eldf|fcsma|dcf|frame-csma>
+  rtmac compare  [--scenario NAME | network flags]
+  rtmac sweep    [--scenario NAME | network flags] --param <alpha|lambda|ratio|p>
                  --from X --to Y [--steps N]
   rtmac timeline [network flags]   (ASCII protocol trace, <= 10 intervals)
   rtmac help
 
-Network flags (defaults in parentheses):
+Scenarios:
+  --scenario NAME    named workload: video20, control10, asym, or tiny.
+                     Composes with --intervals, --seed, and --policy;
+                     conflicts with the network flags below.
+
+Network flags (defaults in parentheses; prefer --scenario for the paper's
+workloads — these stay supported for custom networks):
   --links N          number of fully-interfering links (10)
   --deadline-ms T    per-packet deadline in ms (20); or --deadline-us T
   --payload B        data payload bytes (1500)
@@ -30,9 +38,9 @@ Network flags (defaults in parentheses):
   --seed S           RNG seed (0)
 
 Examples:
+  rtmac run --scenario video20
   rtmac run --links 20 --arrivals burst:0.55 --policy db-dp --intervals 5000
-  rtmac sweep --param lambda --from 0.5 --to 0.9 --steps 9 \\
-              --links 10 --deadline-ms 2 --payload 100 --ratio 0.99
+  rtmac sweep --scenario control10 --param lambda --from 0.5 --to 0.9 --steps 9
 ";
 
 fn arrivals_box(spec: ArrivalSpec, links: usize) -> Result<Box<dyn ArrivalProcess>, CliError> {
@@ -48,46 +56,29 @@ fn arrivals_box(spec: ArrivalSpec, links: usize) -> Result<Box<dyn ArrivalProces
     })
 }
 
-fn policy_kind(spec: PolicySpec) -> PolicyKind {
-    match spec {
-        PolicySpec::DbDp => PolicyKind::db_dp(),
-        PolicySpec::Ldf => PolicyKind::Ldf,
-        PolicySpec::Eldf => PolicyKind::eldf(),
-        PolicySpec::Fcsma => PolicyKind::fcsma(),
-        PolicySpec::Dcf => PolicyKind::dcf(),
-        PolicySpec::FrameCsma => PolicyKind::frame_csma(),
-    }
-}
-
-fn build_network(opts: &NetworkOpts, policy: PolicySpec) -> Result<Network, CliError> {
-    Network::builder()
-        .links(opts.links)
-        .deadline(Nanos::from_micros(opts.deadline_us))
-        .payload_bytes(opts.payload)
-        .uniform_success_probability(opts.p)
-        .traffic(arrivals_box(opts.arrivals, opts.links)?)
-        .delivery_ratio(opts.ratio)
-        .policy(policy_kind(policy))
-        .seed(opts.seed)
-        .build()
-        .map_err(|e| CliError::Invalid(e.to_string()))
+fn run_scenario(sc: &Scenario) -> Result<RunReport, CliError> {
+    sc.run().map_err(|e| CliError::Invalid(e.to_string()))
 }
 
 fn simulate(opts: &NetworkOpts, policy: PolicySpec) -> Result<RunReport, CliError> {
-    let mut network = build_network(opts, policy)?;
-    Ok(network.run(opts.intervals))
+    run_scenario(&opts.to_scenario(policy)?)
 }
 
-fn render_run(opts: &NetworkOpts, report: &RunReport) -> String {
+fn render_run(sc: &Scenario, report: &RunReport) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "policy: {}", report.policy);
+    let p = sc
+        .success
+        .uniform_value()
+        .map_or_else(|| "per-link".to_string(), |p| p.to_string());
     let _ = writeln!(
         out,
-        "network: {} links, deadline {}, {} B payload, p = {}, {} intervals",
-        opts.links,
-        Nanos::from_micros(opts.deadline_us),
-        opts.payload,
-        opts.p,
+        "network: {} ({} links, deadline {}, {} B payload, p = {}, {} intervals)",
+        sc.name,
+        sc.links,
+        Nanos::from_micros(sc.deadline_us),
+        sc.payload_bytes,
+        p,
         report.intervals
     );
     let _ = writeln!(
@@ -115,7 +106,9 @@ fn render_run(opts: &NetworkOpts, report: &RunReport) -> String {
     out
 }
 
-const CONTENDERS: [PolicySpec; 3] = [PolicySpec::DbDp, PolicySpec::Ldf, PolicySpec::Fcsma];
+fn contenders() -> [PolicySpec; 3] {
+    [PolicySpec::db_dp(), PolicySpec::Ldf, PolicySpec::Fcsma]
+}
 
 fn render_compare(opts: &NetworkOpts) -> Result<String, CliError> {
     let mut out = String::new();
@@ -124,7 +117,7 @@ fn render_compare(opts: &NetworkOpts) -> Result<String, CliError> {
         "{:>8} {:>12} {:>12} {:>12} {:>14}",
         "policy", "deficiency", "collisions", "idle slots", "empty packets"
     );
-    for spec in CONTENDERS {
+    for spec in contenders() {
         let report = simulate(opts, spec)?;
         let _ = writeln!(
             out,
@@ -139,15 +132,26 @@ fn render_compare(opts: &NetworkOpts) -> Result<String, CliError> {
     Ok(out)
 }
 
-fn apply_sweep(opts: &NetworkOpts, param: SweepParam, value: f64) -> Result<NetworkOpts, CliError> {
-    let mut o = opts.clone();
+/// Overrides the swept field on a scenario. The sweep replaces the arrival
+/// process outright for `alpha`/`lambda` (matching the historical flag
+/// semantics), so it applies uniformly even to per-link scenarios.
+fn apply_sweep(mut sc: Scenario, param: SweepParam, value: f64) -> Scenario {
     match param {
-        SweepParam::Alpha => o.arrivals = ArrivalSpec::Burst(value),
-        SweepParam::Lambda => o.arrivals = ArrivalSpec::Bernoulli(value),
-        SweepParam::Ratio => o.ratio = value,
-        SweepParam::SuccessProbability => o.p = value,
+        SweepParam::Alpha => {
+            sc.traffic = TrafficSpec::Burst {
+                alpha: Param::Uniform(value),
+                burst_max: 6,
+            };
+        }
+        SweepParam::Lambda => {
+            sc.traffic = TrafficSpec::Bernoulli {
+                lambda: Param::Uniform(value),
+            };
+        }
+        SweepParam::Ratio => sc.ratio = Param::Uniform(value),
+        SweepParam::SuccessProbability => sc.success = Param::Uniform(value),
     }
-    Ok(o)
+    sc
 }
 
 fn render_sweep(
@@ -157,28 +161,42 @@ fn render_sweep(
     to: f64,
     steps: usize,
 ) -> Result<String, CliError> {
-    let mut out = String::new();
     let name = match param {
         SweepParam::Alpha => "alpha",
         SweepParam::Lambda => "lambda",
         SweepParam::Ratio => "ratio",
         SweepParam::SuccessProbability => "p",
     };
+    let values: Vec<f64> = (0..steps)
+        .map(|i| {
+            if steps == 1 {
+                from
+            } else {
+                from + (to - from) * i as f64 / (steps - 1) as f64
+            }
+        })
+        .collect();
+    // One scenario per (point, contender), fanned over the worker pool;
+    // results come back in input order, so the table is deterministic.
+    let mut jobs = Vec::with_capacity(values.len() * contenders().len());
+    for &value in &values {
+        for spec in contenders() {
+            jobs.push(apply_sweep(opts.to_scenario(spec)?, param, value));
+        }
+    }
+    let reports = Runner::default().map(jobs, |sc| run_scenario(&sc));
+
+    let mut out = String::new();
     let _ = writeln!(
         out,
         "{name:>12} {:>12} {:>12} {:>12}",
         "DB-DP", "LDF", "FCSMA"
     );
-    for i in 0..steps {
-        let value = if steps == 1 {
-            from
-        } else {
-            from + (to - from) * i as f64 / (steps - 1) as f64
-        };
-        let point = apply_sweep(opts, param, value)?;
+    let mut reports = reports.into_iter();
+    for value in values {
         let _ = write!(out, "{value:>12.4}");
-        for spec in CONTENDERS {
-            let report = simulate(&point, spec)?;
+        for _ in contenders() {
+            let report = reports.next().expect("one report per job")?;
             let _ = write!(out, " {:>12.4}", report.final_total_deficiency);
         }
         let _ = writeln!(out);
@@ -241,8 +259,9 @@ pub fn execute(command: Command) -> Result<String, CliError> {
     match command {
         Command::Help => Ok(USAGE.to_string()),
         Command::Run { opts, policy } => {
-            let report = simulate(&opts, policy)?;
-            Ok(render_run(&opts, &report))
+            let sc = opts.to_scenario(policy)?;
+            let report = run_scenario(&sc)?;
+            Ok(render_run(&sc, &report))
         }
         Command::Compare { opts } => render_compare(&opts),
         Command::Sweep {
@@ -262,6 +281,7 @@ mod tests {
 
     fn quick_opts() -> NetworkOpts {
         NetworkOpts {
+            scenario: None,
             links: 3,
             deadline_us: 2000,
             payload: 100,
@@ -275,14 +295,27 @@ mod tests {
 
     #[test]
     fn run_report_lists_every_link() {
-        let report = simulate(&quick_opts(), PolicySpec::Ldf).unwrap();
-        let text = render_run(&quick_opts(), &report);
+        let sc = quick_opts().to_scenario(PolicySpec::Ldf).unwrap();
+        let report = run_scenario(&sc).unwrap();
+        let text = render_run(&sc, &report);
         for i in 0..3 {
             assert!(
                 text.contains(&format!("\n{i:>8} ")),
                 "missing link {i}:\n{text}"
             );
         }
+    }
+
+    #[test]
+    fn named_scenario_runs_end_to_end() {
+        let mut opts = quick_opts();
+        opts.scenario = Some("tiny".to_string());
+        opts.intervals = 50;
+        let sc = opts.to_scenario(PolicySpec::Ldf).unwrap();
+        assert_eq!((sc.name, sc.intervals), ("tiny", 50));
+        let report = run_scenario(&sc).unwrap();
+        assert_eq!(report.intervals, 50);
+        assert!(render_run(&sc, &report).contains("tiny"));
     }
 
     #[test]
@@ -295,7 +328,7 @@ mod tests {
         ));
         let mut opts = quick_opts();
         opts.links = 0;
-        assert!(simulate(&opts, PolicySpec::DbDp).is_err());
+        assert!(simulate(&opts, PolicySpec::db_dp()).is_err());
     }
 
     #[test]
@@ -312,16 +345,32 @@ mod tests {
     }
 
     #[test]
+    fn sweep_overrides_per_link_scenarios_uniformly() {
+        let sc = apply_sweep(
+            rtmac::scenario::by_name("asym").unwrap(),
+            SweepParam::Alpha,
+            0.5,
+        );
+        assert_eq!(
+            sc.traffic,
+            TrafficSpec::Burst {
+                alpha: Param::Uniform(0.5),
+                burst_max: 6
+            }
+        );
+    }
+
+    #[test]
     fn every_policy_spec_builds() {
         for spec in [
-            PolicySpec::DbDp,
+            PolicySpec::db_dp(),
             PolicySpec::Ldf,
-            PolicySpec::Eldf,
+            PolicySpec::eldf(),
             PolicySpec::Fcsma,
             PolicySpec::Dcf,
-            PolicySpec::FrameCsma,
+            PolicySpec::frame_csma(),
         ] {
-            assert!(build_network(&quick_opts(), spec).is_ok(), "{spec:?}");
+            assert!(simulate(&quick_opts(), spec).is_ok(), "{spec:?}");
         }
     }
 }

@@ -7,13 +7,27 @@
 //! * `rtmac sweep` — sweep one parameter (`alpha`, `lambda`, `ratio`, or
 //!   `p`) and print a deficiency series per policy.
 //!
+//! Every subcommand can pull a named workload from the simulator's
+//! scenario registry instead of spelling out the network flags:
+//!
+//! ```text
+//! rtmac run --scenario video20
+//! rtmac sweep --scenario control10 --param lambda --from 0.5 --to 0.9
+//! ```
+//!
+//! The individual network flags remain for custom networks:
+//!
 //! ```text
 //! rtmac run --links 20 --deadline-ms 20 --payload 1500 --p 0.7 \
 //!           --arrivals burst:0.55 --ratio 0.9 --policy db-dp \
 //!           --intervals 5000 --seed 1
-//! rtmac sweep --param alpha --from 0.4 --to 0.7 --steps 7 \
-//!             --links 20 --p 0.7 --ratio 0.9 --intervals 2000
 //! ```
+//!
+//! Either way, the grammar bottoms out in a [`rtmac::Scenario`]
+//! ([`NetworkOpts::to_scenario`]), so the CLI runs exactly the
+//! configurations the benchmark suite does. [`render_run_command`] is the
+//! inverse — it renders a flag-expressible scenario back into `rtmac run`
+//! tokens, and the round trip is property-tested.
 //!
 //! The argument grammar is deliberately tiny and hand-rolled (the workspace
 //! carries no CLI dependency); [`parse`] is a pure function so every corner
@@ -25,7 +39,10 @@
 mod args;
 mod exec;
 
-pub use args::{parse, ArrivalSpec, CliError, Command, NetworkOpts, PolicySpec, SweepParam};
+pub use args::{
+    parse, policy_flag, render_run_command, ArrivalSpec, CliError, Command, NetworkOpts,
+    PolicySpec, SweepParam,
+};
 pub use exec::execute;
 
 /// Parses and executes a full command line, returning the printable output.

@@ -54,6 +54,8 @@
 mod network;
 mod policy;
 mod report;
+pub mod runner;
+pub mod scenario;
 
 pub use network::{Network, NetworkBuilder};
 pub use policy::{
@@ -61,6 +63,8 @@ pub use policy::{
     TransmissionPolicy,
 };
 pub use report::RunReport;
+pub use runner::Runner;
+pub use scenario::{PolicySpec, Scenario};
 
 // Re-export the substrate crates so downstream users need only one
 // dependency.

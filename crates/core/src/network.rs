@@ -75,7 +75,7 @@ impl Network {
 
     /// The policy's name.
     #[must_use]
-    pub fn policy_name(&self) -> String {
+    pub fn policy_name(&self) -> &str {
         self.policy.name()
     }
 
@@ -96,9 +96,8 @@ impl Network {
     pub fn step(&mut self) -> IntervalOutcome {
         self.traffic
             .sample(&mut self.arrival_rng, &mut self.arrivals_buf);
-        let arrivals = self.arrivals_buf.clone();
         let outcome = self.policy.run_interval(
-            &arrivals,
+            &self.arrivals_buf,
             &self.debts,
             self.channel.as_mut(),
             &mut self.protocol_rng,
@@ -135,7 +134,7 @@ impl Network {
     pub fn report(&self) -> RunReport {
         let n = self.config.n_links();
         RunReport {
-            policy: self.policy.name(),
+            policy: self.policy.name().to_string(),
             intervals: self.intervals,
             final_total_deficiency: self.deficiency.last().unwrap_or_else(|| {
                 // No interval yet: deficiency is the full requirement.

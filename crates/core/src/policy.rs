@@ -16,8 +16,10 @@ use rtmac_sim::SimRng;
 /// All of the paper's algorithms fit this shape because both ELDF and DB-DP
 /// make decisions only at interval boundaries, from debts.
 pub trait TransmissionPolicy {
-    /// Human-readable policy name for reports and bench output.
-    fn name(&self) -> String;
+    /// Human-readable policy name for reports and bench output. Borrowed
+    /// (policies with parameterized names precompute them at construction)
+    /// so the per-interval hot path never allocates for display.
+    fn name(&self) -> &str;
 
     /// Simulates one interval and returns its outcome.
     fn run_interval(
@@ -89,19 +91,31 @@ impl PolicyKind {
     /// `f(x) = log(max{1, 100(x+1)})`, `R = 10`, one swap pair.
     #[must_use]
     pub fn db_dp() -> Self {
+        Self::db_dp_with(Box::new(PaperLog::default()), 10.0, 1)
+    }
+
+    /// DB-DP with an explicit influence function, `R`, and swap-pair
+    /// count — callers that loop over configurations construct the boxed
+    /// influence once and pass it here instead of re-boxing per iteration.
+    #[must_use]
+    pub fn db_dp_with(influence: Box<dyn DebtInfluence>, r: f64, swap_pairs: usize) -> Self {
         PolicyKind::DbDp {
-            influence: Box::new(PaperLog::default()),
-            r: 10.0,
-            swap_pairs: 1,
+            influence,
+            r,
+            swap_pairs,
         }
     }
 
     /// ELDF with the paper's influence function.
     #[must_use]
     pub fn eldf() -> Self {
-        PolicyKind::Eldf {
-            influence: Box::new(PaperLog::default()),
-        }
+        Self::eldf_with(Box::new(PaperLog::default()))
+    }
+
+    /// ELDF with an explicit influence function.
+    #[must_use]
+    pub fn eldf_with(influence: Box<dyn DebtInfluence>) -> Self {
+        PolicyKind::Eldf { influence }
     }
 
     /// FCSMA with the default quantizer.
@@ -124,9 +138,16 @@ impl PolicyKind {
     /// phase.
     #[must_use]
     pub fn frame_csma() -> Self {
+        Self::frame_csma_with(Box::new(Linear), 32)
+    }
+
+    /// Frame-based CSMA with an explicit influence function and
+    /// control-phase length.
+    #[must_use]
+    pub fn frame_csma_with(influence: Box<dyn DebtInfluence>, control_slots: u32) -> Self {
         PolicyKind::FrameCsma {
-            influence: Box::new(Linear),
-            control_slots: 32,
+            influence,
+            control_slots,
         }
     }
 
@@ -208,8 +229,8 @@ impl FrameCsmaPolicy {
 }
 
 impl TransmissionPolicy for FrameCsmaPolicy {
-    fn name(&self) -> String {
-        "Frame-CSMA".to_string()
+    fn name(&self) -> &str {
+        "Frame-CSMA"
     }
 
     fn run_interval(
@@ -276,6 +297,7 @@ pub struct DbDp {
     r: f64,
     p: Vec<f64>,
     mu_buf: Vec<f64>,
+    name: String,
 }
 
 impl DbDp {
@@ -290,12 +312,14 @@ impl DbDp {
         assert!(r.is_finite() && r > 0.0, "R must be positive and finite");
         assert_eq!(p.len(), engine.n_links(), "one p_n per link");
         let n = p.len();
+        let name = format!("DB-DP(f={}, R={r})", influence.name());
         DbDp {
             engine,
             influence,
             r,
             p,
             mu_buf: vec![0.0; n],
+            name,
         }
     }
 
@@ -314,8 +338,8 @@ impl DbDp {
 }
 
 impl TransmissionPolicy for DbDp {
-    fn name(&self) -> String {
-        format!("DB-DP(f={}, R={})", self.influence.name(), self.r)
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn run_interval(
@@ -326,11 +350,15 @@ impl TransmissionPolicy for DbDp {
         rng: &mut SimRng,
     ) -> IntervalOutcome {
         for n in 0..self.p.len() {
-            self.mu_buf[n] = self.mu(debts.positive(LinkId::new(n)), self.p[n]);
+            self.mu_buf[n] = eq14_mu(
+                self.influence.as_ref(),
+                self.r,
+                debts.positive(LinkId::new(n)),
+                self.p[n],
+            );
         }
-        let mu = self.mu_buf.clone();
         self.engine
-            .run_interval(arrivals, &mu, channel, rng)
+            .run_interval(arrivals, &self.mu_buf, channel, rng)
             .outcome
     }
 
@@ -347,16 +375,23 @@ pub struct Eldf {
     engine: CentralizedEngine,
     influence: Box<dyn DebtInfluence>,
     p: Vec<f64>,
+    name: String,
 }
 
 impl Eldf {
     /// Wires a centralized engine to debt-based priorities.
     #[must_use]
     pub fn new(engine: CentralizedEngine, influence: Box<dyn DebtInfluence>, p: Vec<f64>) -> Self {
+        let name = if influence.name() == "linear" {
+            "LDF".to_string()
+        } else {
+            format!("ELDF(f={})", influence.name())
+        };
         Eldf {
             engine,
             influence,
             p,
+            name,
         }
     }
 
@@ -377,12 +412,8 @@ impl Eldf {
 }
 
 impl TransmissionPolicy for Eldf {
-    fn name(&self) -> String {
-        if self.influence.name() == "linear" {
-            "LDF".to_string()
-        } else {
-            format!("ELDF(f={})", self.influence.name())
-        }
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn run_interval(
@@ -414,8 +445,8 @@ impl FcsmaPolicy {
 }
 
 impl TransmissionPolicy for FcsmaPolicy {
-    fn name(&self) -> String {
-        "FCSMA".to_string()
+    fn name(&self) -> &str {
+        "FCSMA"
     }
 
     fn run_interval(
@@ -451,8 +482,8 @@ impl DcfPolicy {
 }
 
 impl TransmissionPolicy for DcfPolicy {
-    fn name(&self) -> String {
-        "DCF".to_string()
+    fn name(&self) -> &str {
+        "DCF"
     }
 
     fn run_interval(
@@ -497,8 +528,8 @@ impl FixedPriority {
 }
 
 impl TransmissionPolicy for FixedPriority {
-    fn name(&self) -> String {
-        "DP(fixed σ)".to_string()
+    fn name(&self) -> &str {
+        "DP(fixed σ)"
     }
 
     fn run_interval(
@@ -510,9 +541,8 @@ impl TransmissionPolicy for FixedPriority {
     ) -> IntervalOutcome {
         // μ is irrelevant with no swap pairs; 0.5 keeps the engine's
         // validation satisfied.
-        let mu = self.mu.clone();
         self.engine
-            .run_interval(arrivals, &mu, channel, rng)
+            .run_interval(arrivals, &self.mu, channel, rng)
             .outcome
     }
 

@@ -5,7 +5,7 @@ use rtmac_model::LinkId;
 use rtmac_sim::Nanos;
 
 /// Everything a figure needs from one simulation run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Policy name.
     pub policy: String,

@@ -1,0 +1,308 @@
+//! The deterministic batch runner: fans [`Scenario`]s out across sweep
+//! points × replications on a bounded worker pool.
+//!
+//! Two properties matter more than raw speed here:
+//!
+//! * **Bounded fan-out** — a fixed number of workers pull jobs from a
+//!   shared queue, so a 10 000-point sweep never spawns 10 000 OS threads.
+//! * **Worker-count independence** — every job owns its RNG (seeded from
+//!   the scenario, never from thread identity) and writes its result into
+//!   its input slot, so the output is bit-identical whether the pool has 1
+//!   worker or 64.
+//!
+//! Replication seeds derive deterministically from the scenario's base
+//! seed: replication 0 *is* the base seed (so a 1-replication run
+//! reproduces the historical single-run results exactly), and replication
+//! `i > 0` uses `SeedStream::new(base).seed(i)`.
+//!
+//! # Example
+//!
+//! ```
+//! use rtmac::runner::Runner;
+//! use rtmac::scenario;
+//!
+//! let runner = Runner::new(2);
+//! let sc = scenario::tiny(9).with_intervals(50).with_replications(3);
+//! let reports = runner.replications(&sc)?;
+//! assert_eq!(reports.len(), 3);
+//! // Replication 0 is the plain base-seed run.
+//! assert_eq!(reports[0], sc.run()?);
+//! # Ok::<(), rtmac_model::ConfigError>(())
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use rtmac_model::ConfigError;
+use rtmac_sim::SeedStream;
+
+use crate::scenario::{Scenario, Sweep};
+use crate::RunReport;
+
+/// Mean/min/max of one metric across a scenario's replications.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesStats {
+    /// Sample mean.
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl SeriesStats {
+    /// Aggregates a non-empty sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    #[must_use]
+    pub fn from_values(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "stats need at least one sample");
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+        }
+        SeriesStats {
+            mean: sum / values.len() as f64,
+            min,
+            max,
+        }
+    }
+}
+
+/// The per-replication seeds of a scenario: the base seed first, then
+/// [`SeedStream`]-derived children.
+#[must_use]
+pub fn replication_seeds(scenario: &Scenario) -> Vec<u64> {
+    let stream = SeedStream::new(scenario.seed);
+    (0..scenario.replications.max(1))
+        .map(|i| {
+            if i == 0 {
+                scenario.seed
+            } else {
+                stream.seed(i as u64)
+            }
+        })
+        .collect()
+}
+
+/// A bounded worker-pool executor for scenario batches.
+#[derive(Debug, Clone, Copy)]
+pub struct Runner {
+    workers: usize,
+}
+
+impl Default for Runner {
+    /// One worker per available CPU.
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        Runner { workers }
+    }
+}
+
+impl Runner {
+    /// A runner with a fixed worker count (clamped to at least 1).
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        Runner {
+            workers: workers.max(1),
+        }
+    }
+
+    /// The configured worker count.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Maps `f` over `items` on the worker pool. Results come back in
+    /// input order and do not depend on the worker count; at most
+    /// `min(workers, items.len())` threads run at once.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from `f`.
+    pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let n = items.len();
+        let workers = self.workers.min(n);
+        if workers <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        // A lock-free-enough work queue: workers claim the next input index
+        // with an atomic counter and park each result in its own slot, so
+        // output order is input order regardless of scheduling.
+        let next = AtomicUsize::new(0);
+        let jobs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let f = &f;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = jobs[i]
+                        .lock()
+                        .expect("job slot poisoned")
+                        .take()
+                        .expect("job claimed twice");
+                    let result = f(item);
+                    *slots[i].lock().expect("result slot poisoned") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("worker completed every claimed job")
+            })
+            .collect()
+    }
+
+    /// Runs every replication of `scenario` (seeds from
+    /// [`replication_seeds`]) and returns the reports in replication order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] if the scenario is invalid.
+    pub fn replications(&self, scenario: &Scenario) -> Result<Vec<RunReport>, ConfigError> {
+        self.map(replication_seeds(scenario), |seed| {
+            scenario
+                .network_with_seed(seed)
+                .map(|mut net| net.run(scenario.intervals))
+        })
+        .into_iter()
+        .collect()
+    }
+
+    /// Fans a sweep out across points × replications and aggregates
+    /// `metric` into one [`SeriesStats`] per point.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] if a sweep point is invalid.
+    pub fn series<F>(&self, sweep: &Sweep, metric: F) -> Result<Vec<SeriesStats>, ConfigError>
+    where
+        F: Fn(&RunReport) -> f64 + Sync,
+    {
+        let scenarios = sweep.scenarios();
+        let jobs: Vec<(usize, u64)> = scenarios
+            .iter()
+            .enumerate()
+            .flat_map(|(i, sc)| replication_seeds(sc).into_iter().map(move |s| (i, s)))
+            .collect();
+        let values: Vec<Result<f64, ConfigError>> = self.map(jobs.clone(), |(i, seed)| {
+            scenarios[i]
+                .network_with_seed(seed)
+                .map(|mut net| metric(&net.run(scenarios[i].intervals)))
+        });
+        let mut per_point: Vec<Vec<f64>> = vec![Vec::new(); scenarios.len()];
+        for ((i, _), value) in jobs.into_iter().zip(values) {
+            per_point[i].push(value?);
+        }
+        Ok(per_point
+            .iter()
+            .map(|values| SeriesStats::from_values(values))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{self, PolicySpec};
+
+    #[test]
+    fn map_preserves_order_and_bounds_threads() {
+        let runner = Runner::new(3);
+        let out = runner.map((0..64).collect(), |x: i32| x * x);
+        assert_eq!(out, (0..64).map(|x| x * x).collect::<Vec<i32>>());
+        // Degenerate pools still work.
+        assert_eq!(Runner::new(0).workers(), 1);
+        assert!(Runner::new(5).map(Vec::<i32>::new(), |x| x).is_empty());
+    }
+
+    #[test]
+    fn replication_zero_is_the_base_seed() {
+        let sc = scenario::tiny(42).with_replications(4);
+        let seeds = replication_seeds(&sc);
+        assert_eq!(seeds.len(), 4);
+        assert_eq!(seeds[0], 42);
+        // Derived seeds are distinct from each other and the base.
+        for (i, &s) in seeds.iter().enumerate() {
+            for &t in &seeds[i + 1..] {
+                assert_ne!(s, t);
+            }
+        }
+    }
+
+    #[test]
+    fn runner_output_is_worker_count_independent() {
+        // The satellite determinism check: the fig3 sweep (at its
+        // bench seed, shortened horizon) must produce identical reports
+        // under 1 worker and many workers.
+        let sweep = scenario::fig3(30, 2018);
+        let scenarios: Vec<_> = sweep
+            .scenarios()
+            .into_iter()
+            .map(|sc| sc.with_policy(PolicySpec::Ldf))
+            .collect();
+        let run = |workers: usize| -> Vec<RunReport> {
+            Runner::new(workers).map(scenarios.clone(), |sc| sc.run().expect("valid scenario"))
+        };
+        let single = run(1);
+        let pooled = run(4);
+        assert_eq!(single, pooled);
+    }
+
+    #[test]
+    fn series_aggregates_replications() {
+        let sweep = scenario::Sweep {
+            name: "test",
+            base: scenario::tiny(5).with_intervals(40).with_replications(3),
+            axis: scenario::Axis::Ratio,
+            points: vec![0.5, 0.9],
+            shape: None,
+        };
+        let stats = Runner::new(2)
+            .series(&sweep, |r| r.final_total_deficiency)
+            .unwrap();
+        assert_eq!(stats.len(), 2);
+        for s in stats {
+            assert!(s.min <= s.mean && s.mean <= s.max);
+        }
+    }
+
+    #[test]
+    fn series_surfaces_config_errors() {
+        let sweep = scenario::Sweep {
+            name: "bad",
+            base: scenario::tiny(5),
+            axis: scenario::Axis::SuccessProbability,
+            points: vec![1.5],
+            shape: None,
+        };
+        assert!(Runner::new(2)
+            .series(&sweep, |r| r.final_total_deficiency)
+            .is_err());
+    }
+
+    #[test]
+    fn stats_from_values() {
+        let s = SeriesStats::from_values(&[2.0, 1.0, 3.0]);
+        assert_eq!((s.mean, s.min, s.max), (2.0, 1.0, 3.0));
+    }
+}

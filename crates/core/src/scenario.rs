@@ -1,0 +1,840 @@
+//! The declarative scenario layer: one description of an experiment that
+//! every consumer (bench figures, CLI, examples, integration tests) builds
+//! its networks from.
+//!
+//! A [`Scenario`] is plain data — topology size, timing, channel success
+//! probabilities, traffic process, delivery-ratio requirements, a
+//! [`PolicySpec`], the horizon, the base seed, and a replication count. It
+//! is `Clone + PartialEq`, so sweeps and registries can manipulate
+//! configurations without touching any stateful simulator object; the
+//! stateful [`Network`] (and its boxed policy) is instantiated exactly once
+//! per run by [`Scenario::network`].
+//!
+//! The registry at the bottom names the paper's workloads ([`video20`],
+//! [`control10`], [`asym`], [`tiny`]) and defines each figure's sweep as a
+//! base `Scenario` plus an [`Axis`] ([`fig3`].. [`fig10`]), so the bench
+//! harness, the CLI's `--scenario` flag, and the docs all speak the same
+//! vocabulary.
+//!
+//! # Example
+//!
+//! ```
+//! use rtmac::scenario::{self, PolicySpec};
+//!
+//! let sc = scenario::by_name("video20").unwrap().with_intervals(200);
+//! let report = sc.run()?;
+//! assert_eq!(report.intervals, 200);
+//!
+//! // Same configuration, different contender — still one line.
+//! let ldf = sc.with_policy(PolicySpec::Ldf).run()?;
+//! assert_eq!(ldf.policy, "LDF");
+//! # Ok::<(), rtmac_model::ConfigError>(())
+//! ```
+
+use rtmac_model::influence::{DebtInfluence, Linear, Log1p, PaperLog, Power};
+use rtmac_model::{ConfigError, LinkId, Permutation};
+use rtmac_sim::Nanos;
+use rtmac_traffic::{ArrivalProcess, BernoulliArrivals, BurstUniform, ConstantArrivals};
+
+use crate::{Network, NetworkBuilder, PolicyKind, RunReport};
+
+/// A per-link parameter: one value shared by every link, or an explicit
+/// per-link vector (the asymmetric networks of Figs. 7–8).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Param {
+    /// Every link uses the same value.
+    Uniform(f64),
+    /// One value per link.
+    PerLink(Vec<f64>),
+}
+
+impl Param {
+    /// Expands to one value per link.
+    #[must_use]
+    pub fn expand(&self, n_links: usize) -> Vec<f64> {
+        match self {
+            Param::Uniform(v) => vec![*v; n_links],
+            Param::PerLink(v) => v.clone(),
+        }
+    }
+
+    /// The shared value, if this parameter is uniform.
+    #[must_use]
+    pub fn uniform_value(&self) -> Option<f64> {
+        match self {
+            Param::Uniform(v) => Some(*v),
+            Param::PerLink(_) => None,
+        }
+    }
+}
+
+/// Declarative arrival-process selection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrafficSpec {
+    /// The paper's video model: `U{1..=burst_max}` packets with
+    /// probability `α_n`, else none.
+    Burst {
+        /// Per-link burst probabilities `α_n`.
+        alpha: Param,
+        /// Maximum burst size (paper: 6).
+        burst_max: u32,
+    },
+    /// The paper's control model: one packet with probability `λ_n`.
+    Bernoulli {
+        /// Per-link arrival probabilities `λ_n`.
+        lambda: Param,
+    },
+    /// Exactly one packet per link per interval.
+    Constant,
+}
+
+impl TrafficSpec {
+    /// Instantiates the arrival process for `n_links` links. Invalid
+    /// parameters yield `None`, which [`NetworkBuilder::build`] reports as
+    /// a missing/invalid arrival process.
+    fn instantiate(&self, n_links: usize) -> Option<Box<dyn ArrivalProcess>> {
+        match self {
+            TrafficSpec::Burst { alpha, burst_max } => {
+                BurstUniform::new(alpha.expand(n_links), *burst_max)
+                    .ok()
+                    .map(|t| Box::new(t) as Box<dyn ArrivalProcess>)
+            }
+            TrafficSpec::Bernoulli { lambda } => BernoulliArrivals::new(lambda.expand(n_links))
+                .ok()
+                .map(|t| Box::new(t) as Box<dyn ArrivalProcess>),
+            TrafficSpec::Constant => ConstantArrivals::one_each(n_links)
+                .ok()
+                .map(|t| Box::new(t) as Box<dyn ArrivalProcess>),
+        }
+    }
+}
+
+/// Declarative debt-influence-function selection (`f` in the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InfluenceSpec {
+    /// The paper's `f(x) = log(max{1, 100(x+1)})`.
+    PaperLog,
+    /// The paper's log with a custom scale `c`: `log(max{1, c(x+1)})`.
+    PaperLogScaled(f64),
+    /// `f(x) = x` (classic LDF weighting).
+    Linear,
+    /// `f(x) = log(1+x)`.
+    Log1p,
+    /// `f(x) = x^m`.
+    Power(f64),
+}
+
+impl InfluenceSpec {
+    /// Instantiates the influence function.
+    #[must_use]
+    pub fn boxed(self) -> Box<dyn DebtInfluence> {
+        match self {
+            InfluenceSpec::PaperLog => Box::new(PaperLog::default()),
+            InfluenceSpec::PaperLogScaled(c) => Box::new(PaperLog::with_scale(c)),
+            InfluenceSpec::Linear => Box::new(Linear),
+            InfluenceSpec::Log1p => Box::new(Log1p),
+            InfluenceSpec::Power(m) => Box::new(Power::new(m)),
+        }
+    }
+}
+
+/// Declarative, `Copy`-able policy selection.
+///
+/// Unlike [`PolicyKind`] — which owns a boxed influence function and a
+/// stateful engine configuration — a `PolicySpec` is pure data, so sweep
+/// loops can carry it by value and instantiate the actual policy exactly
+/// once per run (inside [`Scenario::network`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PolicySpec {
+    /// The paper's decentralized algorithm (Algorithm 2 + Eq. 14).
+    DbDp {
+        /// Debt influence function `f`.
+        influence: InfluenceSpec,
+        /// The constant `R` of Eq. 14.
+        r: f64,
+        /// Simultaneous swap pairs per interval (Remark 6).
+        swap_pairs: usize,
+    },
+    /// Centralized extended largest-debt-first (Algorithm 1).
+    Eldf {
+        /// Debt influence function `f`.
+        influence: InfluenceSpec,
+    },
+    /// Classic LDF — ELDF with `f(x) = x`.
+    Ldf,
+    /// The discretized FCSMA baseline with the paper-default quantizer.
+    Fcsma,
+    /// IEEE 802.11 DCF with 802.11a defaults.
+    Dcf,
+    /// Frame-based CSMA.
+    FrameCsma {
+        /// Debt influence for the per-frame slot allocation.
+        influence: InfluenceSpec,
+        /// Control-phase length in backoff slots.
+        control_slots: u32,
+    },
+    /// The DP protocol frozen at the identity priority ordering (Fig. 6).
+    FixedPriority,
+}
+
+impl PolicySpec {
+    /// DB-DP with the paper's simulation parameters.
+    #[must_use]
+    pub fn db_dp() -> Self {
+        PolicySpec::DbDp {
+            influence: InfluenceSpec::PaperLog,
+            r: 10.0,
+            swap_pairs: 1,
+        }
+    }
+
+    /// DB-DP with `pairs` simultaneous swap pairs (Remark 6).
+    #[must_use]
+    pub fn db_dp_pairs(pairs: usize) -> Self {
+        PolicySpec::DbDp {
+            influence: InfluenceSpec::PaperLog,
+            r: 10.0,
+            swap_pairs: pairs,
+        }
+    }
+
+    /// ELDF with the paper's influence function.
+    #[must_use]
+    pub fn eldf() -> Self {
+        PolicySpec::Eldf {
+            influence: InfluenceSpec::PaperLog,
+        }
+    }
+
+    /// Frame-based CSMA with linear debt weights and a 32-slot control
+    /// phase.
+    #[must_use]
+    pub fn frame_csma() -> Self {
+        PolicySpec::FrameCsma {
+            influence: InfluenceSpec::Linear,
+            control_slots: 32,
+        }
+    }
+
+    /// Display label (the paper's plotting names).
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            PolicySpec::DbDp { swap_pairs: 1, .. } => "DB-DP".to_string(),
+            PolicySpec::DbDp { swap_pairs, .. } => format!("DB-DP {swap_pairs} pairs"),
+            PolicySpec::Eldf { .. } => "ELDF".to_string(),
+            PolicySpec::Ldf => "LDF".to_string(),
+            PolicySpec::Fcsma => "FCSMA".to_string(),
+            PolicySpec::Dcf => "DCF".to_string(),
+            PolicySpec::FrameCsma { .. } => "Frame-CSMA".to_string(),
+            PolicySpec::FixedPriority => "DP(fixed σ)".to_string(),
+        }
+    }
+
+    /// Instantiates the stateful [`PolicyKind`] for an `n_links` network.
+    /// Called exactly once per run, from [`Scenario::to_builder`].
+    #[must_use]
+    pub fn kind(&self, n_links: usize) -> PolicyKind {
+        match *self {
+            PolicySpec::DbDp {
+                influence,
+                r,
+                swap_pairs,
+            } => PolicyKind::db_dp_with(influence.boxed(), r, swap_pairs),
+            PolicySpec::Eldf { influence } => PolicyKind::eldf_with(influence.boxed()),
+            PolicySpec::Ldf => PolicyKind::Ldf,
+            PolicySpec::Fcsma => PolicyKind::fcsma(),
+            PolicySpec::Dcf => PolicyKind::dcf(),
+            PolicySpec::FrameCsma {
+                influence,
+                control_slots,
+            } => PolicyKind::frame_csma_with(influence.boxed(), control_slots),
+            PolicySpec::FixedPriority => PolicyKind::FixedPriority {
+                sigma: Permutation::identity(n_links),
+            },
+        }
+    }
+}
+
+/// One fully-specified experiment configuration: everything a run needs,
+/// as plain comparable data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Registry name (`"custom"` for ad-hoc configurations).
+    pub name: &'static str,
+    /// Number of fully-interfering links `N`.
+    pub links: usize,
+    /// Per-packet deadline (interval length `T`) in microseconds.
+    pub deadline_us: u64,
+    /// Data payload size in bytes.
+    pub payload_bytes: u32,
+    /// Per-link channel success probabilities `p_n`.
+    pub success: Param,
+    /// Arrival process.
+    pub traffic: TrafficSpec,
+    /// Required delivery ratios `ρ_n` (so `q_n = ρ_n · λ_n`).
+    pub ratio: Param,
+    /// Transmission policy.
+    pub policy: PolicySpec,
+    /// Horizon: intervals simulated by [`Scenario::run`].
+    pub intervals: usize,
+    /// Base RNG seed; replication `i` derives its seed from it.
+    pub seed: u64,
+    /// Number of independent sample paths the
+    /// [`Runner`](crate::runner::Runner) fans this scenario out across.
+    pub replications: usize,
+    /// Track one link's running throughput: `(link index, band)` as in
+    /// [`NetworkBuilder::track_link`] (the Fig. 5 instrumentation).
+    pub track: Option<(usize, f64)>,
+}
+
+impl Scenario {
+    /// Replaces the policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: PolicySpec) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Replaces the horizon.
+    #[must_use]
+    pub fn with_intervals(mut self, intervals: usize) -> Self {
+        self.intervals = intervals;
+        self
+    }
+
+    /// Replaces the base seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the replication count.
+    #[must_use]
+    pub fn with_replications(mut self, replications: usize) -> Self {
+        self.replications = replications;
+        self
+    }
+
+    /// Tracks `link`'s running throughput within `band` of its requirement.
+    #[must_use]
+    pub fn with_track(mut self, link: usize, band: f64) -> Self {
+        self.track = Some((link, band));
+        self
+    }
+
+    /// Replaces the delivery-ratio requirement.
+    #[must_use]
+    pub fn with_ratio(mut self, ratio: Param) -> Self {
+        self.ratio = ratio;
+        self
+    }
+
+    /// A preconfigured [`NetworkBuilder`] — the escape hatch for consumers
+    /// that need knobs the declarative form does not carry (custom loss
+    /// models, per-link payloads); chain the extra builder calls before
+    /// `build()`. Validation happens in [`NetworkBuilder::build`].
+    #[must_use]
+    pub fn to_builder(&self) -> NetworkBuilder {
+        let mut b = Network::builder()
+            .links(self.links)
+            .deadline(Nanos::from_micros(self.deadline_us))
+            .payload_bytes(self.payload_bytes)
+            .success_probabilities(self.success.expand(self.links))
+            .delivery_ratios(self.ratio.expand(self.links))
+            .policy(self.policy.kind(self.links))
+            .seed(self.seed);
+        if let Some(traffic) = self.traffic.instantiate(self.links) {
+            b = b.traffic(traffic);
+        }
+        if let Some((link, band)) = self.track {
+            b = b.track_link(LinkId::new(link), band);
+        }
+        b
+    }
+
+    /// Builds the network with the scenario's base seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for inconsistent parameters.
+    pub fn network(&self) -> Result<Network, ConfigError> {
+        self.to_builder().build()
+    }
+
+    /// Builds the network with an overridden seed (replication fan-out).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for inconsistent parameters.
+    pub fn network_with_seed(&self, seed: u64) -> Result<Network, ConfigError> {
+        self.to_builder().seed(seed).build()
+    }
+
+    /// Builds the network and runs the scenario's horizon.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for inconsistent parameters.
+    pub fn run(&self) -> Result<RunReport, ConfigError> {
+        Ok(self.network()?.run(self.intervals))
+    }
+}
+
+/// The parameter a [`Sweep`] varies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// Burst probability `α*` (requires [`TrafficSpec::Burst`]).
+    Alpha,
+    /// Bernoulli arrival rate `λ*` (requires [`TrafficSpec::Bernoulli`]).
+    Lambda,
+    /// Required delivery ratio `ρ`.
+    Ratio,
+    /// Channel success probability `p`.
+    SuccessProbability,
+}
+
+impl Axis {
+    /// The axis label used in tables and CSV headers.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Axis::Alpha => "alpha*",
+            Axis::Lambda => "lambda*",
+            Axis::Ratio => "rho",
+            Axis::SuccessProbability => "p",
+        }
+    }
+}
+
+/// A one-dimensional experiment sweep: a base [`Scenario`], the [`Axis`] to
+/// vary, and the points to visit. An optional per-link `shape` turns the
+/// swept scalar into an asymmetric vector (Figs. 7–8: `α_n = shape_n · α*`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sweep {
+    /// Registry name.
+    pub name: &'static str,
+    /// Base configuration; every point is a copy with one parameter
+    /// replaced.
+    pub base: Scenario,
+    /// The varied parameter.
+    pub axis: Axis,
+    /// The x-axis values.
+    pub points: Vec<f64>,
+    /// Optional per-link multipliers applied to the swept value; `None`
+    /// sweeps uniformly.
+    pub shape: Option<Vec<f64>>,
+}
+
+impl Sweep {
+    /// The scenario at sweep position `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the axis does not match the base scenario's traffic kind
+    /// (e.g. [`Axis::Alpha`] over Bernoulli traffic) — sweeps come from the
+    /// registry, so this indicates a construction bug.
+    #[must_use]
+    pub fn at(&self, x: f64) -> Scenario {
+        let param = match &self.shape {
+            None => Param::Uniform(x),
+            Some(shape) => Param::PerLink(shape.iter().map(|w| w * x).collect()),
+        };
+        let mut sc = self.base.clone();
+        match self.axis {
+            Axis::Alpha => match &mut sc.traffic {
+                TrafficSpec::Burst { alpha, .. } => *alpha = param,
+                other => panic!("alpha sweep over non-burst traffic {other:?}"),
+            },
+            Axis::Lambda => match &mut sc.traffic {
+                TrafficSpec::Bernoulli { lambda } => *lambda = param,
+                other => panic!("lambda sweep over non-Bernoulli traffic {other:?}"),
+            },
+            Axis::Ratio => sc.ratio = param,
+            Axis::SuccessProbability => sc.success = param,
+        }
+        sc
+    }
+
+    /// All sweep points as scenarios, in order.
+    #[must_use]
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        self.points.iter().map(|&x| self.at(x)).collect()
+    }
+
+    /// Replaces the policy of the base scenario.
+    #[must_use]
+    pub fn with_policy(mut self, policy: PolicySpec) -> Self {
+        self.base.policy = policy;
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry: the paper's named workloads and figure sweeps.
+// ---------------------------------------------------------------------------
+
+/// Default horizon used by the named workloads (the CLI default; the bench
+/// figures override it with the paper's 5000/20000).
+const DEFAULT_INTERVALS: usize = 1000;
+
+/// The symmetric video workload (Figs. 3–6): 20 ms deadline, 1500 B
+/// payloads, `p = 0.7`, burst-uniform arrivals `U{1..6}` with probability
+/// `alpha`, delivery ratio `rho`.
+#[must_use]
+pub fn video(n: usize, alpha: f64, rho: f64, seed: u64) -> Scenario {
+    Scenario {
+        name: "video",
+        links: n,
+        deadline_us: 20_000,
+        payload_bytes: 1500,
+        success: Param::Uniform(0.7),
+        traffic: TrafficSpec::Burst {
+            alpha: Param::Uniform(alpha),
+            burst_max: 6,
+        },
+        ratio: Param::Uniform(rho),
+        policy: PolicySpec::db_dp(),
+        intervals: DEFAULT_INTERVALS,
+        seed,
+        replications: 1,
+        track: None,
+    }
+}
+
+/// The video workload with explicit per-link parameter vectors (the bench
+/// figure runner's fully general form).
+#[must_use]
+pub fn video_per_link(alpha: Vec<f64>, p: Vec<f64>, rho: Vec<f64>, seed: u64) -> Scenario {
+    let links = alpha.len();
+    Scenario {
+        name: "video",
+        links,
+        deadline_us: 20_000,
+        payload_bytes: 1500,
+        success: Param::PerLink(p),
+        traffic: TrafficSpec::Burst {
+            alpha: Param::PerLink(alpha),
+            burst_max: 6,
+        },
+        ratio: Param::PerLink(rho),
+        policy: PolicySpec::db_dp(),
+        intervals: DEFAULT_INTERVALS,
+        seed,
+        replications: 1,
+        track: None,
+    }
+}
+
+/// The ultra-low-latency control workload (Figs. 9–10): 2 ms deadline,
+/// 100 B payloads, `p = 0.7`, Bernoulli arrivals with rate `lambda`,
+/// delivery ratio `rho`.
+#[must_use]
+pub fn control(n: usize, lambda: f64, rho: f64, seed: u64) -> Scenario {
+    Scenario {
+        name: "control",
+        links: n,
+        deadline_us: 2_000,
+        payload_bytes: 100,
+        success: Param::Uniform(0.7),
+        traffic: TrafficSpec::Bernoulli {
+            lambda: Param::Uniform(lambda),
+        },
+        ratio: Param::Uniform(rho),
+        policy: PolicySpec::db_dp(),
+        intervals: DEFAULT_INTERVALS,
+        seed,
+        replications: 1,
+        track: None,
+    }
+}
+
+/// The asymmetric video network of Figs. 7–8: links `0..n/2` form group 1
+/// (`p = 0.5`, `α = 0.5·α*`), links `n/2..n` group 2 (`p = 0.8`,
+/// `α = α*`).
+#[must_use]
+pub fn asym(alpha_star: f64, rho: f64, seed: u64) -> Scenario {
+    let (alpha, p) = asym_params(alpha_star);
+    Scenario {
+        name: "asym",
+        links: 20,
+        deadline_us: 20_000,
+        payload_bytes: 1500,
+        success: Param::PerLink(p),
+        traffic: TrafficSpec::Burst {
+            alpha: Param::PerLink(alpha),
+            burst_max: 6,
+        },
+        ratio: Param::Uniform(rho),
+        policy: PolicySpec::db_dp(),
+        intervals: DEFAULT_INTERVALS,
+        seed,
+        replications: 1,
+        track: None,
+    }
+}
+
+/// The asymmetric `(α, p)` vectors at a given `α*`.
+#[must_use]
+pub fn asym_params(alpha_star: f64) -> (Vec<f64>, Vec<f64>) {
+    let mut alpha = vec![0.5 * alpha_star; 10];
+    alpha.extend(vec![alpha_star; 10]);
+    let mut p = vec![0.5; 10];
+    p.extend(vec![0.8; 10]);
+    (alpha, p)
+}
+
+/// The per-link multipliers of the asymmetric α-sweep (Fig. 7).
+fn asym_alpha_shape() -> Vec<f64> {
+    let mut shape = vec![0.5; 10];
+    shape.extend(vec![1.0; 10]);
+    shape
+}
+
+/// A tiny, fast workload for smoke tests: 3 reliable links, one packet per
+/// interval, 2 ms deadline.
+#[must_use]
+pub fn tiny(seed: u64) -> Scenario {
+    Scenario {
+        name: "tiny",
+        links: 3,
+        deadline_us: 2_000,
+        payload_bytes: 100,
+        success: Param::Uniform(1.0),
+        traffic: TrafficSpec::Constant,
+        ratio: Param::Uniform(0.95),
+        policy: PolicySpec::db_dp(),
+        intervals: DEFAULT_INTERVALS,
+        seed,
+        replications: 1,
+        track: None,
+    }
+}
+
+/// Names accepted by [`by_name`] (and the CLI's `--scenario` flag).
+pub const NAMES: [&str; 4] = ["video20", "control10", "asym", "tiny"];
+
+/// Looks up a named workload: `video20` (Fig. 3's network at `α* = 0.55`),
+/// `control10` (Fig. 9's network at `λ* = 0.7`), `asym` (Figs. 7–8 at
+/// `α* = 0.7`), or `tiny`.
+#[must_use]
+pub fn by_name(name: &str) -> Option<Scenario> {
+    match name {
+        "video20" => Some(Scenario {
+            name: "video20",
+            ..video(20, 0.55, 0.9, 0)
+        }),
+        "control10" => Some(Scenario {
+            name: "control10",
+            ..control(10, 0.7, 0.99, 0)
+        }),
+        "asym" => Some(asym(0.7, 0.9, 0)),
+        "tiny" => Some(tiny(0)),
+        _ => None,
+    }
+}
+
+/// Fig. 3 — the symmetric video network (`ρ = 0.9`) swept over `α*`.
+#[must_use]
+pub fn fig3(intervals: usize, seed: u64) -> Sweep {
+    Sweep {
+        name: "fig3",
+        base: video(20, 0.55, 0.9, seed).with_intervals(intervals),
+        axis: Axis::Alpha,
+        points: (0..=6).map(|s| 0.40 + 0.05 * f64::from(s)).collect(),
+        shape: None,
+    }
+}
+
+/// Fig. 4 — the symmetric video network at `α* = 0.55` swept over `ρ`.
+#[must_use]
+pub fn fig4(intervals: usize, seed: u64) -> Sweep {
+    Sweep {
+        name: "fig4",
+        base: video(20, 0.55, 0.9, seed).with_intervals(intervals),
+        axis: Axis::Ratio,
+        points: (0..=8).map(|s| 0.80 + 0.025 * f64::from(s)).collect(),
+        shape: None,
+    }
+}
+
+/// Fig. 5 — the convergence experiment: `α* = 0.55`, `ρ = 0.93`, tracking
+/// the link holding the lowest priority at time 0.
+#[must_use]
+pub fn fig5(intervals: usize, seed: u64) -> Scenario {
+    video(20, 0.55, 0.93, seed)
+        .with_intervals(intervals)
+        .with_track(19, 0.01)
+}
+
+/// Fig. 6 — the fixed-priority experiment at `α* = 0.6`.
+#[must_use]
+pub fn fig6(intervals: usize, seed: u64) -> Scenario {
+    video(20, 0.6, 0.9, seed)
+        .with_intervals(intervals)
+        .with_policy(PolicySpec::FixedPriority)
+}
+
+/// Fig. 7 — the asymmetric network (`ρ = 0.9`) swept over `α*`
+/// (`α_n = shape_n · α*`).
+#[must_use]
+pub fn fig7(intervals: usize, seed: u64) -> Sweep {
+    Sweep {
+        name: "fig7",
+        base: asym(0.7, 0.9, seed).with_intervals(intervals),
+        axis: Axis::Alpha,
+        points: (0..=5).map(|s| 0.45 + 0.07 * f64::from(s)).collect(),
+        shape: Some(asym_alpha_shape()),
+    }
+}
+
+/// Fig. 8 — the asymmetric network at `α* = 0.7` swept over `ρ`.
+#[must_use]
+pub fn fig8(intervals: usize, seed: u64) -> Sweep {
+    Sweep {
+        name: "fig8",
+        base: asym(0.7, 0.9, seed).with_intervals(intervals),
+        axis: Axis::Ratio,
+        points: (0..=6).map(|s| 0.80 + 0.03 * f64::from(s)).collect(),
+        shape: None,
+    }
+}
+
+/// Fig. 9 — the control network (`ρ = 0.99`) swept over `λ*`.
+#[must_use]
+pub fn fig9(intervals: usize, seed: u64) -> Sweep {
+    Sweep {
+        name: "fig9",
+        base: control(10, 0.7, 0.99, seed).with_intervals(intervals),
+        axis: Axis::Lambda,
+        points: (0..=8).map(|s| 0.50 + 0.05 * f64::from(s)).collect(),
+        shape: None,
+    }
+}
+
+/// Fig. 10 — the control network at `λ* = 0.78` swept over `ρ`.
+#[must_use]
+pub fn fig10(intervals: usize, seed: u64) -> Sweep {
+    Sweep {
+        name: "fig10",
+        base: control(10, 0.78, 0.99, seed).with_intervals(intervals),
+        axis: Axis::Ratio,
+        points: (0..=5).map(|s| 0.90 + 0.02 * f64::from(s)).collect(),
+        shape: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_resolve() {
+        for name in NAMES {
+            let sc = by_name(name).unwrap_or_else(|| panic!("{name} must resolve"));
+            assert_eq!(sc.name, name);
+            assert!(sc.network().is_ok(), "{name} must build");
+        }
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn scenario_matches_direct_builder() {
+        // The scenario layer must reproduce a hand-built network bit for
+        // bit: same config, same seed, same trajectory.
+        let sc = video(4, 0.5, 0.9, 7).with_intervals(50);
+        let a = sc.run().unwrap();
+        let traffic = BurstUniform::symmetric(4, 0.5, 6).unwrap();
+        let mut net = Network::builder()
+            .links(4)
+            .deadline_ms(20)
+            .payload_bytes(1500)
+            .uniform_success_probability(0.7)
+            .traffic(Box::new(traffic))
+            .delivery_ratio(0.9)
+            .policy(PolicyKind::db_dp())
+            .seed(7)
+            .build()
+            .unwrap();
+        let b = net.run(50);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sweep_at_replaces_only_the_axis() {
+        let sweep = fig3(100, 1);
+        let sc = sweep.at(0.40);
+        assert_eq!(
+            sc.traffic,
+            TrafficSpec::Burst {
+                alpha: Param::Uniform(0.40),
+                burst_max: 6
+            }
+        );
+        assert_eq!(sc.ratio, Param::Uniform(0.9));
+        assert_eq!(sweep.scenarios().len(), 7);
+    }
+
+    #[test]
+    fn asym_sweep_scales_by_shape() {
+        let sweep = fig7(100, 1);
+        let sc = sweep.at(0.5);
+        match &sc.traffic {
+            TrafficSpec::Burst { alpha, .. } => {
+                let v = alpha.expand(20);
+                assert_eq!(v[0], 0.25);
+                assert_eq!(v[19], 0.5);
+            }
+            other => panic!("unexpected traffic {other:?}"),
+        }
+        // Success probabilities keep the two-group structure.
+        assert_eq!(sc.success.expand(20)[0], 0.5);
+        assert_eq!(sc.success.expand(20)[19], 0.8);
+    }
+
+    #[test]
+    fn every_policy_spec_instantiates() {
+        for spec in [
+            PolicySpec::db_dp(),
+            PolicySpec::db_dp_pairs(3),
+            PolicySpec::eldf(),
+            PolicySpec::Ldf,
+            PolicySpec::Fcsma,
+            PolicySpec::Dcf,
+            PolicySpec::frame_csma(),
+            PolicySpec::FixedPriority,
+        ] {
+            let sc = tiny(1).with_policy(spec).with_intervals(5);
+            let report = sc.run().unwrap_or_else(|e| panic!("{spec:?}: {e}"));
+            assert_eq!(report.intervals, 5, "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn labels_are_the_paper_names() {
+        assert_eq!(PolicySpec::db_dp().label(), "DB-DP");
+        assert_eq!(PolicySpec::db_dp_pairs(3).label(), "DB-DP 3 pairs");
+        assert_eq!(PolicySpec::Ldf.label(), "LDF");
+        assert_eq!(PolicySpec::Fcsma.label(), "FCSMA");
+    }
+
+    #[test]
+    fn to_builder_is_customizable() {
+        // The escape hatch: start from a named workload, override a knob
+        // the declarative form does not carry.
+        let net = by_name("tiny")
+            .unwrap()
+            .to_builder()
+            .payload_bytes(300)
+            .build()
+            .unwrap();
+        assert_eq!(net.config().n_links(), 3);
+    }
+
+    #[test]
+    fn track_is_wired_through() {
+        let report = fig5(20, 3).run().unwrap();
+        assert!(report.tracked.is_some());
+    }
+}

@@ -148,7 +148,7 @@ pub struct DpIntervalReport {
 }
 
 /// Per-pair handshake state for one interval.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct PairState {
     /// Upper priority `C` of the pair.
     c: usize,
@@ -190,6 +190,19 @@ impl PairState {
     }
 }
 
+/// Per-interval working buffers, owned by the engine so the hot loop
+/// allocates nothing after the first interval.
+#[derive(Debug, Clone, Default)]
+struct Scratch {
+    pairs: Vec<PairState>,
+    pending_empty: Vec<bool>,
+    counter: Vec<u64>,
+    role: Vec<Option<(usize, bool)>>,
+    data: Vec<u32>,
+    done: Vec<bool>,
+    transmitters: Vec<usize>,
+}
+
 /// The DP protocol engine. Persists the priority permutation `σ` across
 /// intervals; everything else is per-interval state.
 ///
@@ -215,6 +228,7 @@ impl PairState {
 pub struct DpEngine {
     config: DpConfig,
     sigma: Permutation,
+    scratch: Scratch,
 }
 
 impl DpEngine {
@@ -229,6 +243,7 @@ impl DpEngine {
         DpEngine {
             config,
             sigma: Permutation::identity(n_links),
+            scratch: Scratch::default(),
         }
     }
 
@@ -281,9 +296,10 @@ impl DpEngine {
         // values from 1..=n-1 (non-adjacent: |C_i − C_j| ≥ 2 so the pairs
         // {C, C+1} are disjoint).
         let mut pool: Vec<usize> = (1..n).collect();
+        let mut picked = vec![0usize; want];
         loop {
             pool.shuffle(rng);
-            let mut picked: Vec<usize> = pool[..want].to_vec();
+            picked.copy_from_slice(&pool[..want]);
             picked.sort_unstable();
             if picked.windows(2).all(|w| w[1] - w[0] >= 2) {
                 return picked;
@@ -310,7 +326,7 @@ impl DpEngine {
         rng: &mut SimRng,
     ) -> DpIntervalReport {
         let candidates = self.draw_candidates(rng);
-        self.run_interval_with_candidates(arrivals, mu, &candidates, channel, rng)
+        self.run_candidates(arrivals, mu, candidates, channel, rng)
     }
 
     /// Runs one interval with an explicitly chosen candidate set — the
@@ -330,6 +346,20 @@ impl DpEngine {
         channel: &mut dyn LossModel,
         rng: &mut SimRng,
     ) -> DpIntervalReport {
+        self.run_candidates(arrivals, mu, candidates.to_vec(), channel, rng)
+    }
+
+    /// The shared interval body. Takes the candidate set by value so the
+    /// [`DpEngine::run_interval`] path hands its freshly drawn `Vec`
+    /// straight through without a copy.
+    fn run_candidates(
+        &mut self,
+        arrivals: &[u32],
+        mu: &[f64],
+        candidates: Vec<usize>,
+        channel: &mut dyn LossModel,
+        rng: &mut SimRng,
+    ) -> DpIntervalReport {
         let n = self.sigma.len();
         assert_eq!(arrivals.len(), n, "arrivals must have one entry per link");
         assert_eq!(mu.len(), n, "mu must have one entry per link");
@@ -346,18 +376,31 @@ impl DpEngine {
                 );
             }
         }
-        let candidates = candidates.to_vec();
-
-        let timing = self.config.timing.clone();
-        let tracing = self.config.trace;
+        let Self {
+            config,
+            sigma,
+            scratch,
+        } = self;
+        let timing = &config.timing;
+        let tracing = config.trace;
         let mut trace: Vec<TraceEvent> = Vec::new();
 
         // Step 2–3: empty packets and coins for candidates.
-        let mut pairs: Vec<PairState> = Vec::with_capacity(candidates.len());
-        let mut pending_empty = vec![false; n];
+        let Scratch {
+            pairs,
+            pending_empty,
+            counter,
+            role,
+            data,
+            done,
+            transmitters,
+        } = scratch;
+        pairs.clear();
+        pending_empty.clear();
+        pending_empty.resize(n, false);
         for &c in &candidates {
-            let hi = self.sigma.link_with_priority(c);
-            let lo = self.sigma.link_with_priority(c + 1);
+            let hi = sigma.link_with_priority(c);
+            let lo = sigma.link_with_priority(c + 1);
             for link in [hi, lo] {
                 if arrivals[link.index()] == 0 {
                     pending_empty[link.index()] = true;
@@ -385,14 +428,16 @@ impl DpEngine {
 
         // Step 4: deterministic backoff counters (Eq. 6, generalized to
         // multiple pairs: each completed pair shifts later priorities by 2).
-        let mut counter = vec![0u64; n];
-        let mut role: Vec<Option<(usize, bool)>> = vec![None; n]; // (pair idx, is_hi)
+        counter.clear();
+        counter.resize(n, 0);
+        role.clear();
+        role.resize(n, None); // (pair idx, is_hi)
         for (j, pair) in pairs.iter().enumerate() {
             role[pair.hi.index()] = Some((j, true));
             role[pair.lo.index()] = Some((j, false));
         }
         for link in 0..n {
-            let sigma_n = self.sigma.priority_of(LinkId::new(link));
+            let sigma_n = sigma.priority_of(LinkId::new(link));
             counter[link] = match role[link] {
                 Some((j, is_hi)) => {
                     let pair = &pairs[j];
@@ -424,8 +469,10 @@ impl DpEngine {
         }
 
         // Interval state.
-        let mut data: Vec<u32> = arrivals.to_vec();
-        let mut done = vec![false; n];
+        data.clear();
+        data.extend_from_slice(arrivals);
+        done.clear();
+        done.resize(n, false);
         let mut outcome = IntervalOutcome::empty(n);
         let mut medium = Medium::new();
         let slot = timing.slot();
@@ -449,7 +496,7 @@ impl DpEngine {
             }
 
             // Who starts transmitting at this boundary?
-            let mut transmitters: Vec<usize> = Vec::new();
+            transmitters.clear();
             for link in 0..n {
                 if done[link] || counter[link] != 0 {
                     continue;
@@ -486,7 +533,7 @@ impl DpEngine {
             // transmission starts at this very boundary (the medium is idle
             // between boundaries by construction).
             let busy_now = !transmitters.is_empty();
-            for pair in &mut pairs {
+            for pair in pairs.iter_mut() {
                 // Evaluate a concede check armed at the previous boundary,
                 // then promote one staged this boundary.
                 if pair.hi_concede_armed {
@@ -541,7 +588,7 @@ impl DpEngine {
                 transmitters.len(),
                 1,
                 "DP protocol must be collision-free (σ = {}, counters = {:?})",
-                self.sigma,
+                sigma,
                 counter
             );
 
@@ -615,7 +662,7 @@ impl DpEngine {
                     })
                     .collect();
                 let tx = medium.transmit(t, &airtimes);
-                for &l in &transmitters {
+                for &l in transmitters.iter() {
                     if data[l] > 0 {
                         outcome.attempts[l] += 1;
                     } else {
@@ -632,17 +679,17 @@ impl DpEngine {
 
         // Steps 5/7: commit the handshakes and update σ for interval k+1.
         let mut swaps = Vec::new();
-        for pair in &pairs {
+        for pair in pairs.iter() {
             let hi_swaps = pair.hi_swaps();
             let lo_swaps = pair.lo_swaps();
             debug_assert_eq!(
                 hi_swaps, lo_swaps,
                 "swap handshake diverged for pair C = {} (σ = {})",
-                pair.c, self.sigma
+                pair.c, sigma
             );
             if hi_swaps && lo_swaps {
                 let t = AdjacentTransposition::new(pair.c);
-                self.sigma.apply(t);
+                sigma.apply(t);
                 swaps.push(t);
                 if tracing {
                     trace.push(TraceEvent::SwapCommitted { upper: pair.c });

@@ -10,7 +10,7 @@
 //! ```
 
 use rtmac::phy::channel::{GilbertElliott, GilbertElliottParams};
-use rtmac::PolicyKind;
+use rtmac::PolicySpec;
 use rtmac_suite::scenarios;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -18,10 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rho = 0.9;
 
     // Static channel: p = 0.7 i.i.d. (the paper's model).
-    let mut static_net = scenarios::control(10, 0.7, rho, 21)
-        .policy(PolicyKind::db_dp())
-        .build()?;
-    let static_report = static_net.run(intervals);
+    let static_report = scenarios::control(10, 0.7, rho, 21)
+        .with_policy(PolicySpec::db_dp())
+        .with_intervals(intervals)
+        .run()?;
 
     // Bursty channel with the same mean: good state p = 0.9, bad state
     // p = 0.1, stationary 75% good -> mean 0.7.
@@ -32,9 +32,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         bad_to_good: 0.06,
     };
     assert!((ge.mean_success() - 0.7).abs() < 1e-12);
+    // The declarative layer only describes i.i.d. channels, so the bursty
+    // model attaches through the builder escape hatch.
     let mut bursty_net = scenarios::control(10, 0.7, rho, 21)
+        .with_policy(PolicySpec::db_dp())
+        .to_builder()
         .channel(Box::new(GilbertElliott::new(vec![ge; 10])?))
-        .policy(PolicyKind::db_dp())
         .build()?;
     let bursty_report = bursty_net.run(intervals);
 

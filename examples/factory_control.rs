@@ -10,7 +10,7 @@
 //! ```
 
 use rtmac::model::LinkId;
-use rtmac::PolicyKind;
+use rtmac::PolicySpec;
 use rtmac_suite::scenarios;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -18,9 +18,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let watched = LinkId::new(9); // the lowest-priority link at startup
 
     let mut network = scenarios::control(10, 0.78, 0.99, 3)
-        .policy(PolicyKind::db_dp())
-        .track_link(watched, 0.01)
-        .build()?;
+        .with_policy(PolicySpec::db_dp())
+        .with_track(watched.index(), 0.01)
+        .network()?;
     let report = network.run(intervals);
 
     println!("control workload: 10 links, Bernoulli(0.78), p = 0.7, 2 ms deadline, 99% ratio");

@@ -11,8 +11,8 @@
 //! cargo run --release --example mixed_traffic
 //! ```
 
-use rtmac::{Network, PolicyKind};
-use rtmac_traffic::BurstUniform;
+use rtmac::scenario::{Param, TrafficSpec};
+use rtmac::{PolicySpec, Scenario};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n_video = 8;
@@ -23,24 +23,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // packet almost every interval.
     let mut alpha = vec![0.4; n_video];
     alpha.extend(vec![0.28; n_control]); // λ = 0.98 on a burst_max = 1 basis below
-    let traffic = BurstUniform::new(alpha, 6)?;
 
+    let scenario = Scenario {
+        name: "mixed",
+        links: n,
+        deadline_us: 20_000,
+        payload_bytes: 1500,
+        success: Param::Uniform(0.7),
+        traffic: TrafficSpec::Burst {
+            alpha: Param::PerLink(alpha),
+            burst_max: 6,
+        },
+        ratio: Param::Uniform(0.9),
+        policy: PolicySpec::db_dp(),
+        intervals: 4000,
+        seed: 5,
+        replications: 1,
+        track: None,
+    };
+
+    // Per-link payload sizes are the one knob the declarative scenario
+    // does not carry; attach them through the builder escape hatch.
     let mut payloads = vec![1500u32; n_video];
     payloads.extend(vec![100u32; n_control]);
+    let mut network = scenario.to_builder().link_payloads(payloads).build()?;
 
-    let mut network = Network::builder()
-        .links(n)
-        .deadline_ms(20)
-        .payload_bytes(1500)
-        .link_payloads(payloads)
-        .uniform_success_probability(0.7)
-        .traffic(Box::new(traffic))
-        .delivery_ratio(0.9)
-        .policy(PolicyKind::db_dp())
-        .seed(5)
-        .build()?;
-
-    let report = network.run(4000);
+    let report = network.run(scenario.intervals);
     println!("mixed workload: {n_video} video links (1500 B) + {n_control} control links (100 B)");
     println!("policy: {}\n", report.policy);
     println!(

@@ -5,23 +5,33 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use rtmac::{Network, PolicyKind};
+use rtmac::scenario::{Param, TrafficSpec};
+use rtmac::{PolicySpec, Scenario};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Six links sharing one channel, every link interfering with every
     // other. Packets arrive at each interval start and expire 2 ms later;
     // uncollided transmissions succeed with probability 0.8; every link
-    // must sustain 95% on-time delivery.
-    let mut network = Network::builder()
-        .links(6)
-        .deadline_ms(2)
-        .payload_bytes(100)
-        .uniform_success_probability(0.8)
-        .bernoulli_arrivals(0.9)
-        .delivery_ratio(0.95)
-        .policy(PolicyKind::db_dp())
-        .seed(7)
-        .build()?;
+    // must sustain 95% on-time delivery. A `Scenario` is plain data — the
+    // same description drives the CLI (`rtmac run --scenario ...`) and the
+    // benchmark figures.
+    let scenario = Scenario {
+        name: "quickstart",
+        links: 6,
+        deadline_us: 2_000,
+        payload_bytes: 100,
+        success: Param::Uniform(0.8),
+        traffic: TrafficSpec::Bernoulli {
+            lambda: Param::Uniform(0.9),
+        },
+        ratio: Param::Uniform(0.95),
+        policy: PolicySpec::db_dp(),
+        intervals: 2000,
+        seed: 7,
+        replications: 1,
+        track: None,
+    };
+    let mut network = scenario.network()?;
 
     println!("policy: {}", network.policy_name());
     println!(
@@ -35,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rtmac::phy::PhyProfile::ieee80211a().packet_exchange_airtime(100),
     );
 
-    let report = network.run(2000);
+    let report = network.run(scenario.intervals);
 
     println!("after {} intervals:", report.intervals);
     println!(

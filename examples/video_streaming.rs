@@ -21,13 +21,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "policy", "deficiency", "collisions", "idle slots", "empty packets"
     );
     let mut lineup = scenarios::contenders();
-    lineup.push(("Frame-CSMA", rtmac::PolicyKind::frame_csma()));
-    lineup.push(("DCF", rtmac::PolicyKind::dcf()));
+    lineup.push(("Frame-CSMA", rtmac::PolicySpec::frame_csma()));
+    lineup.push(("DCF", rtmac::PolicySpec::Dcf));
     for (label, policy) in lineup {
-        let mut network = scenarios::video(20, alpha, rho, 42)
-            .policy(policy)
-            .build()?;
-        let report = network.run(intervals);
+        let report = scenarios::video(20, alpha, rho, 42)
+            .with_policy(policy)
+            .with_intervals(intervals)
+            .run()?;
         println!(
             "{label:>12} {:>12.4} {:>12} {:>12} {:>14}",
             report.final_total_deficiency,

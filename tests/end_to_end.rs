@@ -1,20 +1,22 @@
 //! End-to-end integration tests: full networks (traffic → policy → PHY →
 //! debts) exercised through the public API, comparing the paper's
-//! algorithms on feasible and infeasible workloads.
+//! algorithms on feasible and infeasible workloads. Every network is
+//! constructed through the [`Scenario`] layer.
 
-use rtmac::PolicyKind;
+use rtmac::scenario::Param;
+use rtmac::{PolicySpec, Scenario};
 use rtmac_suite::scenarios;
+
+fn run(sc: Scenario, intervals: usize) -> rtmac::RunReport {
+    sc.with_intervals(intervals).run().unwrap()
+}
 
 /// On a comfortably feasible workload every debt-aware policy fulfills the
 /// requirement: total deficiency dies out.
 #[test]
 fn feasible_workload_is_fulfilled_by_all_debt_aware_policies() {
     for (label, policy) in scenarios::contenders() {
-        let mut net = scenarios::control(6, 0.6, 0.9, 1)
-            .policy(policy)
-            .build()
-            .unwrap();
-        let report = net.run(3000);
+        let report = run(scenarios::control(6, 0.6, 0.9, 1).with_policy(policy), 3000);
         assert!(
             report.final_total_deficiency < 0.05,
             "{label} left deficiency {}",
@@ -31,11 +33,10 @@ fn infeasible_workload_shows_persistent_deficiency() {
     // 20 links each wanting 0.99 of one packet per interval over p = 0.7
     // needs ~28 expected attempts; the 2 ms / 100 B budget is 16.
     for (label, policy) in scenarios::contenders() {
-        let mut net = scenarios::control(20, 1.0, 0.99, 2)
-            .policy(policy)
-            .build()
-            .unwrap();
-        let report = net.run(1500);
+        let report = run(
+            scenarios::control(20, 1.0, 0.99, 2).with_policy(policy),
+            1500,
+        );
         assert!(
             report.final_total_deficiency > 1.0,
             "{label} reported deficiency {} on an infeasible load",
@@ -49,15 +50,11 @@ fn infeasible_workload_shows_persistent_deficiency() {
 #[test]
 fn db_dp_tracks_ldf_and_beats_fcsma_near_capacity() {
     let run = |policy| {
-        let mut net = scenarios::video(20, 0.5, 0.9, 3)
-            .policy(policy)
-            .build()
-            .unwrap();
-        net.run(4000).final_total_deficiency
+        run(scenarios::video(20, 0.5, 0.9, 3).with_policy(policy), 4000).final_total_deficiency
     };
-    let db_dp = run(PolicyKind::db_dp());
-    let ldf = run(PolicyKind::Ldf);
-    let fcsma = run(PolicyKind::fcsma());
+    let db_dp = run(PolicySpec::db_dp());
+    let ldf = run(PolicySpec::Ldf);
+    let fcsma = run(PolicySpec::Fcsma);
     assert!(db_dp < 0.2, "DB-DP deficiency {db_dp}");
     assert!(ldf < 0.2, "LDF deficiency {ldf}");
     assert!(
@@ -73,19 +70,16 @@ fn db_dp_tracks_ldf_and_beats_fcsma_near_capacity() {
 #[test]
 fn frame_csma_is_suboptimal_under_unreliable_channels() {
     let run = |policy, p: f64| {
-        let mut net = scenarios::control(8, 0.9, 0.95, 14)
-            .uniform_success_probability(p)
-            .policy(policy)
-            .build()
-            .unwrap();
-        net.run(2500).final_total_deficiency
+        let mut sc = scenarios::control(8, 0.9, 0.95, 14).with_policy(policy);
+        sc.success = Param::Uniform(p);
+        run(sc, 2500).final_total_deficiency
     };
     // Reliable channel: both fulfill.
-    assert!(run(PolicyKind::frame_csma(), 1.0) < 0.05);
-    assert!(run(PolicyKind::db_dp(), 1.0) < 0.05);
+    assert!(run(PolicySpec::frame_csma(), 1.0) < 0.05);
+    assert!(run(PolicySpec::db_dp(), 1.0) < 0.05);
     // Unreliable channel at a load DB-DP still fulfills:
-    let db_dp = run(PolicyKind::db_dp(), 0.6);
-    let frame = run(PolicyKind::frame_csma(), 0.6);
+    let db_dp = run(PolicySpec::db_dp(), 0.6);
+    let frame = run(PolicySpec::frame_csma(), 0.6);
     assert!(db_dp < 0.1, "DB-DP deficiency {db_dp}");
     assert!(
         frame > db_dp + 0.5,
@@ -93,17 +87,16 @@ fn frame_csma_is_suboptimal_under_unreliable_channels() {
     );
 }
 
-/// The whole pipeline is deterministic: same seed, same report.
+/// The whole pipeline is deterministic: same scenario, same report.
 #[test]
 fn runs_are_reproducible() {
     let run = || {
-        let mut net = scenarios::video(8, 0.5, 0.9, 99)
-            .policy(PolicyKind::db_dp())
-            .build()
-            .unwrap();
-        let report = net.run(300);
+        let report = run(
+            scenarios::video(8, 0.5, 0.9, 99).with_policy(PolicySpec::db_dp()),
+            300,
+        );
         (
-            report.per_link_throughput,
+            report.per_link_throughput.clone(),
             report.deficiency.as_slice().to_vec(),
             report.empty_packets,
         )
@@ -115,21 +108,11 @@ fn runs_are_reproducible() {
 #[test]
 fn dp_family_is_collision_free_end_to_end() {
     for policy in [
-        PolicyKind::db_dp(),
-        PolicyKind::FixedPriority {
-            sigma: rtmac::model::Permutation::identity(10),
-        },
-        PolicyKind::DbDp {
-            influence: Box::new(rtmac::model::influence::PaperLog::default()),
-            r: 10.0,
-            swap_pairs: 3,
-        },
+        PolicySpec::db_dp(),
+        PolicySpec::FixedPriority,
+        PolicySpec::db_dp_pairs(3),
     ] {
-        let mut net = scenarios::video(10, 0.6, 0.9, 5)
-            .policy(policy)
-            .build()
-            .unwrap();
-        let report = net.run(800);
+        let report = run(scenarios::video(10, 0.6, 0.9, 5).with_policy(policy), 800);
         assert_eq!(report.collisions, 0, "policy {}", report.policy);
     }
 }
@@ -137,12 +120,8 @@ fn dp_family_is_collision_free_end_to_end() {
 /// Random-access baselines do collide under load — the loss DP avoids.
 #[test]
 fn random_access_baselines_do_collide() {
-    for policy in [PolicyKind::fcsma(), PolicyKind::dcf()] {
-        let mut net = scenarios::video(20, 0.6, 0.9, 6)
-            .policy(policy)
-            .build()
-            .unwrap();
-        let report = net.run(300);
+    for policy in [PolicySpec::Fcsma, PolicySpec::Dcf] {
+        let report = run(scenarios::video(20, 0.6, 0.9, 6).with_policy(policy), 300);
         assert!(report.collisions > 0, "policy {}", report.policy);
     }
 }
@@ -153,13 +132,10 @@ fn random_access_baselines_do_collide() {
 #[test]
 fn latency_ordering_under_fixed_priorities() {
     let deadline = rtmac::sim::Nanos::from_millis(20);
-    let mut net = scenarios::video(10, 0.8, 0.9, 4)
-        .policy(PolicyKind::FixedPriority {
-            sigma: rtmac::model::Permutation::identity(10),
-        })
-        .build()
-        .unwrap();
-    let report = net.run(1000);
+    let report = run(
+        scenarios::video(10, 0.8, 0.9, 4).with_policy(PolicySpec::FixedPriority),
+        1000,
+    );
     let lat: Vec<_> = report
         .mean_latency
         .iter()
@@ -182,11 +158,7 @@ fn latency_ordering_under_fixed_priorities() {
 #[test]
 fn fcsma_pays_latency_for_contention() {
     let mean_over_links = |policy| {
-        let mut net = scenarios::control(6, 0.7, 0.9, 8)
-            .policy(policy)
-            .build()
-            .unwrap();
-        let report = net.run(1500);
+        let report = run(scenarios::control(6, 0.7, 0.9, 8).with_policy(policy), 1500);
         let total: u128 = report
             .mean_latency
             .iter()
@@ -195,8 +167,8 @@ fn fcsma_pays_latency_for_contention() {
             .sum();
         total as f64 / report.mean_latency.len() as f64
     };
-    let ldf = mean_over_links(PolicyKind::Ldf);
-    let fcsma = mean_over_links(PolicyKind::fcsma());
+    let ldf = mean_over_links(PolicySpec::Ldf);
+    let fcsma = mean_over_links(PolicySpec::Fcsma);
     assert!(fcsma > ldf, "FCSMA latency {fcsma} should exceed LDF {ldf}");
 }
 
@@ -204,7 +176,10 @@ fn fcsma_pays_latency_for_contention() {
 /// cumulative accounting matches the reported throughput.
 #[test]
 fn ledger_accounting_is_consistent_with_report() {
-    let mut net = scenarios::tiny(7).policy(PolicyKind::Ldf).build().unwrap();
+    let mut net = scenarios::tiny(7)
+        .with_policy(PolicySpec::Ldf)
+        .network()
+        .unwrap();
     let report = net.run(500);
     for link in net.config().links() {
         let tp = report.per_link_throughput[link.index()];

@@ -1,18 +1,19 @@
 //! Cross-crate property tests: random workloads, channels, and policies
 //! through the full public API, checking the invariants that must hold for
-//! *any* configuration.
+//! *any* configuration. Every network is described as a [`Scenario`] first.
 
 use proptest::prelude::*;
-use rtmac::{Network, PolicyKind};
+use rtmac::scenario::{Param, TrafficSpec};
+use rtmac::{PolicySpec, Scenario};
 use rtmac_traffic::{ArrivalProcess, BurstUniform};
 
-fn build_policy(code: u8) -> PolicyKind {
+fn build_policy(code: u8) -> PolicySpec {
     match code % 5 {
-        0 => PolicyKind::db_dp(),
-        1 => PolicyKind::Ldf,
-        2 => PolicyKind::eldf(),
-        3 => PolicyKind::fcsma(),
-        _ => PolicyKind::dcf(),
+        0 => PolicySpec::db_dp(),
+        1 => PolicySpec::Ldf,
+        2 => PolicySpec::eldf(),
+        3 => PolicySpec::Fcsma,
+        _ => PolicySpec::Dcf,
     }
 }
 
@@ -35,17 +36,24 @@ proptest! {
         policy_code in 0u8..5,
         intervals in 50usize..200,
     ) {
-        let mut net = Network::builder()
-            .links(n)
-            .deadline_ms(5)
-            .payload_bytes(400)
-            .uniform_success_probability(p)
-            .burst_arrivals(alpha)
-            .delivery_ratio(rho)
-            .policy(build_policy(policy_code))
-            .seed(seed)
-            .build()
-            .unwrap();
+        let sc = Scenario {
+            name: "prop",
+            links: n,
+            deadline_us: 5000,
+            payload_bytes: 400,
+            success: Param::Uniform(p),
+            traffic: TrafficSpec::Burst {
+                alpha: Param::Uniform(alpha),
+                burst_max: 6,
+            },
+            ratio: Param::Uniform(rho),
+            policy: build_policy(policy_code),
+            intervals,
+            seed,
+            replications: 1,
+            track: None,
+        };
+        let mut net = sc.network().unwrap();
         let report = net.run(intervals);
 
         let lambda = 3.5 * alpha;
@@ -103,18 +111,12 @@ proptest! {
         bump in 0.05f64..0.29,
     ) {
         let run = |rho: f64| {
-            let mut net = Network::builder()
-                .links(5)
-                .deadline_ms(2)
-                .payload_bytes(100)
-                .uniform_success_probability(0.7)
-                .bernoulli_arrivals(0.8)
-                .delivery_ratio(rho)
-                .policy(PolicyKind::Ldf)
-                .seed(seed)
-                .build()
-                .unwrap();
-            net.run(400).final_total_deficiency
+            rtmac::scenario::control(5, 0.8, rho, seed)
+                .with_policy(PolicySpec::Ldf)
+                .with_intervals(400)
+                .run()
+                .unwrap()
+                .final_total_deficiency
         };
         let lo = run(rho_lo);
         let hi = run(rho_lo + bump);

@@ -1,8 +1,12 @@
 //! Robustness beyond the paper's model assumptions: bursty channels,
-//! bursty traffic, extreme parameters, and failure injection.
+//! bursty traffic, extreme parameters, and failure injection. Networks
+//! start from [`Scenario`]s; the non-i.i.d. channels and traffic models
+//! that the declarative layer cannot express are attached through the
+//! [`Scenario::to_builder`] escape hatch.
 
 use rtmac::phy::channel::{GilbertElliott, GilbertElliottParams, Scripted};
-use rtmac::PolicyKind;
+use rtmac::scenario::{Param, TrafficSpec};
+use rtmac::{PolicySpec, Scenario};
 use rtmac_suite::scenarios;
 use rtmac_traffic::MarkovModulated;
 
@@ -18,8 +22,9 @@ fn db_dp_survives_bursty_losses() {
         bad_to_good: 0.06, // stationary mean 0.7
     };
     let mut net = scenarios::control(8, 0.6, 0.9, 31)
+        .with_policy(PolicySpec::db_dp())
+        .to_builder()
         .channel(Box::new(GilbertElliott::new(vec![ge; 8]).unwrap()))
-        .policy(PolicyKind::db_dp())
         .build()
         .unwrap();
     let report = net.run(6000);
@@ -35,7 +40,7 @@ fn db_dp_survives_bursty_losses() {
 /// handled by both DB-DP and LDF; debts absorb the phase bursts.
 #[test]
 fn db_dp_handles_markov_modulated_traffic() {
-    for policy in [PolicyKind::db_dp(), PolicyKind::Ldf] {
+    for policy in [PolicySpec::db_dp(), PolicySpec::Ldf] {
         let traffic = MarkovModulated::new(12, 0.2, 0.8, 0.05, 0.15, 6).unwrap();
         let mean = {
             use rtmac_traffic::ArrivalProcess;
@@ -44,8 +49,9 @@ fn db_dp_handles_markov_modulated_traffic() {
         // Keep the load moderate relative to the 61-transmission budget.
         assert!(mean * 12.0 / 0.7 < 45.0);
         let mut net = scenarios::video(12, 0.5, 0.9, 17)
+            .with_policy(policy)
+            .to_builder()
             .traffic(Box::new(traffic))
-            .policy(policy)
             .build()
             .unwrap();
         let report = net.run(5000);
@@ -72,8 +78,9 @@ fn blackout_recovery() {
         s
     };
     let mut net = scenarios::control(4, 0.9, 0.9, 23)
+        .with_policy(PolicySpec::db_dp())
+        .to_builder()
         .channel(Box::new(Scripted::new(scripts).unwrap()))
-        .policy(PolicyKind::db_dp())
         .build()
         .unwrap();
     let report = net.run(4000);
@@ -101,12 +108,9 @@ fn blackout_recovery() {
 #[test]
 fn extreme_parameters_smoke() {
     // Near-zero success probability.
-    let mut net = scenarios::control(3, 0.9, 0.9, 41)
-        .uniform_success_probability(0.01)
-        .policy(PolicyKind::db_dp())
-        .build()
-        .unwrap();
-    let r = net.run(300);
+    let mut sc = scenarios::control(3, 0.9, 0.9, 41).with_policy(PolicySpec::db_dp());
+    sc.success = Param::Uniform(0.01);
+    let r = sc.with_intervals(300).run().unwrap();
     assert_eq!(r.collisions, 0);
     assert!(
         r.final_total_deficiency > 0.5,
@@ -114,27 +118,31 @@ fn extreme_parameters_smoke() {
     );
 
     // Single link, deterministic arrivals, p = 1, 100% ratio.
-    let report = rtmac::Network::builder()
-        .links(1)
-        .deadline_ms(2)
-        .payload_bytes(100)
-        .uniform_success_probability(1.0)
-        .constant_arrivals()
-        .delivery_ratio(1.0)
-        .policy(PolicyKind::db_dp())
-        .seed(43)
-        .build()
-        .unwrap()
-        .run(200);
+    let report = Scenario {
+        name: "single",
+        links: 1,
+        deadline_us: 2000,
+        payload_bytes: 100,
+        success: Param::Uniform(1.0),
+        traffic: TrafficSpec::Constant,
+        ratio: Param::Uniform(1.0),
+        policy: PolicySpec::db_dp(),
+        intervals: 200,
+        seed: 43,
+        replications: 1,
+        track: None,
+    }
+    .run()
+    .unwrap();
     assert_eq!(report.per_link_throughput, [1.0]);
     assert_eq!(report.final_total_deficiency, 0.0);
 
     // Large network (50 links) smoke run.
-    let mut net = scenarios::video(50, 0.2, 0.9, 47)
-        .policy(PolicyKind::db_dp())
-        .build()
+    let report = scenarios::video(50, 0.2, 0.9, 47)
+        .with_policy(PolicySpec::db_dp())
+        .with_intervals(150)
+        .run()
         .unwrap();
-    let report = net.run(150);
     assert_eq!(report.collisions, 0);
     assert_eq!(report.per_link_throughput.len(), 50);
 }

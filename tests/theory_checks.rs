@@ -3,7 +3,7 @@
 //! optimality), and the feasibility machinery.
 
 use rtmac::model::{LinkId, Permutation};
-use rtmac::PolicyKind;
+use rtmac::PolicySpec;
 use rtmac_analysis::feasibility::{boundary_search, workload_utilization};
 use rtmac_analysis::markov::{empirical_sigma_distribution, PriorityChain};
 use rtmac_analysis::optimal::IntervalDp;
@@ -59,11 +59,12 @@ fn eldf_is_optimal_at_the_papers_operating_point() {
 #[test]
 fn ldf_feasibility_boundary_matches_the_paper() {
     let probe = |alpha: f64| {
-        let mut net = scenarios::video(20, alpha, 0.9, 8)
-            .policy(PolicyKind::Ldf)
-            .build()
-            .unwrap();
-        net.run(1500).final_total_deficiency
+        scenarios::video(20, alpha, 0.9, 8)
+            .with_policy(PolicySpec::Ldf)
+            .with_intervals(1500)
+            .run()
+            .unwrap()
+            .final_total_deficiency
     };
     let boundary = boundary_search(0.4, 0.8, 0.01, 0.15, probe).expect("0.4 must be feasible");
     assert!(
@@ -99,11 +100,12 @@ fn exact_region_agrees_with_ldf_simulation() {
 
     let run = |q: f64| {
         let mut net = scenarios::control(n, 1.0, 0.9, 12)
+            .with_policy(PolicySpec::Ldf)
+            .to_builder()
             .traffic(Box::new(
                 rtmac_traffic::ConstantArrivals::one_each(n).unwrap(),
             ))
             .requirements(Requirements::uniform(n, q).unwrap())
-            .policy(PolicyKind::Ldf)
             .build()
             .unwrap();
         net.run(6000).final_total_deficiency
@@ -141,10 +143,8 @@ fn exact_region_agrees_with_ldf_simulation() {
 fn fixed_priority_profile_is_monotone_and_nonstarving() {
     let sigma = Permutation::identity(12);
     let mut net = scenarios::video(12, 0.8, 0.9, 9)
-        .policy(PolicyKind::FixedPriority {
-            sigma: sigma.clone(),
-        })
-        .build()
+        .with_policy(PolicySpec::FixedPriority)
+        .network()
         .unwrap();
     let report = net.run(2500);
     assert_eq!(net.sigma(), Some(&sigma));
@@ -194,16 +194,17 @@ fn handshake_survives_deadline_pressure() {
     }
 }
 
-/// Cross-crate determinism: the convenience scenario builders, the policy
-/// layer, and the seeded RNG hierarchy together give bit-identical runs.
+/// Cross-crate determinism: the scenario layer, the policy layer, and the
+/// seeded RNG hierarchy together give bit-identical runs.
 #[test]
 fn seeded_reproducibility_across_the_stack() {
     let one = |seed| {
-        let mut net = scenarios::control(5, 0.7, 0.95, seed)
-            .policy(PolicyKind::db_dp())
-            .build()
-            .unwrap();
-        net.run(400).final_debts
+        scenarios::control(5, 0.7, 0.95, seed)
+            .with_policy(PolicySpec::db_dp())
+            .with_intervals(400)
+            .run()
+            .unwrap()
+            .final_debts
     };
     assert_eq!(one(77), one(77));
     assert_ne!(one(77), one(78));

@@ -1,0 +1,236 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! The workspace builds hermetically with no crates.io access, so the real
+//! `criterion` dev-dependency is replaced by this vendored crate. It keeps
+//! the macro and type surface the benches use — `criterion_group!` (both the
+//! positional and `name/config/targets` forms), `criterion_main!`,
+//! `Criterion::bench_function`, and benchmark groups — and implements a
+//! simple measured loop: each benchmark is warmed up once, then timed over
+//! `sample_size` batches, reporting the mean and min/max time per iteration.
+//!
+//! Omitted relative to real criterion: statistical outlier analysis, HTML
+//! reports, baselines, and command-line filtering.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver (subset of `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set how many timed samples each benchmark collects.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run a single benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.sample_size, &mut f);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-benchmark sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.sample_size, &mut f);
+        self
+    }
+
+    /// Finish the group (report boundary; no-op beyond symmetry with the
+    /// real API).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; drives the timed iteration loop.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    mode: Mode,
+}
+
+enum Mode {
+    /// Calibration pass: run once, record the elapsed time.
+    Calibrate,
+    /// Measurement pass: run `iters_per_sample` iterations per sample.
+    Measure,
+}
+
+impl Bencher {
+    /// Time the routine. Criterion-style: the routine runs many times; its
+    /// return value is passed through [`black_box`] so it is not optimized
+    /// away.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        match self.mode {
+            Mode::Calibrate => {
+                let start = Instant::now();
+                black_box(routine());
+                self.samples.push(start.elapsed());
+            }
+            Mode::Measure => {
+                let start = Instant::now();
+                for _ in 0..self.iters_per_sample {
+                    black_box(routine());
+                }
+                self.samples.push(start.elapsed());
+            }
+        }
+    }
+}
+
+/// Re-export of the standard hint; real criterion exposes the same name.
+pub use std::hint::black_box;
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, f: &mut F) {
+    // Calibration: one untimed-ish pass to size the measurement batches so a
+    // sample takes roughly a millisecond (bounded to keep total time sane).
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 1,
+        mode: Mode::Calibrate,
+    };
+    f(&mut bencher);
+    let calibrated = bencher.samples.first().copied().unwrap_or_default();
+    let target = Duration::from_millis(1);
+    let iters = if calibrated.is_zero() {
+        1000
+    } else {
+        (target.as_nanos() / calibrated.as_nanos().max(1)).clamp(1, 1000) as u64
+    };
+
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        iters_per_sample: iters,
+        mode: Mode::Measure,
+    };
+    for _ in 0..sample_size {
+        f(&mut bencher);
+    }
+
+    let per_iter: Vec<f64> = bencher
+        .samples
+        .iter()
+        .map(|d| d.as_nanos() as f64 / iters as f64)
+        .collect();
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len().max(1) as f64;
+    let min = per_iter.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = per_iter.iter().copied().fold(0.0f64, f64::max);
+    println!(
+        "{id:<48} time: [{} {} {}]",
+        fmt_ns(min),
+        fmt_ns(mean),
+        fmt_ns(max)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// Define a benchmark group function (both real-criterion forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_bench(c: &mut Criterion) {
+        c.bench_function("noop_sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+    }
+
+    criterion_group!(benches, quick_bench);
+
+    #[test]
+    fn group_and_bencher_run() {
+        benches();
+        let mut c = Criterion::default().sample_size(3);
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2);
+        let mut runs = 0u32;
+        g.bench_function("counted", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        g.finish();
+        assert!(runs > 0);
+    }
+}

@@ -1,0 +1,441 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! The workspace builds hermetically with no crates.io access, so the real
+//! `proptest` dev-dependency is replaced by this vendored crate. It keeps the
+//! surface the workspace actually uses — the `proptest!` macro, numeric range
+//! strategies, `collection::vec`, tuple strategies, `prop_assert*`/
+//! `prop_assume`, `ProptestConfig::with_cases`, and a direct `TestRunner` —
+//! with the same pass/fail semantics: each test runs `cases` random inputs,
+//! rejected cases (via `prop_assume!`) don't count, and a failing case panics
+//! with the offending input's `Debug` rendering.
+//!
+//! Omitted relative to real proptest: shrinking, persistence of failing
+//! seeds, `prop_compose!`/`prop_oneof!`, and mapped/filtered strategies.
+//! Failures therefore report the raw (unshrunk) input.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::SmallRng;
+
+/// Strategies: composable random-value generators.
+pub mod strategy {
+    use super::SmallRng;
+    use core::fmt::Debug;
+    use core::ops::{Range, RangeInclusive};
+    use rand::Rng;
+
+    /// A generator of random test inputs.
+    ///
+    /// Unlike real proptest there is no value tree or shrinking; a strategy
+    /// simply produces one value per case.
+    pub trait Strategy {
+        /// The type of the generated values.
+        type Value: Debug;
+        /// Generate one value.
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+    }
+
+    impl<T> Strategy for Range<T>
+    where
+        T: rand::SampleUniform + Debug + Clone,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            rng.random_range(self.clone())
+        }
+    }
+
+    impl<T> Strategy for RangeInclusive<T>
+    where
+        T: rand::SampleUniform + Debug + Copy,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            rng.random_range(self.clone())
+        }
+    }
+
+    /// Strategy producing a constant value (`proptest::strategy::Just`).
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut SmallRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+    tuple_strategy!(A, B, C, D, E, F, G);
+    tuple_strategy!(A, B, C, D, E, F, G, H);
+    tuple_strategy!(A, B, C, D, E, F, G, H, I);
+    tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+}
+
+/// Collection strategies (subset of `proptest::collection`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::SmallRng;
+    use core::ops::{Range, RangeInclusive};
+    use rand::Rng;
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self {
+                min: n,
+                max_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                min: r.start,
+                max_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            Self {
+                min: *r.start(),
+                max_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s with element strategy `S`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generate `Vec`s whose length falls in `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+            let len = rng.random_range(self.size.min..=self.size.max_inclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Test execution: configuration, runner, and case-level errors.
+pub mod test_runner {
+    use super::strategy::Strategy;
+    use super::SmallRng;
+    use core::fmt;
+    use rand::SeedableRng;
+
+    /// Runner configuration (subset of `proptest::test_runner::Config`).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per test.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    /// The conventional alias used inside `proptest!` config attributes.
+    pub use Config as ProptestConfig;
+
+    /// Why a single test case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// The case failed an assertion.
+        Fail(String),
+        /// The case was rejected by `prop_assume!` and should not count.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failing case with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            Self::Fail(msg.into())
+        }
+        /// A rejected (discarded) case with the given reason.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            Self::Reject(msg.into())
+        }
+    }
+
+    /// Terminal failure of a whole property test.
+    #[derive(Clone)]
+    pub struct TestError(pub String);
+
+    impl fmt::Debug for TestError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+
+    impl fmt::Display for TestError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+
+    impl std::error::Error for TestError {}
+
+    /// Drives a strategy through a test closure for `config.cases` cases.
+    pub struct TestRunner {
+        config: Config,
+        rng: SmallRng,
+    }
+
+    impl Default for TestRunner {
+        fn default() -> Self {
+            Self::new(Config::default())
+        }
+    }
+
+    impl TestRunner {
+        /// A runner with the given config and a fixed internal seed
+        /// (deterministic across runs; there is no failure persistence).
+        #[must_use]
+        pub fn new(config: Config) -> Self {
+            Self {
+                config,
+                rng: SmallRng::seed_from_u64(0x70726f_70746573),
+            }
+        }
+
+        /// Run `test` on freshly generated inputs until `cases` successes,
+        /// a failure, or too many `prop_assume!` rejects.
+        pub fn run<S, F>(&mut self, strategy: &S, mut test: F) -> Result<(), TestError>
+        where
+            S: Strategy,
+            F: FnMut(S::Value) -> Result<(), TestCaseError>,
+        {
+            let mut passed = 0u32;
+            let mut rejected = 0u64;
+            let max_rejects = u64::from(self.config.cases).saturating_mul(20).max(1000);
+            while passed < self.config.cases {
+                let value = strategy.generate(&mut self.rng);
+                let rendered = format!("{value:?}");
+                match test(value) {
+                    Ok(()) => passed += 1,
+                    Err(TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        if rejected > max_rejects {
+                            return Err(TestError(format!(
+                                "too many prop_assume! rejects ({rejected}) after {passed} \
+                                 passing cases"
+                            )));
+                        }
+                    }
+                    Err(TestCaseError::Fail(msg)) => {
+                        return Err(TestError(format!(
+                            "property failed after {passed} passing cases: {msg}\n\
+                             minimal failing input (unshrunk): {rendered}"
+                        )));
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Everything a property test module normally imports.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }` item
+/// becomes a `#[test]` running `body` over random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            let mut runner = $crate::test_runner::TestRunner::new(config);
+            let outcome = runner.run(&($($strategy,)+), |($($arg,)+)| {
+                $body
+                ::core::result::Result::Ok(())
+            });
+            if let ::core::result::Result::Err(err) = outcome {
+                ::core::panic!("{}", err);
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// Assert a condition inside a property test, failing the case (not the
+/// process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right`: {}\n  left: `{:?}`\n right: `{:?}`",
+            ::std::format!($($fmt)*),
+            left,
+            right
+        );
+    }};
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `left != right`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Discard the current case unless a precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0u64..10, f in 0.5f64..1.5) {
+            prop_assert!(x < 10);
+            prop_assert!((0.5..1.5).contains(&f));
+        }
+
+        #[test]
+        fn vectors_respect_size(v in crate::collection::vec(1u32..=6, 2..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| (1..=6).contains(&x)));
+        }
+
+        #[test]
+        fn assume_discards(n in 0usize..100, m in 0usize..100) {
+            prop_assume!(n < m);
+            prop_assert!(n < m);
+        }
+    }
+
+    #[test]
+    fn failing_property_reports_input() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(16));
+        let err = runner
+            .run(&(0u32..100,), |(x,)| {
+                prop_assert!(x < 1000, "impossible");
+                prop_assert!(x % 2 == 0, "odd input {x}");
+                Ok(())
+            })
+            .expect_err("odd numbers must appear within 16 cases");
+        assert!(format!("{err}").contains("odd input"));
+    }
+}

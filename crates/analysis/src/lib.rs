@@ -18,9 +18,6 @@
 //!   ELDF priority ordering maximizes the expected debt-weighted deliveries
 //!   `E[Σ f(d⁺)·S]` in every interval.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod drift;
 pub mod feasibility;
 pub mod markov;

@@ -11,7 +11,10 @@
 //! computes both values exactly by dynamic programming so the claim can be
 //! verified (and the gap of any other ordering measured).
 
-use std::collections::HashMap;
+// A BTreeMap, not a HashMap: the memo is keyed by (packed state, slots)
+// and must never leak hash-order nondeterminism into anything that
+// iterates it (rtmac-lint: nondeterministic-iter).
+use std::collections::BTreeMap;
 
 use rtmac_model::{ConfigError, LinkId};
 
@@ -103,11 +106,11 @@ impl IntervalDp {
     #[must_use]
     pub fn optimal_value(&self, packets: &[u8], slots: u32) -> f64 {
         self.check_packets(packets);
-        let mut memo = HashMap::new();
+        let mut memo = BTreeMap::new();
         self.opt(Self::encode(packets), slots, &mut memo)
     }
 
-    fn opt(&self, state: u64, slots: u32, memo: &mut HashMap<(u64, u32), f64>) -> f64 {
+    fn opt(&self, state: u64, slots: u32, memo: &mut BTreeMap<(u64, u32), f64>) -> f64 {
         if slots == 0 || state == 0 {
             return 0.0;
         }
@@ -150,7 +153,7 @@ impl IntervalDp {
             );
             seen[l.index()] = true;
         }
-        let mut memo = HashMap::new();
+        let mut memo = BTreeMap::new();
         self.eval(Self::encode(packets), slots, order, &mut memo)
     }
 
@@ -159,7 +162,7 @@ impl IntervalDp {
         state: u64,
         slots: u32,
         order: &[LinkId],
-        memo: &mut HashMap<(u64, u32), f64>,
+        memo: &mut BTreeMap<(u64, u32), f64>,
     ) -> f64 {
         if slots == 0 || state == 0 {
             return 0.0;
@@ -167,11 +170,17 @@ impl IntervalDp {
         if let Some(&v) = memo.get(&(state, slots)) {
             return v;
         }
-        let l = order
+        let Some(l) = order
             .iter()
             .map(|id| id.index())
             .find(|&l| (state >> (4 * l)) & 0xF > 0)
-            .expect("state is nonzero");
+        else {
+            debug_assert!(
+                false,
+                "nonzero state {state:#x} must have a backlogged link"
+            );
+            return 0.0;
+        };
         let succ_state = state - (1 << (4 * l));
         let v = self.p[l] * (self.weights[l] + self.eval(succ_state, slots - 1, order, memo))
             + (1.0 - self.p[l]) * self.eval(state, slots - 1, order, memo);
@@ -186,9 +195,9 @@ impl IntervalDp {
         order.sort_by(|a, b| {
             let wa = self.weights[a.index()] * self.p[a.index()];
             let wb = self.weights[b.index()] * self.p[b.index()];
-            wb.partial_cmp(&wa)
-                .expect("weights are finite")
-                .then_with(|| a.cmp(b))
+            // total_cmp agrees with partial_cmp on the finite, non-negative
+            // products the constructor admits, and cannot panic.
+            wb.total_cmp(&wa).then_with(|| a.cmp(b))
         });
         order
     }
@@ -247,6 +256,60 @@ mod tests {
         // And a deliberately wrong ordering is strictly worse here.
         let bad = dp.policy_value(&[2, 2], 4, &[LinkId::new(1), LinkId::new(0)]);
         assert!(bad < opt - 1e-9, "bad {bad} opt {opt}");
+    }
+
+    /// Regression test for the HashMap → BTreeMap memo switch: the memo
+    /// type must iterate in key order regardless of insertion order, and
+    /// the DP values must be bit-identical across evaluation orders that
+    /// populate the memo along different paths.
+    #[test]
+    fn memo_is_insertion_order_independent() {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+
+        // The exact map type the memo uses, filled in two shuffled orders:
+        // iteration must produce the identical sequence.
+        let entries: Vec<((u64, u32), f64)> = (0..64u64)
+            .map(|i| ((i * 0x9E37, (i % 7) as u32), i as f64 * 0.125))
+            .collect();
+        let mut shuffled = entries.clone();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(2018);
+        shuffled.shuffle(&mut rng);
+        let a: BTreeMap<(u64, u32), f64> = entries.iter().copied().collect();
+        let b: BTreeMap<(u64, u32), f64> = shuffled.iter().copied().collect();
+        let seq_a: Vec<_> = a.iter().collect();
+        let seq_b: Vec<_> = b.iter().collect();
+        assert_eq!(
+            seq_a, seq_b,
+            "BTreeMap iteration must not depend on insertion order"
+        );
+
+        // And end to end: evaluating the same instance through differently
+        // ordered policy calls (which populate the memo along different
+        // recursion paths) yields bit-identical values run over run.
+        let dp = IntervalDp::new(vec![2.0, 1.0, 1.5], vec![0.5, 0.9, 0.7]).unwrap();
+        let packets = [2, 1, 3];
+        let first = (
+            dp.optimal_value(&packets, 5),
+            dp.eldf_value(&packets, 5),
+            dp.policy_value(
+                &packets,
+                5,
+                &[LinkId::new(2), LinkId::new(0), LinkId::new(1)],
+            ),
+        );
+        let second = (
+            dp.policy_value(
+                &packets,
+                5,
+                &[LinkId::new(2), LinkId::new(0), LinkId::new(1)],
+            ),
+            dp.eldf_value(&packets, 5),
+            dp.optimal_value(&packets, 5),
+        );
+        assert_eq!(first.0.to_bits(), second.2.to_bits());
+        assert_eq!(first.1.to_bits(), second.1.to_bits());
+        assert_eq!(first.2.to_bits(), second.0.to_bits());
     }
 
     #[test]

@@ -42,7 +42,7 @@ fn bench_swap_pairs(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_swap_pairs");
     g.sample_size(10);
     for pairs in [0usize, 1, 3, 6] {
-        g.bench_function(format!("pairs_{pairs}"), |b| {
+        g.bench_function(&format!("pairs_{pairs}"), |b| {
             b.iter(|| black_box(run_dp(PhyProfile::ieee80211a(), pairs, 5)))
         });
     }

@@ -12,9 +12,6 @@
 //! Run a full reproduction with
 //! `cargo run --release -p rtmac-bench --bin all_figures`.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod figures;
 pub mod table;
 

@@ -33,9 +33,6 @@
 //! carries no CLI dependency); [`parse`] is a pure function so every corner
 //! of it is unit-tested.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod args;
 mod exec;
 

@@ -48,9 +48,6 @@
 //! # Ok::<(), rtmac_model::ConfigError>(())
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod network;
 mod policy;
 mod report;

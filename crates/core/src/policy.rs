@@ -402,10 +402,9 @@ impl Eldf {
         let mut order: Vec<LinkId> = (0..self.p.len()).map(LinkId::new).collect();
         let weight = |l: &LinkId| self.influence.eval(debts.positive(*l)) * self.p[l.index()];
         order.sort_by(|a, b| {
-            weight(b)
-                .partial_cmp(&weight(a))
-                .expect("debt weights are finite")
-                .then_with(|| a.cmp(b))
+            // total_cmp agrees with partial_cmp on the finite, non-negative
+            // debt weights the influence functions produce, and cannot panic.
+            weight(b).total_cmp(&weight(a)).then_with(|| a.cmp(b))
         });
         order
     }

@@ -154,11 +154,20 @@ impl Runner {
                     }
                     let item = jobs[i]
                         .lock()
-                        .expect("job slot poisoned")
+                        // Poisoning only means another worker panicked; the
+                        // Option inside is still coherent, so keep going and
+                        // let thread::scope propagate that panic at join.
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
                         .take()
+                        // lint: allow(panic-expect) — the atomic fetch_add
+                        // hands out each index exactly once; a second claim
+                        // means memory corruption, so fail loudly rather than
+                        // skip a job and silently corrupt batch output.
                         .expect("job claimed twice");
                     let result = f(item);
-                    *slots[i].lock().expect("result slot poisoned") = Some(result);
+                    *slots[i]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(result);
                 });
             }
         });
@@ -166,7 +175,11 @@ impl Runner {
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
-                    .expect("result slot poisoned")
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    // lint: allow(panic-expect) — thread::scope joined every
+                    // worker (propagating any panic), so each claimed slot
+                    // was filled; an empty slot would silently misalign
+                    // results with inputs, so fail loudly instead.
                     .expect("worker completed every claimed job")
             })
             .collect()

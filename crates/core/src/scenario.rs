@@ -445,10 +445,16 @@ impl Sweep {
         match self.axis {
             Axis::Alpha => match &mut sc.traffic {
                 TrafficSpec::Burst { alpha, .. } => *alpha = param,
+                // lint: allow(panic-macro) — documented `# Panics` contract:
+                // sweeps come from the registry, so an axis/traffic mismatch
+                // is a construction bug worth failing loudly on, not a
+                // runtime condition to propagate.
                 other => panic!("alpha sweep over non-burst traffic {other:?}"),
             },
             Axis::Lambda => match &mut sc.traffic {
                 TrafficSpec::Bernoulli { lambda } => *lambda = param,
+                // lint: allow(panic-macro) — same `# Panics` contract as the
+                // alpha arm above.
                 other => panic!("lambda sweep over non-Bernoulli traffic {other:?}"),
             },
             Axis::Ratio => sc.ratio = param,

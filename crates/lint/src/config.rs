@@ -1,0 +1,315 @@
+//! `lint.toml` parsing — a minimal, dependency-free TOML subset.
+//!
+//! The configuration needs exactly four shapes, so the parser supports
+//! exactly those and rejects everything else loudly:
+//!
+//! * `[lint]` — engine settings (`exclude = [...]`).
+//! * `[rules.<id>]` — per-rule overrides: `severity`, `paths`,
+//!   `allow_paths`, `tokens`.
+//! * `[[waiver]]` — audited path-level waivers with a mandatory reason.
+//! * values: double-quoted strings and (possibly multi-line) arrays of
+//!   double-quoted strings.
+
+use std::collections::BTreeMap;
+
+/// How a rule's findings are treated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Findings fail the run (exit code 1).
+    Deny,
+    /// Findings are printed but do not fail the run.
+    Warn,
+    /// The rule is disabled.
+    Allow,
+}
+
+impl Severity {
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "deny" => Ok(Severity::Deny),
+            "warn" => Ok(Severity::Warn),
+            "allow" => Ok(Severity::Allow),
+            other => Err(format!(
+                "unknown severity {other:?} (expected deny, warn, or allow)"
+            )),
+        }
+    }
+
+    /// The label used in finding output.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+            Severity::Allow => "allow",
+        }
+    }
+}
+
+/// Per-rule configuration overrides from `lint.toml`. Unset fields fall
+/// back to the rule's built-in defaults.
+#[derive(Debug, Clone, Default)]
+pub struct RuleOverride {
+    /// Overridden severity.
+    pub severity: Option<Severity>,
+    /// Paths (workspace-relative prefixes) the rule is restricted to;
+    /// empty means "everywhere the walker reaches".
+    pub paths: Option<Vec<String>>,
+    /// Paths exempt from the rule even when it otherwise applies.
+    pub allow_paths: Option<Vec<String>>,
+    /// Token list override for token-based rules.
+    pub tokens: Option<Vec<String>>,
+}
+
+/// An audited file- or directory-level waiver from `lint.toml`.
+#[derive(Debug, Clone)]
+pub struct PathWaiver {
+    /// Workspace-relative path prefix the waiver covers.
+    pub path: String,
+    /// The waived rule id.
+    pub rule: String,
+    /// Why the waiver exists (mandatory).
+    pub reason: String,
+}
+
+/// The parsed `lint.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Workspace-relative path prefixes the walker skips entirely.
+    pub exclude: Vec<String>,
+    /// Per-rule overrides, keyed by rule id (sorted for deterministic
+    /// iteration).
+    pub rules: BTreeMap<String, RuleOverride>,
+    /// Path-level waivers.
+    pub waivers: Vec<PathWaiver>,
+}
+
+/// Which table the parser is currently inside.
+enum Section {
+    None,
+    Lint,
+    Rule(String),
+    Waiver,
+}
+
+/// Parses `lint.toml` text.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line for any construct outside
+/// the supported subset.
+pub fn parse(text: &str) -> Result<Config, String> {
+    let mut config = Config::default();
+    let mut section = Section::None;
+    let mut lines = text.lines().enumerate();
+    while let Some((idx, raw)) = lines.next() {
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: String| format!("lint.toml:{}: {msg}", idx + 1);
+        if let Some(header) = line.strip_prefix("[[") {
+            let name = header
+                .strip_suffix("]]")
+                .ok_or_else(|| err("unterminated table header".into()))?;
+            if name.trim() != "waiver" {
+                return Err(err(format!("unknown array table [[{name}]]")));
+            }
+            config.waivers.push(PathWaiver {
+                path: String::new(),
+                rule: String::new(),
+                reason: String::new(),
+            });
+            section = Section::Waiver;
+        } else if let Some(header) = line.strip_prefix('[') {
+            let name = header
+                .strip_suffix(']')
+                .ok_or_else(|| err("unterminated table header".into()))?
+                .trim();
+            section = if name == "lint" {
+                Section::Lint
+            } else if let Some(rule) = name.strip_prefix("rules.") {
+                Section::Rule(rule.trim().to_string())
+            } else {
+                return Err(err(format!("unknown table [{name}]")));
+            };
+        } else if let Some(eq) = line.find('=') {
+            let key = line[..eq].trim();
+            let mut value = line[eq + 1..].trim().to_string();
+            // Multi-line arrays: keep consuming until the closing bracket.
+            while value.starts_with('[') && !array_closed(&value) {
+                let (_, next) = lines
+                    .next()
+                    .ok_or_else(|| err(format!("unterminated array for key {key}")))?;
+                value.push(' ');
+                value.push_str(strip_comment(next).trim());
+            }
+            apply_key(&mut config, &mut section, key, &value).map_err(err)?;
+        } else {
+            return Err(err(format!("unparseable line {line:?}")));
+        }
+    }
+    for (i, w) in config.waivers.iter().enumerate() {
+        if w.path.is_empty() || w.rule.is_empty() || w.reason.is_empty() {
+            return Err(format!(
+                "lint.toml: [[waiver]] #{} needs path, rule, and a non-empty reason",
+                i + 1
+            ));
+        }
+    }
+    Ok(config)
+}
+
+fn apply_key(
+    config: &mut Config,
+    section: &mut Section,
+    key: &str,
+    value: &str,
+) -> Result<(), String> {
+    match section {
+        Section::None => Err(format!("key {key} outside any table")),
+        Section::Lint => match key {
+            "exclude" => {
+                config.exclude = parse_array(value)?;
+                Ok(())
+            }
+            other => Err(format!("unknown [lint] key {other}")),
+        },
+        Section::Rule(rule) => {
+            let entry = config.rules.entry(rule.clone()).or_default();
+            match key {
+                "severity" => entry.severity = Some(Severity::parse(&parse_string(value)?)?),
+                "paths" => entry.paths = Some(parse_array(value)?),
+                "allow_paths" => entry.allow_paths = Some(parse_array(value)?),
+                "tokens" => entry.tokens = Some(parse_array(value)?),
+                other => return Err(format!("unknown rule key {other}")),
+            }
+            Ok(())
+        }
+        Section::Waiver => {
+            let waiver = config
+                .waivers
+                .last_mut()
+                .ok_or_else(|| "waiver key before [[waiver]]".to_string())?;
+            match key {
+                "path" => waiver.path = parse_string(value)?,
+                "rule" => waiver.rule = parse_string(value)?,
+                "reason" => waiver.reason = parse_string(value)?,
+                other => return Err(format!("unknown waiver key {other}")),
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Drops a trailing `#` comment that is not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn array_closed(value: &str) -> bool {
+    let mut in_str = false;
+    for c in value.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            ']' if !in_str => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+fn parse_string(value: &str) -> Result<String, String> {
+    let v = value.trim();
+    let inner = v
+        .strip_prefix('"')
+        .and_then(|rest| rest.strip_suffix('"'))
+        .ok_or_else(|| format!("expected a double-quoted string, got {v:?}"))?;
+    if inner.contains('"') {
+        return Err(format!("unsupported embedded quote in {v:?}"));
+    }
+    Ok(inner.to_string())
+}
+
+fn parse_array(value: &str) -> Result<Vec<String>, String> {
+    let v = value.trim();
+    let inner = v
+        .strip_prefix('[')
+        .and_then(|rest| rest.strip_suffix(']'))
+        .ok_or_else(|| format!("expected an array, got {v:?}"))?;
+    let mut items = Vec::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue; // tolerate trailing commas
+        }
+        items.push(parse_string(part)?);
+    }
+    Ok(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_config() {
+        let cfg = parse(concat!(
+            "# header comment\n",
+            "[lint]\n",
+            "exclude = [\"target\", \"vendor\"] # trailing\n",
+            "\n",
+            "[rules.wall-clock]\n",
+            "severity = \"deny\"\n",
+            "allow_paths = [\n",
+            "  \"crates/sim/src/rng.rs\",\n",
+            "]\n",
+            "[rules.panic-unwrap]\n",
+            "severity = \"warn\"\n",
+            "paths = [\"crates/core/src\"]\n",
+            "[[waiver]]\n",
+            "path = \"crates/mac/src/reference.rs\"\n",
+            "rule = \"panic-macro\"\n",
+            "reason = \"divergence detector\"\n",
+        ))
+        .unwrap();
+        assert_eq!(cfg.exclude, ["target", "vendor"]);
+        let wc = &cfg.rules["wall-clock"];
+        assert_eq!(wc.severity, Some(Severity::Deny));
+        assert_eq!(
+            wc.allow_paths.as_deref(),
+            Some(&["crates/sim/src/rng.rs".to_string()][..])
+        );
+        assert_eq!(cfg.rules["panic-unwrap"].severity, Some(Severity::Warn));
+        assert_eq!(cfg.waivers.len(), 1);
+        assert_eq!(cfg.waivers[0].rule, "panic-macro");
+    }
+
+    #[test]
+    fn rejects_unknown_tables_and_keys() {
+        assert!(parse("[surprise]\n").is_err());
+        assert!(parse("[lint]\nfrobnicate = \"x\"\n").is_err());
+        assert!(parse("[rules.x]\nseverity = \"fatal\"\n").is_err());
+        assert!(parse("orphan = \"key\"\n").is_err());
+    }
+
+    #[test]
+    fn waiver_requires_reason() {
+        let toml = "[[waiver]]\npath = \"a\"\nrule = \"b\"\n";
+        assert!(parse(toml).is_err());
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let cfg = parse("[lint]\nexclude = [\"a#b\"]\n").unwrap();
+        assert_eq!(cfg.exclude, ["a#b"]);
+    }
+}

@@ -1,0 +1,222 @@
+//! The `rtmac-lint` command-line entry point.
+//!
+//! ```text
+//! rtmac-lint --workspace             lint the whole tree (root = nearest lint.toml)
+//! rtmac-lint <files...>              lint specific files
+//! rtmac-lint --explain <rule-id>     print a rule's rationale
+//! rtmac-lint --list-rules            print the rule catalog
+//! ```
+//!
+//! Exit codes: 0 = clean (warnings allowed), 1 = at least one deny-level
+//! finding, 2 = usage or configuration error.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use rtmac_lint::config::Severity;
+use rtmac_lint::{config, rules, Engine};
+
+/// Prints a line to stdout, ignoring a closed pipe (`rtmac-lint ... | head`
+/// must not panic mid-report).
+macro_rules! outln {
+    ($($arg:tt)*) => {
+        let _ = writeln!(std::io::stdout(), $($arg)*);
+    };
+}
+
+struct Args {
+    workspace: bool,
+    root: Option<PathBuf>,
+    config: Option<PathBuf>,
+    explain: Option<String>,
+    list_rules: bool,
+    files: Vec<String>,
+}
+
+fn usage() -> &'static str {
+    "usage: rtmac-lint [--workspace] [--root DIR] [--config FILE] \
+     [--explain RULE] [--list-rules] [files...]"
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        workspace: false,
+        root: None,
+        config: None,
+        explain: None,
+        list_rules: false,
+        files: Vec::new(),
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => args.workspace = true,
+            "--list-rules" => args.list_rules = true,
+            "--root" => {
+                args.root = Some(PathBuf::from(it.next().ok_or("--root needs a directory")?));
+            }
+            "--config" => {
+                args.config = Some(PathBuf::from(it.next().ok_or("--config needs a file")?));
+            }
+            "--explain" => {
+                args.explain = Some(it.next().ok_or("--explain needs a rule id")?.clone());
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag {flag}\n{}", usage()));
+            }
+            file => args.files.push(file.to_string()),
+        }
+    }
+    Ok(args)
+}
+
+/// Walks upward from the current directory to the nearest `lint.toml`.
+fn discover_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("lint.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse_args(&argv)?;
+
+    if args.list_rules {
+        for rule in rules::RULES {
+            outln!(
+                "{:24} {:5}  {}",
+                rule.id,
+                rule.default_severity.label(),
+                rule.summary
+            );
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+    if let Some(id) = &args.explain {
+        let rule = rules::rule_by_id(id)
+            .ok_or_else(|| format!("unknown rule {id:?}; try --list-rules"))?;
+        outln!("{} (default: {})", rule.id, rule.default_severity.label());
+        outln!();
+        outln!("{}", rule.summary);
+        outln!();
+        for line in wrap(rule.explain, 78) {
+            outln!("{line}");
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+    if !args.workspace && args.files.is_empty() {
+        return Err(usage().to_string());
+    }
+
+    let root = match (&args.root, discover_root()) {
+        (Some(r), _) => r.clone(),
+        (None, Some(r)) => r,
+        (None, None) => {
+            return Err("no lint.toml found between here and filesystem root; \
+                        pass --root"
+                .to_string())
+        }
+    };
+    let config_path = args
+        .config
+        .clone()
+        .unwrap_or_else(|| root.join("lint.toml"));
+    let text = std::fs::read_to_string(&config_path)
+        .map_err(|e| format!("{}: cannot read: {e}", config_path.display()))?;
+    let cfg = config::parse(&text)?;
+    let engine = Engine::new(&cfg)?;
+
+    let findings = if args.workspace {
+        engine.lint_workspace(&root)?
+    } else {
+        // Explicit file mode: restrict the walk results to the requested
+        // files by linting from the root and filtering.
+        let wanted: Vec<String> = args
+            .files
+            .iter()
+            .map(|f| normalize(&root, f))
+            .collect::<Result<_, _>>()?;
+        engine
+            .lint_workspace(&root)?
+            .into_iter()
+            .filter(|f| wanted.contains(&f.path))
+            .collect()
+    };
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for f in &findings {
+        outln!("{f}");
+        match f.severity {
+            Severity::Deny => errors += 1,
+            Severity::Warn => warnings += 1,
+            Severity::Allow => {}
+        }
+    }
+    eprintln!("rtmac-lint: {errors} error(s), {warnings} warning(s)");
+    Ok(if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+/// Converts a user-supplied path into the workspace-relative form used
+/// in findings.
+fn normalize(root: &Path, file: &str) -> Result<String, String> {
+    let p = Path::new(file);
+    let abs = if p.is_absolute() {
+        p.to_path_buf()
+    } else {
+        std::env::current_dir()
+            .map_err(|e| format!("cannot resolve cwd: {e}"))?
+            .join(p)
+    };
+    let canon = abs
+        .canonicalize()
+        .map_err(|e| format!("{file}: cannot resolve: {e}"))?;
+    let root_canon = root
+        .canonicalize()
+        .map_err(|e| format!("{}: cannot resolve: {e}", root.display()))?;
+    canon
+        .strip_prefix(&root_canon)
+        .map(|r| r.to_string_lossy().replace('\\', "/"))
+        .map_err(|_| format!("{file}: outside the workspace root"))
+}
+
+/// Greedy word wrap for `--explain` output.
+fn wrap(text: &str, width: usize) -> Vec<String> {
+    let mut lines = Vec::new();
+    let mut line = String::new();
+    for word in text.split_whitespace() {
+        if !line.is_empty() && line.len() + 1 + word.len() > width {
+            lines.push(std::mem::take(&mut line));
+        }
+        if !line.is_empty() {
+            line.push(' ');
+        }
+        line.push_str(word);
+    }
+    if !line.is_empty() {
+        lines.push(line);
+    }
+    lines
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("rtmac-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,490 @@
+//! The rule catalog: ids, default scopes, detection logic, and the
+//! `--explain` texts.
+//!
+//! Every rule is lexical and runs over the masked code lines produced by
+//! [`crate::tokenize::lex`], so occurrences inside comments, strings, and
+//! char literals never fire. Detection is deliberately conservative and
+//! token-based — the point is a fast, dependency-free gate with an
+//! audited waiver escape hatch, not a type checker.
+
+use crate::config::Severity;
+use crate::tokenize::SourceFile;
+
+/// How a rule detects findings.
+#[derive(Debug, Clone, Copy)]
+pub enum RuleKind {
+    /// Word-bounded identifier tokens (e.g. `Instant`, `thread_rng`).
+    Ident,
+    /// Macro invocations: word-bounded token followed by `!`.
+    Macro,
+    /// Method calls: `.name(` with optional interior whitespace.
+    Method,
+    /// `HashMap`/`HashSet` mentions plus iteration calls in files that
+    /// mention them.
+    HashIter,
+    /// Indexing expressions `expr[...]`.
+    Index,
+    /// Crate-root hygiene attributes; evaluated at workspace level, not
+    /// per line.
+    CrateAttrs,
+    /// Engine-internal rules (waiver bookkeeping); never scanned directly.
+    Meta,
+}
+
+/// A static rule definition. `lint.toml` can override severity, scope
+/// paths, and tokens; everything else is fixed.
+#[derive(Debug, Clone, Copy)]
+pub struct Rule {
+    /// Stable rule id used in output, waivers, and `--explain`.
+    pub id: &'static str,
+    /// Detection mechanism.
+    pub kind: RuleKind,
+    /// Severity when `lint.toml` does not override it.
+    pub default_severity: Severity,
+    /// Whether `#[cfg(test)]` / `#[test]` code is exempt.
+    pub exempt_tests: bool,
+    /// Tokens the rule looks for (idents, macro names, or method names).
+    pub default_tokens: &'static [&'static str],
+    /// One-line summary for `--list-rules`.
+    pub summary: &'static str,
+    /// Long-form rationale for `--explain`.
+    pub explain: &'static str,
+}
+
+/// All rules, in stable order.
+pub const RULES: &[Rule] = &[
+    Rule {
+        id: "wall-clock",
+        kind: RuleKind::Ident,
+        default_severity: Severity::Deny,
+        exempt_tests: false,
+        default_tokens: &["SystemTime", "Instant"],
+        summary: "no wall-clock reads outside the RNG/time substrate",
+        explain: "Simulation results must be a pure function of (scenario, seed). \
+                  Reading the OS clock (std::time::SystemTime / Instant) anywhere in a \
+                  result path silently breaks bit-identical reproduction — the golden \
+                  fig3/fig9 files only catch it after the fact. Simulated time flows \
+                  from rtmac_sim::Nanos; host time is never needed. The rule applies \
+                  to test code too: golden tests rely on determinism as much as the \
+                  library does. Waive with `// lint: allow(wall-clock) — <reason>` \
+                  only for genuinely wall-clock-dependent tooling (none exists today).",
+    },
+    Rule {
+        id: "os-entropy",
+        kind: RuleKind::Ident,
+        default_severity: Severity::Deny,
+        exempt_tests: false,
+        default_tokens: &[
+            "thread_rng",
+            "from_entropy",
+            "from_os_rng",
+            "OsRng",
+            "getrandom",
+        ],
+        summary: "no OS-entropy RNG constructors outside crates/sim/src/rng.rs",
+        explain: "Every random draw in the workspace must come from a SimRng seeded \
+                  through rtmac_sim::SeedStream, so replication i of scenario s is the \
+                  same bit pattern on every machine and worker count. thread_rng(), \
+                  SmallRng::from_entropy(), OsRng, and getrandom all pull OS entropy \
+                  and destroy that property. crates/sim/src/rng.rs is the single \
+                  audited place allowed to name these constructors.",
+    },
+    Rule {
+        id: "nondeterministic-iter",
+        kind: RuleKind::HashIter,
+        default_severity: Severity::Deny,
+        exempt_tests: true,
+        default_tokens: &["HashMap", "HashSet"],
+        summary: "no hash-ordered collections in deterministic result paths",
+        explain: "HashMap/HashSet iteration order depends on the hasher's per-process \
+                  random state, so any result that flows through `.iter()`, `.keys()`, \
+                  `.values()`, `.drain()`, or a `for` loop over a hash map can differ \
+                  between runs. In the crates that feed figures (core, mac, analysis, \
+                  bench) use BTreeMap/BTreeSet or sort before iterating. The rule \
+                  flags every HashMap/HashSet mention in non-test code of the scoped \
+                  crates, plus iteration-shaped calls in files that mention them; \
+                  keyed lookups that never iterate can carry an inline waiver: \
+                  `// lint: allow(nondeterministic-iter) — <reason>`.",
+    },
+    Rule {
+        id: "panic-unwrap",
+        kind: RuleKind::Method,
+        default_severity: Severity::Deny,
+        exempt_tests: true,
+        default_tokens: &["unwrap"],
+        summary: "no bare .unwrap() in library crates",
+        explain: "Library crates must either propagate errors (Result/Option), fall \
+                  back explicitly (unwrap_or / unwrap_or_else / let-else), or document \
+                  a real invariant. A bare .unwrap() does none of these. Convert it, \
+                  or — for a genuine can't-happen invariant whose silent fallback \
+                  would corrupt results — keep it loud and waive it with \
+                  `// lint: allow(panic-unwrap) — <reason>`. Test code is exempt.",
+    },
+    Rule {
+        id: "panic-expect",
+        kind: RuleKind::Method,
+        default_severity: Severity::Deny,
+        exempt_tests: true,
+        default_tokens: &["expect"],
+        summary: "no bare .expect() in library crates",
+        explain: "Same policy as panic-unwrap: .expect(\"...\") is a panic with a \
+                  message. Prefer propagation or an explicit fallback; where the \
+                  panic guards a real invariant, keep it and add \
+                  `// lint: allow(panic-expect) — <reason>` stating why it cannot \
+                  fire. Test code is exempt.",
+    },
+    Rule {
+        id: "panic-macro",
+        kind: RuleKind::Macro,
+        default_severity: Severity::Deny,
+        exempt_tests: true,
+        default_tokens: &["panic", "todo", "unimplemented"],
+        summary: "no panic!/todo!/unimplemented! in library crates",
+        explain: "panic! aborts a caller that may be halfway through a batch run; \
+                  todo!/unimplemented! are unfinished code shipping as a crash. \
+                  Return a ConfigError (or a new error variant) instead. assert!/ \
+                  debug_assert! remain allowed: they state invariants, and the \
+                  documented-panic constructors (`# Panics` sections) can waive with \
+                  `// lint: allow(panic-macro) — <reason>`. unreachable! is also \
+                  allowed — it marks arms the type system cannot rule out.",
+    },
+    Rule {
+        id: "debug-print",
+        kind: RuleKind::Macro,
+        default_severity: Severity::Deny,
+        exempt_tests: true,
+        default_tokens: &["dbg", "println", "eprintln", "print", "eprint"],
+        summary: "no dbg!/println! in library crates",
+        explain: "Library crates compute; binaries (cli, bench, examples) print. A \
+                  stray println! in a library corrupts machine-readable output (CSV \
+                  tables, golden files) and dbg! is a debugging leftover by \
+                  definition. Route output through the caller or a returned value.",
+    },
+    Rule {
+        id: "direct-index",
+        kind: RuleKind::Index,
+        default_severity: Severity::Allow,
+        exempt_tests: true,
+        default_tokens: &[],
+        summary: "flag `expr[i]` indexing (off by default; audit aid)",
+        explain: "Slice indexing panics on out-of-bounds, which is a third panic \
+                  path next to unwrap/expect. The simulation hot loops index \
+                  heavily with loop-bounded indices, so this rule is `allow` by \
+                  default and exists as an audit mode: flip it to warn/deny in \
+                  lint.toml to enumerate every indexing site when hunting a panic.",
+    },
+    Rule {
+        id: "missing-crate-attrs",
+        kind: RuleKind::CrateAttrs,
+        default_severity: Severity::Deny,
+        exempt_tests: false,
+        default_tokens: &[],
+        summary: "every crate opts into the workspace lint table (or carries the attrs)",
+        explain: "Each workspace crate must either set `lints.workspace = true` in \
+                  its Cargo.toml (inheriting [workspace.lints]'s forbid(unsafe_code) \
+                  + warn(missing_docs)) or carry `#![forbid(unsafe_code)]` and \
+                  `#![warn(missing_docs)]` at its crate root. This keeps lint levels \
+                  centralized instead of drifting per crate.",
+    },
+    Rule {
+        id: "waiver-missing-reason",
+        kind: RuleKind::Meta,
+        default_severity: Severity::Deny,
+        exempt_tests: false,
+        default_tokens: &[],
+        summary: "inline waivers must state a reason",
+        explain: "`// lint: allow(rule)` without a reason is an unaudited hole. \
+                  Write `// lint: allow(rule) — <why this cannot fire / why it is \
+                  acceptable>`. The waiver still suppresses the original finding so \
+                  the output stays focused on the real problem: the missing audit \
+                  trail.",
+    },
+    Rule {
+        id: "stale-waiver",
+        kind: RuleKind::Meta,
+        default_severity: Severity::Warn,
+        exempt_tests: false,
+        default_tokens: &[],
+        summary: "waivers that no longer suppress anything",
+        explain: "An inline or [[waiver]] entry that matches no finding is debt: the \
+                  code it excused has been fixed or moved. Delete the waiver so the \
+                  audit surface stays minimal.",
+    },
+];
+
+/// Looks a rule up by id.
+#[must_use]
+pub fn rule_by_id(id: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// A raw finding produced by a scanner, before waiver application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawFinding {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column of the matched token.
+    pub col: usize,
+    /// The rule that fired.
+    pub rule: &'static str,
+    /// Human-readable description of the occurrence.
+    pub message: String,
+}
+
+/// Runs one line-level rule over a lexed file. `tokens` is the effective
+/// token list (config override or the rule's default).
+#[must_use]
+pub fn scan(rule: &Rule, file: &SourceFile, tokens: &[String]) -> Vec<RawFinding> {
+    let mut findings = Vec::new();
+    match rule.kind {
+        RuleKind::Ident => {
+            for_each_line(rule, file, |ln, code| {
+                for token in tokens {
+                    for col in word_positions(code, token) {
+                        findings.push(RawFinding {
+                            line: ln,
+                            col,
+                            rule: rule.id,
+                            message: format!("use of `{token}`"),
+                        });
+                    }
+                }
+            });
+        }
+        RuleKind::Macro => {
+            for_each_line(rule, file, |ln, code| {
+                for token in tokens {
+                    for col in word_positions(code, token) {
+                        if next_nonspace_is(code, col - 1 + token.len(), '!') {
+                            findings.push(RawFinding {
+                                line: ln,
+                                col,
+                                rule: rule.id,
+                                message: format!("`{token}!` invocation"),
+                            });
+                        }
+                    }
+                }
+            });
+        }
+        RuleKind::Method => {
+            for_each_line(rule, file, |ln, code| {
+                for token in tokens {
+                    for col in word_positions(code, token) {
+                        let idx = col - 1;
+                        if prev_nonspace_is(code, idx, '.')
+                            && next_nonspace_is(code, idx + token.len(), '(')
+                        {
+                            findings.push(RawFinding {
+                                line: ln,
+                                col,
+                                rule: rule.id,
+                                message: format!("bare `.{token}()`"),
+                            });
+                        }
+                    }
+                }
+            });
+        }
+        RuleKind::HashIter => {
+            let mut mentioned = false;
+            for_each_line(rule, file, |ln, code| {
+                for token in tokens {
+                    for col in word_positions(code, token) {
+                        mentioned = true;
+                        findings.push(RawFinding {
+                            line: ln,
+                            col,
+                            rule: rule.id,
+                            message: format!(
+                                "`{token}` in a deterministic result path; use a \
+                                 BTree collection or sorted iteration"
+                            ),
+                        });
+                    }
+                }
+            });
+            if mentioned {
+                const ITER_METHODS: &[&str] = &[
+                    "iter",
+                    "iter_mut",
+                    "keys",
+                    "values",
+                    "values_mut",
+                    "into_iter",
+                    "drain",
+                    "retain",
+                ];
+                for_each_line(rule, file, |ln, code| {
+                    for m in ITER_METHODS {
+                        for col in word_positions(code, m) {
+                            let idx = col - 1;
+                            if prev_nonspace_is(code, idx, '.')
+                                && next_nonspace_is(code, idx + m.len(), '(')
+                            {
+                                findings.push(RawFinding {
+                                    line: ln,
+                                    col,
+                                    rule: rule.id,
+                                    message: format!(
+                                        "`.{m}()` in a file using a hash-ordered \
+                                         collection; iteration order may vary"
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                });
+            }
+        }
+        RuleKind::Index => {
+            for_each_line(rule, file, |ln, code| {
+                let bytes = code.as_bytes();
+                for (i, &b) in bytes.iter().enumerate() {
+                    if b != b'[' {
+                        continue;
+                    }
+                    // Indexing: `[` directly preceded (modulo spaces) by an
+                    // identifier character or a closing bracket — i.e. an
+                    // expression, not a type, attribute, or slice pattern.
+                    let mut p = i;
+                    while p > 0 && bytes[p - 1] == b' ' {
+                        p -= 1;
+                    }
+                    if p == 0 {
+                        continue;
+                    }
+                    let prev = bytes[p - 1];
+                    if prev.is_ascii_alphanumeric() || prev == b'_' || prev == b')' || prev == b']'
+                    {
+                        findings.push(RawFinding {
+                            line: ln,
+                            col: i + 1,
+                            rule: rule.id,
+                            message: "direct indexing can panic out-of-bounds".to_string(),
+                        });
+                    }
+                }
+            });
+        }
+        RuleKind::CrateAttrs | RuleKind::Meta => {}
+    }
+    findings
+}
+
+fn for_each_line(rule: &Rule, file: &SourceFile, mut f: impl FnMut(usize, &str)) {
+    for (idx, code) in file.code.iter().enumerate() {
+        if rule.exempt_tests && file.in_test[idx] {
+            continue;
+        }
+        f(idx + 1, code);
+    }
+}
+
+/// 1-based columns of word-bounded occurrences of `needle` in `hay`.
+fn word_positions(hay: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    if needle.is_empty() {
+        return out;
+    }
+    let bytes = hay.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = hay[from..].find(needle) {
+        let start = from + pos;
+        let end = start + needle.len();
+        let before_ok = start == 0 || !is_ident_byte(bytes[start - 1]);
+        let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            out.push(hay[..start].chars().count() + 1);
+        }
+        from = start + 1;
+    }
+    out
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Whether the first non-space byte before byte index `idx` is `c`.
+fn prev_nonspace_is(line: &str, idx: usize, c: char) -> bool {
+    line[..idx].trim_end().ends_with(c)
+}
+
+/// Whether the first non-space byte at or after byte index `idx` is `c`.
+fn next_nonspace_is(line: &str, idx: usize, c: char) -> bool {
+    line[idx..].trim_start().starts_with(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::lex;
+
+    fn run(rule_id: &str, src: &str) -> Vec<RawFinding> {
+        let rule = rule_by_id(rule_id).expect("known rule");
+        let tokens: Vec<String> = rule.default_tokens.iter().map(|t| t.to_string()).collect();
+        scan(rule, &lex(src), &tokens)
+    }
+
+    #[test]
+    fn ident_rule_respects_word_boundaries_and_strings() {
+        let hits = run("wall-clock", "let t = Instant::now();\n");
+        assert_eq!(hits.len(), 1);
+        assert_eq!((hits[0].line, hits[0].col), (1, 9));
+        assert!(run("wall-clock", "/// Instantiates the policy\nfn f() {}\n").is_empty());
+        assert!(run("wall-clock", "let s = \"Instant\";\n").is_empty());
+    }
+
+    #[test]
+    fn method_rule_matches_calls_only() {
+        assert_eq!(run("panic-unwrap", "x.unwrap();\n").len(), 1);
+        assert_eq!(run("panic-unwrap", "x . unwrap ();\n").len(), 1);
+        assert!(run("panic-unwrap", "x.unwrap_or(0);\n").is_empty());
+        assert!(run("panic-unwrap", "fn unwrap(x: u8) {}\n").is_empty());
+    }
+
+    #[test]
+    fn macro_rule_requires_bang() {
+        assert_eq!(run("panic-macro", "panic!(\"boom\");\n").len(), 1);
+        assert!(run("panic-macro", "fn panic_handler() {}\n").is_empty());
+        assert!(run("panic-macro", "let panic = 3;\n").is_empty());
+        assert!(run("panic-macro", "debug_assert!(x);\n").is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt_where_configured() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { x.unwrap(); }\n}\n";
+        assert!(run("panic-unwrap", src).is_empty());
+        // ...but not for wall-clock, which applies to tests too.
+        let src2 = "#[cfg(test)]\nmod tests {\n    fn f() { Instant::now(); }\n}\n";
+        assert_eq!(run("wall-clock", src2).len(), 1);
+    }
+
+    #[test]
+    fn hash_iter_flags_mentions_and_iteration() {
+        let src = "use std::collections::HashMap;\nfn f(m: &HashMap<u32, u32>) {\n    \
+                   for k in m.keys() { g(k); }\n    let v = vec![1];\n    v.sort();\n}\n";
+        let hits = run("nondeterministic-iter", src);
+        let lines: Vec<usize> = hits.iter().map(|h| h.line).collect();
+        assert!(lines.contains(&1) && lines.contains(&2) && lines.contains(&3));
+    }
+
+    #[test]
+    fn hash_iter_silent_without_mentions() {
+        assert!(run(
+            "nondeterministic-iter",
+            "fn f(v: &[u32]) { v.iter().sum::<u32>(); }\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn index_rule_flags_expressions_not_types() {
+        let hits = run("direct-index", "let x = data[i];\n");
+        assert_eq!(hits.len(), 1);
+        assert!(run("direct-index", "let x: [u8; 4] = y;\n").is_empty());
+        assert!(run("direct-index", "#[derive(Debug)]\nstruct S;\n").is_empty());
+        assert!(run("direct-index", "let s = &v[..];\n").len() == 1); // slicing counts
+    }
+}

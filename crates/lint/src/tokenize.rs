@@ -1,0 +1,447 @@
+//! A lightweight, comment/string-aware lexer for Rust source files.
+//!
+//! The lint rules are lexical: they look for identifiers, method calls,
+//! and macro invocations in *code*, never inside comments, string
+//! literals, or char literals. This module produces that separation
+//! without a full parser: it walks the file once and emits, per line,
+//!
+//! * the code with every comment and literal body blanked to spaces
+//!   (so columns are preserved for reporting), and
+//! * the concatenated comment text (where `// lint: allow(...)` waivers
+//!   live).
+//!
+//! A second pass marks the lines that belong to test-only items —
+//! anything introduced by a `#[cfg(test)]` / `#[cfg(all(test, ...))]` /
+//! `#[test]` attribute, through the end of the item's brace block — so
+//! rules that exempt test code can skip them.
+
+/// The lexed view of one source file. All vectors have one entry per
+/// source line.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Source lines with comment text and string/char literal bodies
+    /// replaced by spaces. Column positions match the original file.
+    pub code: Vec<String>,
+    /// Comment text found on each line (line and block comments), without
+    /// the comment markers.
+    pub comments: Vec<String>,
+    /// Whether each line lies inside a test-only item.
+    pub in_test: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Number of lines.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Whether the file has no lines.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+}
+
+/// Lexer state while scanning the raw character stream.
+enum State {
+    Normal,
+    LineComment,
+    /// Nested block comments; the payload is the nesting depth.
+    BlockComment(u32),
+    /// Inside `"…"`; the payload tracks a pending backslash escape.
+    Str {
+        escaped: bool,
+    },
+    /// Inside `r"…"` / `r#"…"#`; the payload is the number of `#`s.
+    RawStr(u32),
+    /// Inside `'…'` with escape handling.
+    CharLit {
+        escaped: bool,
+    },
+}
+
+/// Lexes `src` into masked code lines, comment lines, and test markers.
+#[must_use]
+pub fn lex(src: &str) -> SourceFile {
+    let chars: Vec<char> = src.chars().collect();
+    let mut code_lines: Vec<String> = Vec::new();
+    let mut comment_lines: Vec<String> = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut state = State::Normal;
+    let mut i = 0;
+
+    macro_rules! flush_line {
+        () => {
+            code_lines.push(std::mem::take(&mut code));
+            comment_lines.push(std::mem::take(&mut comment));
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if matches!(state, State::LineComment) {
+                state = State::Normal;
+            }
+            flush_line!();
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Normal => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Str { escaped: false };
+                    code.push(' ');
+                    i += 1;
+                } else if (c == 'r' || c == 'b') && !prev_is_ident(&chars, i) {
+                    // Possible raw/byte string: r", r#", br", b", brb is not
+                    // a thing — scan the prefix run of [rb] then `#`s.
+                    let mut j = i;
+                    while j < chars.len() && (chars[j] == 'r' || chars[j] == 'b') {
+                        j += 1;
+                    }
+                    let raw = chars[i..j].contains(&'r');
+                    let mut hashes = 0u32;
+                    let mut k = j;
+                    while raw && k < chars.len() && chars[k] == '#' {
+                        hashes += 1;
+                        k += 1;
+                    }
+                    if j - i <= 2 && chars.get(k) == Some(&'"') && (raw || hashes == 0) {
+                        for _ in i..=k {
+                            code.push(' ');
+                        }
+                        state = if raw {
+                            State::RawStr(hashes)
+                        } else {
+                            State::Str { escaped: false }
+                        };
+                        i = k + 1;
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    // Char literal vs lifetime: a backslash or a
+                    // single-char body closed by `'` means a literal;
+                    // anything else (e.g. `'a>` or `'static`) is a
+                    // lifetime and stays in the code stream.
+                    let next2 = chars.get(i + 2).copied();
+                    if next == Some('\\') {
+                        state = State::CharLit { escaped: false };
+                        code.push(' ');
+                        i += 1;
+                    } else if next.is_some() && next != Some('\'') && next2 == Some('\'') {
+                        code.push_str("   ");
+                        i += 3;
+                    } else {
+                        code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                comment.push(c);
+                code.push(' ');
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    state = if depth > 1 {
+                        State::BlockComment(depth - 1)
+                    } else {
+                        State::Normal
+                    };
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    code.push_str("  ");
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str { escaped } => {
+                if escaped {
+                    state = State::Str { escaped: false };
+                } else if c == '\\' {
+                    state = State::Str { escaped: true };
+                } else if c == '"' {
+                    state = State::Normal;
+                }
+                code.push(' ');
+                i += 1;
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let closed = (0..hashes as usize).all(|h| chars.get(i + 1 + h) == Some(&'#'));
+                    if closed {
+                        for _ in 0..=hashes as usize {
+                            code.push(' ');
+                        }
+                        state = State::Normal;
+                        i += 1 + hashes as usize;
+                        continue;
+                    }
+                }
+                code.push(' ');
+                i += 1;
+            }
+            State::CharLit { escaped } => {
+                if escaped {
+                    state = State::CharLit { escaped: false };
+                } else if c == '\\' {
+                    state = State::CharLit { escaped: true };
+                } else if c == '\'' {
+                    state = State::Normal;
+                }
+                code.push(' ');
+                i += 1;
+            }
+        }
+    }
+    if !code.is_empty() || !comment.is_empty() {
+        flush_line!();
+    }
+
+    let in_test = mark_test_lines(&code_lines);
+    SourceFile {
+        code: code_lines,
+        comments: comment_lines,
+        in_test,
+    }
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// Marks the lines covered by test-only items: a `#[test]` or
+/// `#[cfg(test)]`-style attribute plus the brace block (or terminated
+/// statement) of the item it decorates.
+fn mark_test_lines(code: &[String]) -> Vec<bool> {
+    // Flatten the masked code with a char → line map so attributes and
+    // brace blocks can span lines.
+    let mut flat: Vec<char> = Vec::new();
+    let mut line_of: Vec<usize> = Vec::new();
+    for (ln, line) in code.iter().enumerate() {
+        for c in line.chars() {
+            flat.push(c);
+            line_of.push(ln);
+        }
+        flat.push('\n');
+        line_of.push(ln);
+    }
+    let mut in_test = vec![false; code.len()];
+    let mut i = 0;
+    while i < flat.len() {
+        if flat[i] != '#' {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        while j < flat.len() && flat[j].is_whitespace() {
+            j += 1;
+        }
+        if flat.get(j) != Some(&'[') {
+            i += 1;
+            continue;
+        }
+        // Capture the attribute body up to the matching `]`.
+        let mut depth = 0i32;
+        let mut body = String::new();
+        let mut k = j;
+        while k < flat.len() {
+            match flat[k] {
+                '[' => depth += 1,
+                ']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                c if !c.is_whitespace() => body.push(c),
+                _ => {}
+            }
+            k += 1;
+        }
+        if k >= flat.len() {
+            break;
+        }
+        if is_test_attr(&body) {
+            let start_line = line_of[i];
+            let end = item_end(&flat, k + 1);
+            let end_line = line_of[end.min(flat.len() - 1)];
+            for marker in in_test.iter_mut().take(end_line + 1).skip(start_line) {
+                *marker = true;
+            }
+        }
+        i = k + 1;
+    }
+    in_test
+}
+
+/// Whether a whitespace-stripped attribute body (without the surrounding
+/// `[]`) gates an item to test builds.
+fn is_test_attr(body: &str) -> bool {
+    if body == "test" {
+        return true;
+    }
+    if !body.starts_with("cfg(") || body.starts_with("cfg(not(") {
+        return false;
+    }
+    contains_word(body, "test")
+}
+
+/// Whether `needle` occurs in `hay` with non-identifier characters on
+/// both sides.
+#[must_use]
+pub fn contains_word(hay: &str, needle: &str) -> bool {
+    let bytes = hay.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = hay[from..].find(needle) {
+        let start = from + pos;
+        let end = start + needle.len();
+        let before_ok = start == 0 || !is_ident_byte(bytes[start - 1]);
+        let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = start + 1;
+    }
+    false
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Finds the end position of the item that starts after an attribute:
+/// skips further attributes, then either the matching `}` of the first
+/// brace block or the first top-level `;`.
+fn item_end(flat: &[char], mut i: usize) -> usize {
+    let mut brace_depth = 0i32;
+    let mut seen_brace = false;
+    while i < flat.len() {
+        match flat[i] {
+            '{' => {
+                brace_depth += 1;
+                seen_brace = true;
+            }
+            '}' => {
+                brace_depth -= 1;
+                if seen_brace && brace_depth <= 0 {
+                    return i;
+                }
+            }
+            ';' if !seen_brace => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    flat.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_line_comments_but_keeps_text() {
+        let f = lex("let x = 1; // thread_rng() here\n");
+        assert!(!f.code[0].contains("thread_rng"));
+        assert!(f.comments[0].contains("thread_rng"));
+        assert!(f.code[0].contains("let x = 1;"));
+    }
+
+    #[test]
+    fn masks_strings_and_chars() {
+        let f = lex("let s = \"SystemTime::now()\"; let c = 'x'; let l: &'static str = s;\n");
+        assert!(!f.code[0].contains("SystemTime"));
+        assert!(f.code[0].contains("&'static str"), "{}", f.code[0]);
+    }
+
+    #[test]
+    fn masks_raw_and_byte_strings() {
+        let f = lex("let a = r#\"Instant\"#; let b = b\"Instant\"; let c = br\"Instant\";\n");
+        assert!(!f.code[0].contains("Instant"), "{}", f.code[0]);
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let f = lex("let s = \"a\\\"Instant\"; let t = Instant;\n");
+        let pos = f.code[0].find("Instant");
+        // Only the second, real identifier survives.
+        assert_eq!(f.code[0].matches("Instant").count(), 1, "{}", f.code[0]);
+        assert!(pos.is_some());
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let f = lex("a /* x /* y */ Instant */ b\n");
+        assert!(!f.code[0].contains("Instant"));
+        assert!(f.code[0].contains('a') && f.code[0].contains('b'));
+    }
+
+    #[test]
+    fn columns_are_preserved() {
+        let src = "abc /* x */ def\n";
+        let f = lex(src);
+        assert_eq!(f.code[0].len(), src.len() - 1);
+        assert_eq!(f.code[0].find("def"), src.find("def"));
+    }
+
+    #[test]
+    fn cfg_test_module_is_marked() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n";
+        let f = lex(src);
+        assert_eq!(f.in_test, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn test_attribute_marks_one_fn() {
+        let src = "#[test]\nfn t() {\n    x.unwrap();\n}\nfn real() {}\n";
+        let f = lex(src);
+        assert_eq!(f.in_test, vec![true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_all_test_counts_cfg_not_test_does_not() {
+        let f = lex("#[cfg(all(test, feature = \"x\"))]\nmod m {\n}\n");
+        assert!(f.in_test[0] && f.in_test[1] && f.in_test[2]);
+        let g = lex("#[cfg(not(test))]\nmod m {\n}\n");
+        assert!(!g.in_test[0] && !g.in_test[1]);
+    }
+
+    #[test]
+    fn attr_with_following_attrs_finds_item_block() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod t {\n    a();\n}\nfn f() {}\n";
+        let f = lex(src);
+        assert_eq!(f.in_test, vec![true, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(contains_word("use std::time::Instant;", "Instant"));
+        assert!(!contains_word("/// Instantiates the policy", "Instant"));
+        assert!(!contains_word("my_thread_rng_like", "thread_rng"));
+    }
+}

@@ -1,0 +1,5 @@
+//! Fixture: crate root missing `#![forbid(unsafe_code)]` and
+//! `#![warn(missing_docs)]`.
+
+/// Does nothing.
+pub fn nothing() {}

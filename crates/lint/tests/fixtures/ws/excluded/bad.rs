@@ -1,0 +1,8 @@
+//! Fixture: lives under an excluded directory — never scanned.
+
+/// Would trip four rules if the exclude list failed.
+pub fn ignored(x: Option<u32>) -> u32 {
+    let _ = std::time::Instant::now();
+    println!("never linted");
+    panic!("never linted");
+}

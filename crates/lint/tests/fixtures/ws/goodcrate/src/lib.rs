@@ -1,0 +1,6 @@
+//! Fixture: crate root carrying the hygiene attributes directly.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Does nothing.
+pub fn nothing() {}

@@ -1,0 +1,6 @@
+//! Fixture: a [[waiver]] entry in lint.toml suppresses by path.
+
+/// This panic is excused by the fixture lint.toml's [[waiver]] table.
+pub fn documented_panic() {
+    panic!("waived via [[waiver]]");
+}

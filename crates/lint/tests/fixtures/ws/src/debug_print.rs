@@ -1,0 +1,7 @@
+//! Fixture: the debug-print rule.
+
+/// Prints from library code — forbidden.
+pub fn chatty(x: u32) -> u32 {
+    println!("x = {x}");
+    dbg!(x)
+}

@@ -1,0 +1,8 @@
+//! Fixture: the nondeterministic-iter rule.
+
+use std::collections::HashMap;
+
+/// Iterates a hash map; the visit order varies per process.
+pub fn sum_values(m: &HashMap<u32, u32>) -> u32 {
+    m.values().copied().sum()
+}

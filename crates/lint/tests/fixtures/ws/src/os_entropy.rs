@@ -1,0 +1,7 @@
+//! Fixture: the os-entropy rule.
+
+/// Pulls OS entropy — forbidden outside the audited RNG module.
+pub fn seed_from_os() {
+    let _rng = rand::thread_rng();
+    let _other = SmallRng::from_entropy();
+}

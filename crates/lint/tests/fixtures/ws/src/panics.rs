@@ -1,0 +1,20 @@
+//! Fixture: the panic-hygiene rules, plus the test-code exemption.
+
+/// Panics three different ways.
+pub fn boom(x: Option<u32>) -> u32 {
+    let a = x.unwrap();
+    let b = x.expect("present");
+    if a + b > 10 {
+        panic!("too big");
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_in_tests_are_exempt() {
+        let _ = Some(1u32).unwrap();
+        let _ = Some(1u32).expect("fine here");
+    }
+}

@@ -1,0 +1,13 @@
+//! Fixture: inline waivers with reasons suppress findings cleanly.
+
+/// Same-line waiver.
+pub fn waived_same_line(x: Option<u32>) -> u32 {
+    x.unwrap() // lint: allow(panic-unwrap) — fixture: same-line waiver with reason
+}
+
+/// Waiver atop a multi-line justification comment.
+pub fn waived_above(x: Option<u32>) -> u32 {
+    // lint: allow(panic-unwrap) — fixture: the justification spills onto
+    // a second comment line before the code it covers.
+    x.unwrap()
+}

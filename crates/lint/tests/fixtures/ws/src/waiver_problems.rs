@@ -1,0 +1,12 @@
+//! Fixture: waiver bookkeeping — missing reasons and stale waivers.
+
+/// The waiver suppresses the unwrap but lacks a reason.
+pub fn no_reason(x: Option<u32>) -> u32 {
+    x.unwrap() // lint: allow(panic-unwrap)
+}
+
+// lint: allow(panic-expect) — fixture: the expect this excused is gone
+/// Nothing left to suppress: the waiver above is stale.
+pub fn already_fixed() -> u32 {
+    0
+}

@@ -1,0 +1,8 @@
+//! Fixture: the wall-clock rule.
+
+/// Reads the host clock — forbidden in deterministic result paths.
+pub fn host_now() -> u64 {
+    let _t = std::time::Instant::now();
+    let _s = std::time::SystemTime::now();
+    0
+}

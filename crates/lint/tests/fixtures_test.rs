@@ -1,0 +1,169 @@
+//! Integration tests for the lint engine and the `rtmac-lint` binary,
+//! driven by the known-violation fixture workspace under
+//! `tests/fixtures/ws` (excluded from the real lint pass by the
+//! top-level `lint.toml`).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use rtmac_lint::config::Severity;
+use rtmac_lint::{lint_workspace_with_config_file, Finding};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws")
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root resolves")
+}
+
+fn fixture_findings() -> Vec<Finding> {
+    lint_workspace_with_config_file(&fixture_root()).expect("fixture lint runs")
+}
+
+/// Every intentional violation is found, with the exact rule id and line,
+/// and nothing else is.
+#[test]
+fn fixture_violations_are_found_exactly() {
+    let got: Vec<(String, usize, String)> = fixture_findings()
+        .into_iter()
+        .map(|f| (f.path, f.line, f.rule))
+        .collect();
+    let expected: Vec<(String, usize, String)> = [
+        // sorted by (path, line, col, rule) — the engine's output order
+        ("badcrate/src/lib.rs", 1, "missing-crate-attrs"),
+        ("badcrate/src/lib.rs", 1, "missing-crate-attrs"),
+        ("src/debug_print.rs", 5, "debug-print"),
+        ("src/debug_print.rs", 6, "debug-print"),
+        ("src/nondet_iter.rs", 3, "nondeterministic-iter"),
+        ("src/nondet_iter.rs", 6, "nondeterministic-iter"),
+        ("src/nondet_iter.rs", 7, "nondeterministic-iter"),
+        ("src/os_entropy.rs", 5, "os-entropy"),
+        ("src/os_entropy.rs", 6, "os-entropy"),
+        ("src/panics.rs", 5, "panic-unwrap"),
+        ("src/panics.rs", 6, "panic-expect"),
+        ("src/panics.rs", 8, "panic-macro"),
+        ("src/waiver_problems.rs", 5, "waiver-missing-reason"),
+        ("src/waiver_problems.rs", 8, "stale-waiver"),
+        ("src/wall_clock.rs", 5, "wall-clock"),
+        ("src/wall_clock.rs", 6, "wall-clock"),
+    ]
+    .iter()
+    .map(|(p, l, r)| ((*p).to_string(), *l, (*r).to_string()))
+    .collect();
+    assert_eq!(got, expected);
+}
+
+/// Findings carry the configured severities: everything deny except the
+/// stale waiver report (warn by default).
+#[test]
+fn fixture_severities_match_catalog_defaults() {
+    for f in fixture_findings() {
+        let want = if f.rule == "stale-waiver" {
+            Severity::Warn
+        } else {
+            Severity::Deny
+        };
+        assert_eq!(f.severity, want, "severity of {f}");
+    }
+}
+
+/// Inline waivers with reasons fully suppress their findings: the waived
+/// fixture files produce nothing — no original finding, no bookkeeping.
+#[test]
+fn waivers_and_excludes_suppress_everything() {
+    for f in fixture_findings() {
+        assert!(
+            !f.path.starts_with("src/waived.rs")
+                && !f.path.starts_with("src/config_waived.rs")
+                && !f.path.starts_with("src/clean.rs")
+                && !f.path.starts_with("excluded/")
+                && !f.path.starts_with("goodcrate/"),
+            "unexpected finding {f}"
+        );
+    }
+}
+
+/// Columns point at the offending token (spot checks).
+#[test]
+fn fixture_columns_point_at_tokens() {
+    let findings = fixture_findings();
+    let unwrap = findings
+        .iter()
+        .find(|f| f.path == "src/panics.rs" && f.rule == "panic-unwrap")
+        .expect("unwrap finding present");
+    // `    let a = x.unwrap();` — `unwrap` starts at column 15.
+    assert_eq!((unwrap.line, unwrap.col), (5, 15));
+    let clock = findings
+        .iter()
+        .find(|f| f.path == "src/wall_clock.rs" && f.line == 5)
+        .expect("Instant finding present");
+    // `    let _t = std::time::Instant::now();` — `Instant` at column 25.
+    assert_eq!(clock.col, 25);
+}
+
+fn run_binary(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_rtmac-lint"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+/// The binary exits 1 on the fixture tree and prints rustc-style lines.
+#[test]
+fn binary_reports_fixture_violations_with_exit_one() {
+    let root = fixture_root();
+    let out = run_binary(&["--workspace", "--root", root.to_str().expect("utf-8 path")]);
+    assert_eq!(out.status.code(), Some(1), "exit code");
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 stdout");
+    for needle in [
+        "src/panics.rs:5:15: panic-unwrap: bare `.unwrap()`",
+        "src/panics.rs:6:15: panic-expect: bare `.expect()`",
+        "src/panics.rs:8:9: panic-macro: `panic!` invocation",
+        "src/wall_clock.rs:5:25: wall-clock: use of `Instant`",
+        "src/wall_clock.rs:6:25: wall-clock: use of `SystemTime`",
+        "src/os_entropy.rs:5:22: os-entropy: use of `thread_rng`",
+        "src/debug_print.rs:5:5: debug-print: `println!` invocation",
+        "src/waiver_problems.rs:5:1: waiver-missing-reason",
+        "src/waiver_problems.rs:8:1: stale-waiver (warn)",
+        "badcrate/src/lib.rs:1:1: missing-crate-attrs",
+    ] {
+        assert!(
+            stdout.contains(needle),
+            "stdout missing {needle:?}:\n{stdout}"
+        );
+    }
+    let stderr = String::from_utf8(out.stderr).expect("utf-8 stderr");
+    assert!(
+        stderr.contains("15 error(s), 1 warning(s)"),
+        "summary line: {stderr}"
+    );
+}
+
+/// The real workspace is lint-clean: the binary exits 0 from the repo
+/// root, which is exactly the CI gate.
+#[test]
+fn binary_exits_zero_on_the_real_workspace() {
+    let root = repo_root();
+    let out = run_binary(&["--workspace", "--root", root.to_str().expect("utf-8 path")]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "workspace not clean:\n{stdout}");
+}
+
+/// `--explain` documents every rule; unknown rules are a usage error.
+#[test]
+fn binary_explain_and_usage_errors() {
+    let out = run_binary(&["--explain", "panic-unwrap"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8(out.stdout).expect("utf-8 stdout");
+    assert!(text.contains("panic-unwrap") && text.contains("invariant"));
+
+    let bad = run_binary(&["--explain", "no-such-rule"]);
+    assert_eq!(bad.status.code(), Some(2), "usage errors exit 2");
+
+    let noargs = run_binary(&[]);
+    assert_eq!(noargs.status.code(), Some(2), "no mode selected exits 2");
+}

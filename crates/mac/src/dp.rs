@@ -697,6 +697,43 @@ impl DpEngine {
             }
         }
 
+        // Interval postconditions (cheap enough to keep in debug builds):
+        // σ(k+1) must still be a bijection of 1..=N, and each drawn pair
+        // commits at most one transposition, so the committed swaps are a
+        // strictly-increasing subset of the drawn candidates.
+        #[cfg(debug_assertions)]
+        {
+            let mut seen = vec![false; n];
+            for &p in sigma.priorities() {
+                debug_assert!(
+                    p >= 1 && p <= n && !seen[p - 1],
+                    "σ is no longer a permutation after interval commit: {sigma}"
+                );
+                seen[p - 1] = true;
+            }
+            debug_assert!(
+                swaps.len() <= candidates.len(),
+                "more swaps committed ({}) than pairs drawn ({})",
+                swaps.len(),
+                candidates.len()
+            );
+            for w in swaps.windows(2) {
+                debug_assert!(
+                    w[0].upper() < w[1].upper(),
+                    "a drawn pair committed two swaps (uppers {} and {})",
+                    w[0].upper(),
+                    w[1].upper()
+                );
+            }
+            for t in &swaps {
+                debug_assert!(
+                    candidates.contains(&t.upper()),
+                    "committed swap at priority {} was never drawn as a candidate",
+                    t.upper()
+                );
+            }
+        }
+
         outcome.collisions += medium.stats().collisions;
         outcome.busy_time = medium.stats().busy_time;
         outcome.leftover = deadline.saturating_sub(medium.busy_until());
@@ -1133,6 +1170,26 @@ mod tests {
                 prop_assert!(
                     Permutation::from_priorities(e.sigma().priorities().to_vec()).is_ok()
                 );
+                // Every committed swap corresponds to exactly one drawn
+                // candidate pair: at most |C(k)| swaps, each at a drawn
+                // upper priority, and no upper priority swaps twice.
+                prop_assert!(r.swaps.len() <= r.candidates.len());
+                for (i, t) in r.swaps.iter().enumerate() {
+                    prop_assert!(
+                        r.candidates.contains(&t.upper()),
+                        "swap at {} not among drawn candidates {:?}",
+                        t.upper(),
+                        r.candidates
+                    );
+                    if i > 0 {
+                        prop_assert!(r.swaps[i - 1].upper() < t.upper());
+                    }
+                }
+                if pairs <= 1 {
+                    // The paper's configuration: at most one adjacent pair
+                    // exchanges priorities per interval.
+                    prop_assert!(r.swaps.len() <= 1);
+                }
                 // Busy time can never exceed the interval.
                 prop_assert!(r.outcome.busy_time <= Nanos::from_millis(5));
             }

@@ -88,7 +88,9 @@ impl FrameCsmaEngine {
             shares.push((l, exact - exact.floor()));
         }
         // Largest remainder for the leftover slots, still capped by demand.
-        shares.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        // Remainders lie in [0, 1), so total_cmp matches partial_cmp here
+        // without the unwrap.
+        shares.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         let mut leftover = budget.saturating_sub(used);
         while leftover > 0 {
             let mut progressed = false;

@@ -42,9 +42,6 @@
 //! assert_eq!(outcome.deliveries, [3, 2]); // both buffers fit in 16 slots
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod centralized;
 mod dcf;
 mod dp;

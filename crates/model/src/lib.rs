@@ -40,9 +40,6 @@
 //! # Ok::<(), rtmac_model::ConfigError>(())
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod config;
 mod debt;
 mod error;

@@ -30,9 +30,6 @@
 //! assert_eq!(t.as_micros_f64(), 326.0);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod channel;
 mod medium;
 mod profile;

@@ -92,7 +92,7 @@ impl Medium {
             self.busy_until,
             now
         );
-        let longest = airtimes.iter().copied().max().expect("nonempty");
+        let longest = airtimes.iter().copied().fold(Nanos::ZERO, Nanos::max);
         let collided = airtimes.len() > 1;
         self.busy_until = now + longest;
         self.stats.busy_time += longest;

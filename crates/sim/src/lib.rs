@@ -30,9 +30,6 @@
 //! assert_eq!(ev, "interval start");
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod event;
 mod rng;
 mod simulator;

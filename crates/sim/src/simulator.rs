@@ -165,7 +165,9 @@ impl<E> Simulator<E> {
             if next > deadline {
                 break;
             }
-            let (time, event) = self.queue.pop().expect("peeked event exists");
+            let Some((time, event)) = self.queue.pop() else {
+                break; // unreachable: peek_time just returned Some
+            };
             self.now = time;
             self.dispatched += 1;
             count += 1;

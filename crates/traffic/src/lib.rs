@@ -36,9 +36,6 @@
 //! # Ok::<(), rtmac_model::ConfigError>(())
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 use rand::Rng;
 use rtmac_model::{ConfigError, LinkId};
 use rtmac_sim::SimRng;

@@ -5,9 +5,6 @@
 //! thin re-exports of the canonical [`rtmac::Scenario`] workloads shared
 //! between them.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 /// Canonical experiment scenarios used by the examples and integration
 /// tests — thin wrappers over the simulator's scenario registry
 /// ([`rtmac::scenario`]), so the suite runs exactly the configurations the

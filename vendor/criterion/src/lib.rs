@@ -184,6 +184,9 @@ fn fmt_ns(ns: f64) -> String {
 #[macro_export]
 macro_rules! criterion_group {
     (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        // Bench harness entry points are not public API; real criterion's
+        // expansion is exempt from missing_docs the same way.
+        #[allow(missing_docs)]
         pub fn $name() {
             let mut criterion = $config;
             $($target(&mut criterion);)+

@@ -113,11 +113,13 @@ impl Network {
         for (l, &x) in self.latency_sums.iter_mut().zip(&outcome.latency_sum) {
             *l += x;
         }
-        self.collisions += outcome.collisions;
-        self.empty_packets += outcome.empty_packets;
-        self.idle_slots += outcome.idle_slots;
-        self.busy_time += outcome.busy_time;
-        self.intervals += 1;
+        // Long-lived accumulators saturate instead of wrapping: a batch
+        // horizon is caller-chosen and these counters feed every report.
+        self.collisions = self.collisions.saturating_add(outcome.collisions);
+        self.empty_packets = self.empty_packets.saturating_add(outcome.empty_packets);
+        self.idle_slots = self.idle_slots.saturating_add(outcome.idle_slots);
+        self.busy_time = self.busy_time.saturating_add(outcome.busy_time);
+        self.intervals = self.intervals.saturating_add(1);
         outcome
     }
 

@@ -21,6 +21,7 @@
 
 pub mod config;
 pub mod rules;
+pub mod syntax;
 pub mod tokenize;
 
 use std::fs;
@@ -177,6 +178,7 @@ impl Engine {
         let text =
             fs::read_to_string(root.join(rel)).map_err(|e| format!("{rel}: cannot read: {e}"))?;
         let file = tokenize::lex(&text);
+        let syn = syntax::scan(&file);
         let mut raw = Vec::new();
         for setting in &self.settings {
             if setting.severity == Severity::Allow {
@@ -189,13 +191,16 @@ impl Engine {
                     | RuleKind::Method
                     | RuleKind::HashIter
                     | RuleKind::Index
+                    | RuleKind::FieldArith
+                    | RuleKind::FloatAccum
+                    | RuleKind::PathCall
             ) {
                 continue;
             }
             if !path_applies(rel, &setting.paths) || path_listed(rel, &setting.allow_paths) {
                 continue;
             }
-            raw.extend(rules::scan(setting.rule, &file, &setting.tokens));
+            raw.extend(rules::scan(setting.rule, &file, &syn, &setting.tokens));
         }
 
         let mut inline = collect_inline_waivers(&file);

@@ -25,18 +25,28 @@ macro_rules! outln {
     };
 }
 
+/// Finding output syntax.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    /// rustc-style `path:line:col: rule: message` lines.
+    Text,
+    /// A JSON array of finding objects (for problem matchers and tooling).
+    Json,
+}
+
 struct Args {
     workspace: bool,
     root: Option<PathBuf>,
     config: Option<PathBuf>,
     explain: Option<String>,
     list_rules: bool,
+    format: Format,
     files: Vec<String>,
 }
 
 fn usage() -> &'static str {
     "usage: rtmac-lint [--workspace] [--root DIR] [--config FILE] \
-     [--explain RULE] [--list-rules] [files...]"
+     [--format text|json] [--explain RULE] [--list-rules] [files...]"
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -46,6 +56,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         config: None,
         explain: None,
         list_rules: false,
+        format: Format::Text,
         files: Vec::new(),
     };
     let mut it = argv.iter();
@@ -53,6 +64,18 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         match arg.as_str() {
             "--workspace" => args.workspace = true,
             "--list-rules" => args.list_rules = true,
+            "--format" => {
+                args.format = match it.next().map(String::as_str) {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    other => {
+                        return Err(format!(
+                            "--format needs `text` or `json`, got {other:?}\n{}",
+                            usage()
+                        ))
+                    }
+                };
+            }
             "--root" => {
                 args.root = Some(PathBuf::from(it.next().ok_or("--root needs a directory")?));
             }
@@ -153,8 +176,13 @@ fn run() -> Result<ExitCode, String> {
 
     let mut errors = 0usize;
     let mut warnings = 0usize;
+    if args.format == Format::Json {
+        outln!("{}", findings_to_json(&findings));
+    }
     for f in &findings {
-        outln!("{f}");
+        if args.format == Format::Text {
+            outln!("{f}");
+        }
         match f.severity {
             Severity::Deny => errors += 1,
             Severity::Warn => warnings += 1,
@@ -190,6 +218,51 @@ fn normalize(root: &Path, file: &str) -> Result<String, String> {
         .strip_prefix(&root_canon)
         .map(|r| r.to_string_lossy().replace('\\', "/"))
         .map_err(|_| format!("{file}: outside the workspace root"))
+}
+
+/// Serializes findings as a JSON array (hand-rolled: the linter stays
+/// dependency-free, and findings only need string/number escaping).
+fn findings_to_json(findings: &[rtmac_lint::Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"path\": {}, \"line\": {}, \"col\": {}, \"rule\": {}, \
+             \"severity\": {}, \"message\": {}}}",
+            json_string(&f.path),
+            f.line,
+            f.col,
+            json_string(&f.rule),
+            json_string(f.severity.label()),
+            json_string(&f.message),
+        ));
+    }
+    if !findings.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+/// Escapes a string per JSON (RFC 8259 §7).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Greedy word wrap for `--explain` output.

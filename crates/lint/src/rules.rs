@@ -1,13 +1,18 @@
 //! The rule catalog: ids, default scopes, detection logic, and the
 //! `--explain` texts.
 //!
-//! Every rule is lexical and runs over the masked code lines produced by
+//! Rules run over the masked code lines produced by
 //! [`crate::tokenize::lex`], so occurrences inside comments, strings, and
-//! char literals never fire. Detection is deliberately conservative and
-//! token-based — the point is a fast, dependency-free gate with an
-//! audited waiver escape hatch, not a type checker.
+//! char literals never fire. The lexical rules look at one line at a
+//! time; the syntactic rules ([`RuleKind::FieldArith`],
+//! [`RuleKind::FloatAccum`], [`RuleKind::PathCall`]) additionally use the
+//! brace-matched token stream of [`crate::syntax`] to walk operand paths
+//! and method chains across line breaks. Detection is deliberately
+//! conservative and token-based — the point is a fast, dependency-free
+//! gate with an audited waiver escape hatch, not a type checker.
 
 use crate::config::Severity;
+use crate::syntax::{Syntax, TokKind};
 use crate::tokenize::SourceFile;
 
 /// How a rule detects findings.
@@ -24,6 +29,15 @@ pub enum RuleKind {
     HashIter,
     /// Indexing expressions `expr[...]`.
     Index,
+    /// Syntactic: unchecked `+`/`-`/`+=`/`-=` whose operand path ends in
+    /// a guarded integer field name.
+    FieldArith,
+    /// Syntactic: float accumulation (`.sum::<f64>()` and friends) over a
+    /// method chain rooted at a hash-ordered collection.
+    FloatAccum,
+    /// Syntactic: `Type::method(` path calls (API-boundary enforcement),
+    /// matched across line breaks.
+    PathCall,
     /// Crate-root hygiene attributes; evaluated at workspace level, not
     /// per line.
     CrateAttrs,
@@ -174,6 +188,79 @@ pub const RULES: &[Rule] = &[
                   lint.toml to enumerate every indexing site when hunting a panic.",
     },
     Rule {
+        id: "unchecked-arith",
+        kind: RuleKind::FieldArith,
+        default_severity: Severity::Deny,
+        exempt_tests: true,
+        default_tokens: &[
+            "interval",
+            "intervals",
+            "cumulative_deliveries",
+            "idle_slots",
+            "collisions",
+            "empty_packets",
+            "busy_time",
+        ],
+        summary: "no unchecked +/- on debt/time integer counter fields",
+        explain: "The debt ledger's interval and delivery counters and the \
+                  accumulated interval statistics are u64/Nanos values that live for \
+                  an entire batch run: a bare `+`/`-`/`+=`/`-=` on them panics on \
+                  overflow in debug builds and silently wraps in release builds, \
+                  corrupting every later throughput and deficiency statistic. Use \
+                  `saturating_add`/`saturating_sub` (or `checked_*` where the caller \
+                  can react). The rule walks the operand path of each arithmetic \
+                  operator — across method calls, indexing, and line breaks — and \
+                  fires when the path ends in one of the guarded field names from \
+                  lint.toml. Test code is exempt.",
+    },
+    Rule {
+        id: "float-accum-unordered",
+        kind: RuleKind::FloatAccum,
+        default_severity: Severity::Deny,
+        exempt_tests: true,
+        default_tokens: &[
+            "values",
+            "into_values",
+            "keys",
+            "into_keys",
+            "drain",
+            "iter",
+            "iter_mut",
+            "into_iter",
+        ],
+        summary: "no float accumulation over hash-ordered iteration",
+        explain: "Float addition is not associative, so `.sum::<f64>()`, \
+                  `.product::<f64>()`, or a float `fold` over an iterator whose order \
+                  varies between runs (HashMap/HashSet) produces run-dependent bits \
+                  even when the element *set* is identical — exactly the class of \
+                  nondeterminism the golden figures cannot tolerate. The rule walks \
+                  the receiver chain of each float-accumulation terminal back to its \
+                  root and fires when the chain contains an unordered iteration \
+                  method and the root is a hash-ordered collection. Sort first or \
+                  use a BTree collection.",
+    },
+    Rule {
+        id: "scenario-boundary",
+        kind: RuleKind::PathCall,
+        default_severity: Severity::Deny,
+        exempt_tests: false,
+        default_tokens: &[
+            "Network::builder",
+            "NetworkBuilder::new",
+            "NetworkBuilder::default",
+        ],
+        summary: "networks are constructed through rtmac::scenario only",
+        explain: "PR 1 made `rtmac::scenario` the single entry point for network \
+                  construction: a Scenario names a workload, channel, policy, and \
+                  seed declaratively, which is what makes batch runs replicable and \
+                  the figure pipeline auditable. Calling `Network::builder()` (or \
+                  `NetworkBuilder::new`/`default`) anywhere else bypasses that layer \
+                  and silently forks the configuration surface. Build a Scenario and \
+                  use `to_builder()` when you genuinely need the escape hatch; only \
+                  crates/core/src (the layer's own implementation and tests) may \
+                  name the builder directly.",
+    },
+    Rule {
         id: "missing-crate-attrs",
         kind: RuleKind::CrateAttrs,
         default_severity: Severity::Deny,
@@ -231,10 +318,11 @@ pub struct RawFinding {
     pub message: String,
 }
 
-/// Runs one line-level rule over a lexed file. `tokens` is the effective
+/// Runs one file-level rule over a lexed file. `syntax` is the file's
+/// matched token stream (shared across rules); `tokens` is the effective
 /// token list (config override or the rule's default).
 #[must_use]
-pub fn scan(rule: &Rule, file: &SourceFile, tokens: &[String]) -> Vec<RawFinding> {
+pub fn scan(rule: &Rule, file: &SourceFile, syntax: &Syntax, tokens: &[String]) -> Vec<RawFinding> {
     let mut findings = Vec::new();
     match rule.kind {
         RuleKind::Ident => {
@@ -367,9 +455,153 @@ pub fn scan(rule: &Rule, file: &SourceFile, tokens: &[String]) -> Vec<RawFinding
                 }
             });
         }
+        RuleKind::FieldArith => {
+            for (i, t) in syntax.tokens.iter().enumerate() {
+                if t.kind != TokKind::Punct {
+                    continue;
+                }
+                let op = t.text.as_str();
+                if !matches!(op, "+" | "-" | "+=" | "-=") {
+                    continue;
+                }
+                if rule.exempt_tests && t.in_test {
+                    continue;
+                }
+                if matches!(op, "+" | "-") && !syntax.is_binary_operator(i) {
+                    continue;
+                }
+                let guarded = |idx: usize| {
+                    let name = &syntax.tokens[idx].text;
+                    tokens.iter().any(|g| g == name).then_some(idx)
+                };
+                let mut hit = syntax.lhs_terminal_ident(i).and_then(guarded);
+                if hit.is_none() && matches!(op, "+" | "-") {
+                    hit = syntax.rhs_terminal_ident(i + 1).and_then(guarded);
+                }
+                if let Some(idx) = hit {
+                    findings.push(RawFinding {
+                        line: t.line,
+                        col: t.col,
+                        rule: rule.id,
+                        message: format!(
+                            "unchecked `{op}` on counter field `{}`; use \
+                             saturating_*/checked_* arithmetic",
+                            syntax.tokens[idx].text
+                        ),
+                    });
+                }
+            }
+        }
+        RuleKind::FloatAccum => {
+            for (i, t) in syntax.tokens.iter().enumerate() {
+                if t.kind != TokKind::Ident {
+                    continue;
+                }
+                if rule.exempt_tests && t.in_test {
+                    continue;
+                }
+                if !is_float_accum_terminal(syntax, i) {
+                    continue;
+                }
+                let chain = syntax.receiver_chain(i);
+                if !chain.iter().any(|m| tokens.iter().any(|g| g == m)) {
+                    continue;
+                }
+                // The chain must be rooted at a hash-ordered collection:
+                // either it names one directly (`HashMap::from(..)`), or
+                // its root identifier co-occurs with HashMap/HashSet on a
+                // code line of this file (its declaration).
+                let chain_names_hash = chain.iter().any(|s| *s == "HashMap" || *s == "HashSet");
+                let root_is_hash = chain.last().is_some_and(|root| {
+                    file.code.iter().any(|line| {
+                        !word_positions(line, root).is_empty()
+                            && (!word_positions(line, "HashMap").is_empty()
+                                || !word_positions(line, "HashSet").is_empty())
+                    })
+                });
+                if chain_names_hash || root_is_hash {
+                    findings.push(RawFinding {
+                        line: t.line,
+                        col: t.col,
+                        rule: rule.id,
+                        message: format!(
+                            "float accumulation `.{}(..)` over a hash-ordered \
+                             iteration; order-dependent rounding breaks bit \
+                             reproducibility — sort first or use a BTree collection",
+                            t.text
+                        ),
+                    });
+                }
+            }
+        }
+        RuleKind::PathCall => {
+            for pat in tokens {
+                let Some((ty, method)) = pat.split_once("::") else {
+                    continue;
+                };
+                for (i, t) in syntax.tokens.iter().enumerate() {
+                    if t.kind != TokKind::Ident || t.text != ty {
+                        continue;
+                    }
+                    if rule.exempt_tests && t.in_test {
+                        continue;
+                    }
+                    let text_at = |k: usize| syntax.tokens.get(k).map(|t| t.text.as_str());
+                    if text_at(i + 1) == Some("::")
+                        && text_at(i + 2) == Some(method)
+                        && text_at(i + 3) == Some("(")
+                    {
+                        findings.push(RawFinding {
+                            line: t.line,
+                            col: t.col,
+                            rule: rule.id,
+                            message: format!(
+                                "`{pat}()` bypasses the scenario layer; build \
+                                 networks through rtmac::scenario (or its \
+                                 to_builder() escape hatch)"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
         RuleKind::CrateAttrs | RuleKind::Meta => {}
     }
     findings
+}
+
+/// Whether token `i` is a float-accumulation terminal: `.sum::<f64>()`,
+/// `.product::<f32>()`, or `.fold(<float literal>, ..)`.
+fn is_float_accum_terminal(syntax: &Syntax, i: usize) -> bool {
+    let prev_is_dot = i
+        .checked_sub(1)
+        .and_then(|p| syntax.tokens.get(p))
+        .is_some_and(|t| t.text == ".");
+    if !prev_is_dot {
+        return false;
+    }
+    let text_at = |k: usize| syntax.tokens.get(k).map(|t| t.text.as_str());
+    match text_at(i) {
+        Some("sum" | "product") => {
+            text_at(i + 1) == Some("::")
+                && text_at(i + 2) == Some("<")
+                && matches!(text_at(i + 3), Some("f32" | "f64"))
+        }
+        Some("fold") => {
+            text_at(i + 1) == Some("(")
+                && syntax
+                    .tokens
+                    .get(i + 2)
+                    .is_some_and(|t| t.kind == TokKind::Number && is_float_literal(&t.text))
+        }
+        _ => false,
+    }
+}
+
+/// Whether a numeric literal is a float: has a fractional part, an
+/// exponent, or an explicit `f32`/`f64` suffix.
+fn is_float_literal(text: &str) -> bool {
+    text.contains('.') || text.ends_with("f32") || text.ends_with("f64")
 }
 
 fn for_each_line(rule: &Rule, file: &SourceFile, mut f: impl FnMut(usize, &str)) {
@@ -424,7 +656,9 @@ mod tests {
     fn run(rule_id: &str, src: &str) -> Vec<RawFinding> {
         let rule = rule_by_id(rule_id).expect("known rule");
         let tokens: Vec<String> = rule.default_tokens.iter().map(|t| t.to_string()).collect();
-        scan(rule, &lex(src), &tokens)
+        let file = lex(src);
+        let syn = crate::syntax::scan(&file);
+        scan(rule, &file, &syn, &tokens)
     }
 
     #[test]
@@ -477,6 +711,99 @@ mod tests {
             "fn f(v: &[u32]) { v.iter().sum::<u32>(); }\n"
         )
         .is_empty());
+    }
+
+    #[test]
+    fn field_arith_flags_guarded_fields_only() {
+        let hits = run(
+            "unchecked-arith",
+            "fn f(&mut self) { self.interval += 1; }\n",
+        );
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("`+=`") && hits[0].message.contains("`interval`"));
+        // Unguarded names, saturating calls, and unary signs stay silent.
+        assert!(run("unchecked-arith", "fn f() { count += 1; }\n").is_empty());
+        assert!(run(
+            "unchecked-arith",
+            "fn f(&mut self) { self.interval = self.interval.saturating_add(1); }\n"
+        )
+        .is_empty());
+        assert!(run("unchecked-arith", "let x = -interval;\n").is_empty());
+    }
+
+    #[test]
+    fn field_arith_walks_paths_and_checks_both_sides() {
+        // Binary subtraction through a method-call + index path.
+        let hits = run(
+            "unchecked-arith",
+            "let left = self.debts.cumulative_deliveries - s;\n",
+        );
+        assert_eq!(hits.len(), 1);
+        // Guarded field on the right-hand side of a binary op.
+        assert_eq!(
+            run("unchecked-arith", "let k = 1 + self.intervals;\n").len(),
+            1
+        );
+        // Exempt in test code.
+        assert!(run(
+            "unchecked-arith",
+            "#[cfg(test)]\nmod tests {\n    fn f(s: &mut S) { s.interval += 1; }\n}\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn float_accum_needs_unordered_source_and_float_terminal() {
+        let bad = "use std::collections::HashMap;\n\
+                   fn f(m: &HashMap<u32, f64>) -> f64 {\n    \
+                   m.values().sum::<f64>()\n}\n";
+        let hits = run("float-accum-unordered", bad);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].line, 3);
+        // Integer sums, ordered collections, and slices are fine.
+        assert!(run(
+            "float-accum-unordered",
+            "use std::collections::HashMap;\nfn f(m: &HashMap<u32, u64>) -> u64 { m.values().sum::<u64>() }\n"
+        )
+        .is_empty());
+        assert!(run(
+            "float-accum-unordered",
+            "use std::collections::BTreeMap;\nfn f(m: &BTreeMap<u32, f64>) -> f64 { m.values().sum::<f64>() }\n"
+        )
+        .is_empty());
+        assert!(run(
+            "float-accum-unordered",
+            "fn f(v: &[f64]) -> f64 { v.iter().sum::<f64>() }\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn float_accum_covers_fold_and_multiline_chains() {
+        let bad = "use std::collections::HashSet;\n\
+                   fn f(s: &HashSet<u64>) -> f64 {\n    \
+                   s.iter()\n        .map(|&x| x as f64)\n        .fold(0.0, |a, b| a + b)\n}\n";
+        let hits = run("float-accum-unordered", bad);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].line, 5);
+    }
+
+    #[test]
+    fn path_call_matches_across_whitespace_and_skips_docs() {
+        assert_eq!(
+            run("scenario-boundary", "let b = Network::builder();\n").len(),
+            1
+        );
+        assert_eq!(
+            run("scenario-boundary", "let b = Network ::\n    builder ();\n").len(),
+            1
+        );
+        assert!(run(
+            "scenario-boundary",
+            "/// Use [`Network::builder`].\nfn f() {}\n"
+        )
+        .is_empty());
+        assert!(run("scenario-boundary", "let b = scenario.to_builder();\n").is_empty());
     }
 
     #[test]

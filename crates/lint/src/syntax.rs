@@ -1,0 +1,434 @@
+//! The syntactic layer: a brace-matched token scanner on top of the
+//! masked code lines produced by [`crate::tokenize::lex`].
+//!
+//! Where the lexical rules look at one line at a time, the rules built on
+//! this module see the file as a single token stream with matched
+//! `()`/`[]`/`{}` pairs, so they can walk method chains and operand paths
+//! across line breaks. It is still not a parser — no precedence, no type
+//! information — but it is enough to answer structural questions like
+//! "what identifier does this `+=` mutate" or "does this `.sum::<f64>()`
+//! chain start at a hash-ordered collection".
+
+use crate::tokenize::SourceFile;
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword.
+    Ident,
+    /// A numeric literal (including float forms like `0.0` and `1e-9`
+    /// and suffixed forms like `0f64`).
+    Number,
+    /// An opening bracket: `(`, `[`, or `{`.
+    Open,
+    /// A closing bracket: `)`, `]`, or `}`.
+    Close,
+    /// Any other punctuation, with multi-character operators (`::`,
+    /// `+=`, `->`, `..`, …) kept as one token.
+    Punct,
+}
+
+/// One token of the flattened file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token text.
+    pub text: String,
+    /// Classification.
+    pub kind: TokKind,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based character column of the token start.
+    pub col: usize,
+    /// Whether the token sits inside `#[cfg(test)]` / `#[test]` code.
+    pub in_test: bool,
+}
+
+/// The token stream of one file plus its bracket matching.
+#[derive(Debug)]
+pub struct Syntax {
+    /// Tokens in source order.
+    pub tokens: Vec<Token>,
+    /// `partner[i]` is the index of the bracket matching token `i`
+    /// (`Open` → its `Close` and vice versa); `None` for non-brackets
+    /// and unbalanced brackets.
+    partner: Vec<Option<usize>>,
+}
+
+/// Multi-character operators, longest first so maximal munch works.
+const MULTI_PUNCT: &[&str] = &[
+    "..=", "<<=", ">>=", "::", "->", "=>", "..", "+=", "-=", "*=", "/=", "%=", "==", "!=", "<=",
+    ">=", "&&", "||", "<<", ">>", "&=", "|=", "^=",
+];
+
+/// Scans a lexed file into a matched token stream.
+#[must_use]
+pub fn scan(file: &SourceFile) -> Syntax {
+    let mut tokens = Vec::new();
+    for (idx, code) in file.code.iter().enumerate() {
+        let line = idx + 1;
+        let in_test = file.in_test.get(idx).copied().unwrap_or(false);
+        let chars: Vec<char> = code.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_whitespace() {
+                i += 1;
+                continue;
+            }
+            let col = i + 1;
+            if c.is_alphabetic() || c == '_' {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    text: chars[start..i].iter().collect(),
+                    kind: TokKind::Ident,
+                    line,
+                    col,
+                    in_test,
+                });
+                continue;
+            }
+            if c.is_ascii_digit() {
+                let start = i;
+                i = consume_number(&chars, i);
+                tokens.push(Token {
+                    text: chars[start..i].iter().collect(),
+                    kind: TokKind::Number,
+                    line,
+                    col,
+                    in_test,
+                });
+                continue;
+            }
+            if matches!(c, '(' | '[' | '{') {
+                tokens.push(Token {
+                    text: c.to_string(),
+                    kind: TokKind::Open,
+                    line,
+                    col,
+                    in_test,
+                });
+                i += 1;
+                continue;
+            }
+            if matches!(c, ')' | ']' | '}') {
+                tokens.push(Token {
+                    text: c.to_string(),
+                    kind: TokKind::Close,
+                    line,
+                    col,
+                    in_test,
+                });
+                i += 1;
+                continue;
+            }
+            // Punctuation: try the multi-character operators first.
+            let rest: String = chars[i..chars.len().min(i + 3)].iter().collect();
+            let mut matched = 1;
+            for op in MULTI_PUNCT {
+                if rest.starts_with(op) {
+                    matched = op.chars().count();
+                    break;
+                }
+            }
+            tokens.push(Token {
+                text: chars[i..i + matched].iter().collect(),
+                kind: TokKind::Punct,
+                line,
+                col,
+                in_test,
+            });
+            i += matched;
+        }
+    }
+
+    // Bracket matching with one stack per bracket flavor, so a stray
+    // unbalanced bracket of one kind cannot poison the others.
+    let mut partner = vec![None; tokens.len()];
+    let mut stacks: [Vec<usize>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for (i, t) in tokens.iter().enumerate() {
+        let flavor = match t.text.as_str() {
+            "(" | ")" => 0,
+            "[" | "]" => 1,
+            "{" | "}" => 2,
+            _ => continue,
+        };
+        if t.kind == TokKind::Open {
+            stacks[flavor].push(i);
+        } else if let Some(open) = stacks[flavor].pop() {
+            partner[open] = Some(i);
+            partner[i] = Some(open);
+        }
+    }
+    Syntax { tokens, partner }
+}
+
+/// Consumes a numeric literal starting at `i`; returns the exclusive end.
+/// Handles `42`, `0.5`, `1e-9`, `0xff`, and suffixed forms like `0f64` —
+/// but never eats the dots of a range expression (`1..n`).
+fn consume_number(chars: &[char], mut i: usize) -> usize {
+    while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+        // `1e-9` / `2E+8`: a sign directly after the exponent marker
+        // belongs to the literal.
+        if matches!(chars[i], 'e' | 'E')
+            && i + 1 < chars.len()
+            && matches!(chars[i + 1], '+' | '-')
+            && i + 2 < chars.len()
+            && chars[i + 2].is_ascii_digit()
+        {
+            i += 2;
+        }
+        i += 1;
+    }
+    // A fractional part: exactly one dot followed by a digit (two dots
+    // are a range operator).
+    if i < chars.len()
+        && chars[i] == '.'
+        && i + 1 < chars.len()
+        && chars[i + 1].is_ascii_digit()
+        && (i == 0 || chars[i - 1] != '.')
+    {
+        i += 1;
+        return consume_number(chars, i);
+    }
+    i
+}
+
+impl Syntax {
+    /// The bracket matching token `i`, if `i` is a balanced bracket.
+    #[must_use]
+    pub fn partner(&self, i: usize) -> Option<usize> {
+        self.partner.get(i).copied().flatten()
+    }
+
+    /// Whether token `i` (a `+`/`-` punct) is a *binary* operator: the
+    /// previous token must end an operand (identifier, literal, or
+    /// closing bracket). Anything else — `(`, `,`, `=`, `return`-free
+    /// start of expression, another operator — makes it a unary sign.
+    #[must_use]
+    pub fn is_binary_operator(&self, i: usize) -> bool {
+        let Some(prev) = i.checked_sub(1).and_then(|p| self.tokens.get(p)) else {
+            return false;
+        };
+        match prev.kind {
+            TokKind::Number => true,
+            // `)` and `]` end value expressions; `}` usually ends a block,
+            // where a following `+`/`-` cannot be the binary we care about.
+            TokKind::Close => prev.text != "}",
+            // `return - 1` style keyword operands don't occur for the
+            // guarded fields; treating every identifier as an operand is
+            // the conservative choice for a gate (it can only over-flag
+            // keyword-preceded signs, which the operand walk then filters
+            // by token list).
+            TokKind::Ident => !matches!(
+                prev.text.as_str(),
+                "return" | "break" | "in" | "if" | "while" | "match" | "else" | "as"
+            ),
+            _ => false,
+        }
+    }
+
+    /// The final identifier of the operand path *ending* just before
+    /// token `i` — for `self.requirements.as_slice()[n] +` this walks
+    /// `]` → `[`, `)` → `(`, and returns `as_slice`'s owner step by step
+    /// until it lands on the innermost name: the identifier directly
+    /// attached to the operator. Returns the token index of that
+    /// identifier.
+    #[must_use]
+    pub fn lhs_terminal_ident(&self, i: usize) -> Option<usize> {
+        let mut j = i.checked_sub(1)?;
+        loop {
+            let t = self.tokens.get(j)?;
+            match t.kind {
+                TokKind::Close => {
+                    // Skip the bracketed group; the name (if any) sits
+                    // directly before its opener.
+                    let open = self.partner(j)?;
+                    j = open.checked_sub(1)?;
+                }
+                TokKind::Ident => return Some(j),
+                _ => return None,
+            }
+        }
+    }
+
+    /// The final identifier of the simple operand path *starting* at
+    /// token `i` — for `1 + c.debts.interval` starting after the `+`
+    /// this follows `Ident (. Ident | :: Ident)*` and returns the last
+    /// segment's token index. Returns `None` if the operand does not
+    /// start with an identifier.
+    #[must_use]
+    pub fn rhs_terminal_ident(&self, i: usize) -> Option<usize> {
+        let mut j = i;
+        self.tokens.get(j).filter(|t| t.kind == TokKind::Ident)?;
+        loop {
+            let next = self.tokens.get(j + 1);
+            let is_link = next.is_some_and(|t| t.text == "." || t.text == "::");
+            let seg = self.tokens.get(j + 2);
+            if is_link && seg.is_some_and(|t| t.kind == TokKind::Ident) {
+                j += 2;
+            } else {
+                return Some(j);
+            }
+        }
+    }
+
+    /// Walks the method chain that *ends* at the `.` before token `i`
+    /// (the receiver chain of a method call at `i`), collecting every
+    /// chain segment name from innermost call back to the chain root.
+    /// For `m.values().map(f).sum::<f64>()` called with `i` at `sum`,
+    /// returns `["map", "values", "m"]` (the root is last).
+    #[must_use]
+    pub fn receiver_chain(&self, i: usize) -> Vec<&str> {
+        let mut names = Vec::new();
+        // Expect `.` directly before the method name.
+        let Some(mut j) = i.checked_sub(1) else {
+            return names;
+        };
+        if self.tokens.get(j).map(|t| t.text.as_str()) != Some(".") {
+            return names;
+        }
+        let Some(mut j2) = j.checked_sub(1) else {
+            return names;
+        };
+        j = j2;
+        loop {
+            let Some(t) = self.tokens.get(j) else {
+                return names;
+            };
+            match t.kind {
+                TokKind::Close => {
+                    // A call (or index) group: record the name before its
+                    // opener and continue from there.
+                    let Some(open) = self.partner(j) else {
+                        return names;
+                    };
+                    let Some(prev) = open.checked_sub(1) else {
+                        return names;
+                    };
+                    if self
+                        .tokens
+                        .get(prev)
+                        .is_some_and(|t| t.kind == TokKind::Ident)
+                    {
+                        names.push(self.tokens[prev].text.as_str());
+                        j2 = prev;
+                    } else {
+                        j2 = open;
+                    }
+                }
+                TokKind::Ident => {
+                    names.push(t.text.as_str());
+                    j2 = j;
+                }
+                _ => return names,
+            }
+            // Continue only through `.`/`::` links (skipping a turbofish
+            // would already have been folded into the call group).
+            let Some(prev) = j2.checked_sub(1) else {
+                return names;
+            };
+            let link = self.tokens.get(prev).map(|t| t.text.as_str());
+            if link == Some(".") || link == Some("::") {
+                let Some(next) = prev.checked_sub(1) else {
+                    return names;
+                };
+                j = next;
+            } else {
+                return names;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::lex;
+
+    fn syn(src: &str) -> Syntax {
+        scan(&lex(src))
+    }
+
+    fn find(s: &Syntax, text: &str) -> usize {
+        s.tokens
+            .iter()
+            .position(|t| t.text == text)
+            .unwrap_or_else(|| panic!("token {text:?} present"))
+    }
+
+    #[test]
+    fn tokens_carry_line_and_char_columns() {
+        let s = syn("let x = 1;\n  foo.bar();\n");
+        let bar = &s.tokens[find(&s, "bar")];
+        assert_eq!((bar.line, bar.col), (2, 7));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_dots() {
+        let s = syn("for i in 1..n { }\n");
+        let texts: Vec<&str> = s.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["for", "i", "in", "1", "..", "n", "{", "}"]);
+    }
+
+    #[test]
+    fn float_and_exponent_literals_are_single_tokens() {
+        let s = syn("let a = 0.5 + 1e-9 + 2f64;\n");
+        let nums: Vec<&str> = s
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Number)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, ["0.5", "1e-9", "2f64"]);
+    }
+
+    #[test]
+    fn brackets_match_across_lines() {
+        let s = syn("foo(\n  bar[1],\n);\n");
+        let open = find(&s, "(");
+        let close = s.partner(open).expect("matched");
+        assert_eq!(s.tokens[close].text, ")");
+        assert_eq!(s.tokens[close].line, 3);
+    }
+
+    #[test]
+    fn lhs_walks_through_call_and_index_groups() {
+        let s = syn("self.requirements.as_slice()[n] + 1.0\n");
+        let plus = find(&s, "+");
+        let lhs = s.lhs_terminal_ident(plus).expect("ident");
+        assert_eq!(s.tokens[lhs].text, "as_slice");
+        assert!(s.is_binary_operator(plus));
+    }
+
+    #[test]
+    fn unary_minus_is_not_binary() {
+        let s = syn("let a = -x + (-y);\n");
+        let minus = find(&s, "-");
+        assert!(!s.is_binary_operator(minus));
+    }
+
+    #[test]
+    fn rhs_follows_field_paths() {
+        let s = syn("1 + c.debts.interval\n");
+        let plus = find(&s, "+");
+        let rhs = s.rhs_terminal_ident(plus + 1).expect("ident");
+        assert_eq!(s.tokens[rhs].text, "interval");
+    }
+
+    #[test]
+    fn receiver_chain_reaches_the_root() {
+        let s = syn("let t = m.values().map(|x| x.1).sum::<f64>();\n");
+        let sum = find(&s, "sum");
+        assert_eq!(s.receiver_chain(sum), ["map", "values", "m"]);
+    }
+
+    #[test]
+    fn receiver_chain_handles_multiline_chains() {
+        let s = syn("let t = scores\n    .values()\n    .sum::<f64>();\n");
+        let sum = find(&s, "sum");
+        assert_eq!(s.receiver_chain(sum), ["values", "scores"]);
+    }
+}

@@ -1,0 +1,23 @@
+//! Fixture: float accumulation over hash-ordered iteration
+//! (float-accum-unordered). The `HashMap`/`HashSet` mentions and
+//! iteration calls here also intentionally trip nondeterministic-iter.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn summed(m: &HashMap<u32, f64>) -> f64 {
+    m.values().sum::<f64>()
+}
+
+pub fn folded(s: &HashSet<u64>) -> f64 {
+    s.iter()
+        .map(|&x| x as f64)
+        .fold(0.0, |acc, x| acc + x)
+}
+
+pub fn integer_sum_is_fine(m: &HashMap<u32, u64>) -> u64 {
+    m.values().sum::<u64>()
+}
+
+pub fn slices_are_fine(v: &[f64]) -> f64 {
+    v.iter().sum::<f64>()
+}

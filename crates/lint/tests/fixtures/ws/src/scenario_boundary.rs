@@ -1,0 +1,29 @@
+//! Fixture: network construction outside the scenario layer
+//! (scenario-boundary).
+
+pub struct Network;
+
+#[derive(Default)]
+pub struct NetworkBuilder;
+
+impl Network {
+    pub fn builder() -> NetworkBuilder {
+        NetworkBuilder
+    }
+}
+
+pub fn direct() -> NetworkBuilder {
+    Network::builder()
+}
+
+pub fn split_across_lines() -> NetworkBuilder {
+    Network ::
+        builder ()
+}
+
+pub fn defaulted() -> NetworkBuilder {
+    NetworkBuilder::default()
+}
+
+/// Mentioning [`Network::builder`] in docs is fine; calling it is not.
+pub fn documented_only() {}

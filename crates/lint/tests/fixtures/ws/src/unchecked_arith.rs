@@ -1,0 +1,33 @@
+//! Fixture: unchecked arithmetic on guarded counter fields
+//! (unchecked-arith).
+
+pub struct Ledger {
+    pub interval: u64,
+    pub cumulative_deliveries: u64,
+}
+
+pub fn settle(l: &mut Ledger, s: u64) {
+    l.interval += 1;
+    l.cumulative_deliveries -= s;
+    let _left = l.cumulative_deliveries - s;
+    let _next = 1 + l.interval;
+}
+
+pub fn fine(l: &mut Ledger, s: u64) {
+    l.interval = l.interval.saturating_add(1);
+    l.cumulative_deliveries = l.cumulative_deliveries.saturating_sub(s);
+    let _unguarded = s + 1;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() {
+        let mut l = super::Ledger {
+            interval: 0,
+            cumulative_deliveries: 0,
+        };
+        l.interval += 1; // test code: the rule is exempt here
+        assert_eq!(l.interval, 1);
+    }
+}

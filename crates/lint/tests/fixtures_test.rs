@@ -38,6 +38,17 @@ fn fixture_violations_are_found_exactly() {
         ("badcrate/src/lib.rs", 1, "missing-crate-attrs"),
         ("src/debug_print.rs", 5, "debug-print"),
         ("src/debug_print.rs", 6, "debug-print"),
+        ("src/float_accum.rs", 5, "nondeterministic-iter"),
+        ("src/float_accum.rs", 5, "nondeterministic-iter"),
+        ("src/float_accum.rs", 7, "nondeterministic-iter"),
+        ("src/float_accum.rs", 8, "nondeterministic-iter"),
+        ("src/float_accum.rs", 8, "float-accum-unordered"),
+        ("src/float_accum.rs", 11, "nondeterministic-iter"),
+        ("src/float_accum.rs", 12, "nondeterministic-iter"),
+        ("src/float_accum.rs", 14, "float-accum-unordered"),
+        ("src/float_accum.rs", 17, "nondeterministic-iter"),
+        ("src/float_accum.rs", 18, "nondeterministic-iter"),
+        ("src/float_accum.rs", 22, "nondeterministic-iter"),
         ("src/nondet_iter.rs", 3, "nondeterministic-iter"),
         ("src/nondet_iter.rs", 6, "nondeterministic-iter"),
         ("src/nondet_iter.rs", 7, "nondeterministic-iter"),
@@ -46,6 +57,13 @@ fn fixture_violations_are_found_exactly() {
         ("src/panics.rs", 5, "panic-unwrap"),
         ("src/panics.rs", 6, "panic-expect"),
         ("src/panics.rs", 8, "panic-macro"),
+        ("src/scenario_boundary.rs", 16, "scenario-boundary"),
+        ("src/scenario_boundary.rs", 20, "scenario-boundary"),
+        ("src/scenario_boundary.rs", 25, "scenario-boundary"),
+        ("src/unchecked_arith.rs", 10, "unchecked-arith"),
+        ("src/unchecked_arith.rs", 11, "unchecked-arith"),
+        ("src/unchecked_arith.rs", 12, "unchecked-arith"),
+        ("src/unchecked_arith.rs", 13, "unchecked-arith"),
         ("src/waiver_problems.rs", 5, "waiver-missing-reason"),
         ("src/waiver_problems.rs", 8, "stale-waiver"),
         ("src/wall_clock.rs", 5, "wall-clock"),
@@ -105,6 +123,35 @@ fn fixture_columns_point_at_tokens() {
     assert_eq!(clock.col, 25);
 }
 
+/// The syntactic rules report exact (line, col) anchors: the arithmetic
+/// operator, the accumulation method, and the path-call head token.
+#[test]
+fn syntactic_rule_columns_point_at_tokens() {
+    let findings = fixture_findings();
+    let at = |path: &str, rule: &str| -> Vec<(usize, usize)> {
+        findings
+            .iter()
+            .filter(|f| f.path == path && f.rule == rule)
+            .map(|f| (f.line, f.col))
+            .collect()
+    };
+    // `    l.interval += 1;` — `+=` at col 16; `1 + l.interval` — `+` at 19.
+    assert_eq!(
+        at("src/unchecked_arith.rs", "unchecked-arith"),
+        [(10, 16), (11, 29), (12, 41), (13, 19)]
+    );
+    // `    m.values().sum::<f64>()` — `sum` at col 16; `.fold(` at col 10.
+    assert_eq!(
+        at("src/float_accum.rs", "float-accum-unordered"),
+        [(8, 16), (14, 10)]
+    );
+    // All three calls start at col 5, including the line-split one.
+    assert_eq!(
+        at("src/scenario_boundary.rs", "scenario-boundary"),
+        [(16, 5), (20, 5), (25, 5)]
+    );
+}
+
 fn run_binary(args: &[&str]) -> std::process::Output {
     Command::new(env!("CARGO_BIN_EXE_rtmac-lint"))
         .args(args)
@@ -130,6 +177,9 @@ fn binary_reports_fixture_violations_with_exit_one() {
         "src/waiver_problems.rs:5:1: waiver-missing-reason",
         "src/waiver_problems.rs:8:1: stale-waiver (warn)",
         "badcrate/src/lib.rs:1:1: missing-crate-attrs",
+        "src/unchecked_arith.rs:10:16: unchecked-arith: unchecked `+=` on counter field `interval`",
+        "src/float_accum.rs:8:16: float-accum-unordered: float accumulation `.sum(..)`",
+        "src/scenario_boundary.rs:16:5: scenario-boundary: `Network::builder()` bypasses",
     ] {
         assert!(
             stdout.contains(needle),
@@ -138,9 +188,46 @@ fn binary_reports_fixture_violations_with_exit_one() {
     }
     let stderr = String::from_utf8(out.stderr).expect("utf-8 stderr");
     assert!(
-        stderr.contains("15 error(s), 1 warning(s)"),
+        stderr.contains("33 error(s), 1 warning(s)"),
         "summary line: {stderr}"
     );
+}
+
+/// `--format json` emits a machine-readable array with the same findings
+/// and the same exit code; `"` and `\` in messages are escaped.
+#[test]
+fn binary_json_format_reports_findings() {
+    let root = fixture_root();
+    let out = run_binary(&[
+        "--workspace",
+        "--root",
+        root.to_str().expect("utf-8 path"),
+        "--format",
+        "json",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "exit code");
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 stdout");
+    assert!(stdout.trim_start().starts_with('['), "JSON array: {stdout}");
+    assert!(stdout.trim_end().ends_with(']'), "JSON array: {stdout}");
+    for needle in [
+        r#""path": "src/panics.rs", "line": 5, "col": 15, "rule": "panic-unwrap""#,
+        r#""severity": "warn""#,
+        r#""rule": "unchecked-arith""#,
+        // Backticks survive; embedded quotes never appear unescaped.
+        r#""message": "bare `.unwrap()`"#,
+    ] {
+        assert!(
+            stdout.contains(needle),
+            "json missing {needle:?}:\n{stdout}"
+        );
+    }
+    // No rustc-style text lines mixed into the JSON stream.
+    assert!(
+        !stdout.contains("src/panics.rs:5:15:"),
+        "text output leaked into JSON mode:\n{stdout}"
+    );
+    // Every finding made it across (33 errors + 1 warning).
+    assert_eq!(stdout.matches("\"path\"").count(), 34);
 }
 
 /// The real workspace is lint-clean: the binary exits 0 from the repo

@@ -75,6 +75,28 @@ impl DpConfig {
     }
 }
 
+/// Explicit coin outcomes for one drawn candidate pair — Eq. 5 made
+/// external, the way [`DpEngine::run_interval_with_candidates`] already
+/// externalizes the shared candidate draw. Used by the bounded model
+/// checker (`crates/verify`) to enumerate every ξ vector exhaustively
+/// instead of sampling it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairCoins {
+    /// ξ of the higher-priority candidate: `true` is `+1` ("stay up"),
+    /// `false` is `−1` ("move down").
+    pub hi_up: bool,
+    /// ξ of the lower-priority candidate: `true` is `+1` ("move up"),
+    /// `false` is `−1` ("stay down").
+    pub lo_up: bool,
+}
+
+/// Where an interval's coin flips come from: drawn from `μ` (Eq. 5) or
+/// injected verbatim, one [`PairCoins`] per drawn candidate pair.
+enum CoinSource<'a> {
+    Mu(&'a [f64]),
+    Fixed(&'a [PairCoins]),
+}
+
 /// The kind of frame a [`TraceEvent::TxStart`] refers to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FrameKind {
@@ -326,7 +348,7 @@ impl DpEngine {
         rng: &mut SimRng,
     ) -> DpIntervalReport {
         let candidates = self.draw_candidates(rng);
-        self.run_candidates(arrivals, mu, candidates, channel, rng)
+        self.run_candidates(arrivals, CoinSource::Mu(mu), candidates, channel, rng)
     }
 
     /// Runs one interval with an explicitly chosen candidate set — the
@@ -346,7 +368,46 @@ impl DpEngine {
         channel: &mut dyn LossModel,
         rng: &mut SimRng,
     ) -> DpIntervalReport {
-        self.run_candidates(arrivals, mu, candidates.to_vec(), channel, rng)
+        self.run_candidates(
+            arrivals,
+            CoinSource::Mu(mu),
+            candidates.to_vec(),
+            channel,
+            rng,
+        )
+    }
+
+    /// Runs one interval with both the candidate draw *and* the private
+    /// coin flips injected — every random protocol decision except the
+    /// channel made explicit. `coins[j]` gives the ξ outcomes of pair
+    /// `candidates[j]`; `rng` is only consumed by the channel model.
+    /// This is the model checker's entry point: it enumerates all
+    /// `(candidates, coins, channel)` combinations exhaustively.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`DpEngine::run_interval_with_candidates`], plus a panic
+    /// if `coins` and `candidates` disagree in length.
+    pub fn run_interval_with_coins(
+        &mut self,
+        arrivals: &[u32],
+        candidates: &[usize],
+        coins: &[PairCoins],
+        channel: &mut dyn LossModel,
+        rng: &mut SimRng,
+    ) -> DpIntervalReport {
+        assert_eq!(
+            coins.len(),
+            candidates.len(),
+            "one PairCoins per candidate pair"
+        );
+        self.run_candidates(
+            arrivals,
+            CoinSource::Fixed(coins),
+            candidates.to_vec(),
+            channel,
+            rng,
+        )
     }
 
     /// The shared interval body. Takes the candidate set by value so the
@@ -355,17 +416,19 @@ impl DpEngine {
     fn run_candidates(
         &mut self,
         arrivals: &[u32],
-        mu: &[f64],
+        coins: CoinSource<'_>,
         candidates: Vec<usize>,
         channel: &mut dyn LossModel,
         rng: &mut SimRng,
     ) -> DpIntervalReport {
         let n = self.sigma.len();
         assert_eq!(arrivals.len(), n, "arrivals must have one entry per link");
-        assert_eq!(mu.len(), n, "mu must have one entry per link");
         assert_eq!(channel.n_links(), n, "channel link count mismatch");
-        for (i, &m) in mu.iter().enumerate() {
-            assert!(m > 0.0 && m < 1.0, "mu[{i}] = {m} must lie in (0, 1)");
+        if let CoinSource::Mu(mu) = &coins {
+            assert_eq!(mu.len(), n, "mu must have one entry per link");
+            for (i, &m) in mu.iter().enumerate() {
+                assert!(m > 0.0 && m < 1.0, "mu[{i}] = {m} must lie in (0, 1)");
+            }
         }
         for (i, &c) in candidates.iter().enumerate() {
             assert!(c >= 1 && c < n, "candidate priority {c} out of range");
@@ -398,7 +461,7 @@ impl DpEngine {
         pairs.clear();
         pending_empty.clear();
         pending_empty.resize(n, false);
-        for &c in &candidates {
+        for (j, &c) in candidates.iter().enumerate() {
             let hi = sigma.link_with_priority(c);
             let lo = sigma.link_with_priority(c + 1);
             for link in [hi, lo] {
@@ -406,9 +469,14 @@ impl DpEngine {
                     pending_empty[link.index()] = true;
                 }
             }
-            // ξ = +1 with probability μ (Eq. 5).
-            let xi_hi_up = rng.random_bool(mu[hi.index()]);
-            let xi_lo_up = rng.random_bool(mu[lo.index()]);
+            // ξ = +1 with probability μ (Eq. 5), unless injected verbatim.
+            let (xi_hi_up, xi_lo_up) = match &coins {
+                CoinSource::Mu(mu) => (
+                    rng.random_bool(mu[hi.index()]),
+                    rng.random_bool(mu[lo.index()]),
+                ),
+                CoinSource::Fixed(flips) => (flips[j].hi_up, flips[j].lo_up),
+            };
             pairs.push(PairState {
                 c,
                 hi,

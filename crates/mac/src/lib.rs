@@ -54,7 +54,7 @@ mod timing;
 
 pub use centralized::CentralizedEngine;
 pub use dcf::{DcfConfig, DcfEngine};
-pub use dp::{DpConfig, DpEngine, DpIntervalReport, FrameKind, TraceEvent};
+pub use dp::{DpConfig, DpEngine, DpIntervalReport, FrameKind, PairCoins, TraceEvent};
 pub use fcsma::{FcsmaEngine, FcsmaQuantizer};
 pub use frame_csma::FrameCsmaEngine;
 pub use outcome::IntervalOutcome;

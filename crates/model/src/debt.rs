@@ -127,9 +127,13 @@ impl DebtLedger {
         );
         for (n, &s) in deliveries.iter().enumerate() {
             self.debts[n] += self.requirements.as_slice()[n] - s as f64;
-            self.cumulative_deliveries[n] += s;
+            // Saturate rather than wrap: an over-served link driven past
+            // u64::MAX (or an interval counter at the horizon limit) must
+            // clamp, not wrap to 0 and corrupt every later throughput and
+            // deficiency statistic. Debts themselves are f64 and cannot wrap.
+            self.cumulative_deliveries[n] = self.cumulative_deliveries[n].saturating_add(s);
         }
-        self.interval += 1;
+        self.interval = self.interval.saturating_add(1);
     }
 
     /// Empirical timely-throughput `Σ_j S_n(j) / k` of one link so far.
@@ -236,6 +240,22 @@ mod tests {
     #[should_panic(expected = "one entry per link")]
     fn settle_length_mismatch_panics() {
         ledger(2, 0.5).settle_interval(&[1]);
+    }
+
+    /// Boundary regression: counters at the integer edge saturate instead
+    /// of wrapping (pre-fix this panicked in debug builds and wrapped to 0
+    /// in release builds, corrupting every later statistic).
+    #[test]
+    fn counters_saturate_at_the_boundary_instead_of_wrapping() {
+        let mut d = ledger(1, 0.5);
+        d.settle_interval(&[u64::MAX]);
+        d.settle_interval(&[u64::MAX]);
+        assert_eq!(d.cumulative_deliveries(0.into()), u64::MAX);
+        assert_eq!(d.interval(), 2);
+        // The f64 debt side keeps its (finite, hugely negative) value.
+        assert!(d.debt(0.into()) < 0.0 && d.debt(0.into()).is_finite());
+        // Empirical throughput stays well-defined after saturation.
+        assert!(d.empirical_throughput(0.into()).is_finite());
     }
 
     proptest! {

@@ -497,6 +497,38 @@ mod tests {
         Permutation::identity(3).apply(AdjacentTransposition::new(3));
     }
 
+    #[test]
+    fn disjoint_adjacent_swaps_commute() {
+        // |upper_i − upper_j| ≥ 2 ⇒ the transpositions act on disjoint
+        // priority pairs, so composition order is irrelevant — this is
+        // what lets the DP engine commit an interval's swap set without
+        // ordering concerns (candidates are non-adjacent by construction).
+        let s1 = AdjacentTransposition::new(1);
+        let s3 = AdjacentTransposition::new(3);
+        for p in Permutation::all(5) {
+            assert_eq!(p.with(s1).with(s3), p.with(s3).with(s1));
+        }
+        // Overlapping swaps do NOT commute (braid relation): s1·s2 ≠ s2·s1.
+        let s2 = AdjacentTransposition::new(2);
+        let id = Permutation::identity(3);
+        assert_ne!(id.with(s1).with(s2), id.with(s2).with(s1));
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        for p in Permutation::all(4) {
+            // service_order ∘ from_order is the identity on permutations.
+            assert_eq!(Permutation::from_order(&p.service_order()).unwrap(), p);
+            // priority_of and link_with_priority are mutually inverse.
+            for q in 1..=4 {
+                assert_eq!(p.priority_of(p.link_with_priority(q)), q);
+            }
+            for link in LinkId::all(4) {
+                assert_eq!(p.link_with_priority(p.priority_of(link)), link);
+            }
+        }
+    }
+
     proptest! {
         /// Round-trip: priorities -> Permutation -> priorities.
         #[test]
@@ -530,6 +562,35 @@ mod tests {
             // Exactly the two swapped links differ:
             prop_assert_eq!(p.symmetric_difference(&q).len(), 2);
             prop_assert_eq!(p.adjacent_transposition_to(&q), Some(t));
+        }
+
+        /// Arbitrary adjacent-swap sequences keep σ a bijection at every
+        /// step, and replaying the sequence in reverse undoes it (each
+        /// transposition is its own inverse).
+        #[test]
+        fn prop_swap_sequences_preserve_bijectivity(
+            n in 2usize..8,
+            uppers in proptest::collection::vec(1usize..7, 0..20),
+        ) {
+            let start = Permutation::identity(n);
+            let mut p = start.clone();
+            let applied: Vec<AdjacentTransposition> = uppers
+                .iter()
+                .filter(|&&u| u < n)
+                .map(|&u| AdjacentTransposition::new(u))
+                .collect();
+            for &t in &applied {
+                p.apply(t);
+                prop_assert!(
+                    Permutation::from_priorities(p.priorities().to_vec()).is_ok(),
+                    "σ stopped being a bijection mid-sequence: {}",
+                    p
+                );
+            }
+            for &t in applied.iter().rev() {
+                p.apply(t);
+            }
+            prop_assert_eq!(p, start);
         }
     }
 }

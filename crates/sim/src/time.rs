@@ -133,6 +133,20 @@ impl Nanos {
         Nanos(self.0.saturating_sub(rhs.0))
     }
 
+    /// Addition clamped at `u64::MAX` nanoseconds — for long-lived
+    /// accumulators (busy-time totals over an unbounded batch run) that
+    /// must degrade to a pinned ceiling rather than wrap.
+    ///
+    /// ```
+    /// # use rtmac_sim::Nanos;
+    /// let top = Nanos::from_nanos(u64::MAX);
+    /// assert_eq!(top.saturating_add(Nanos::from_nanos(1)), top);
+    /// ```
+    #[must_use]
+    pub fn saturating_add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_add(rhs.0))
+    }
+
     /// Returns `true` if this is the zero time.
     #[must_use]
     pub const fn is_zero(self) -> bool {

@@ -1,0 +1,122 @@
+//! A scripted channel whose outcome sequence is an explicit bit vector.
+
+use rtmac_model::LinkId;
+use rtmac_phy::channel::LossModel;
+use rtmac_sim::SimRng;
+
+/// A [`LossModel`] driven by a forced bit prefix: attempt `i` succeeds
+/// iff `forced[i]`, and every attempt beyond the prefix defaults to
+/// success. Each consumed bit is logged with the link that drew it.
+///
+/// This is the model checker's channel enumerator: running an interval
+/// with an empty prefix yields the all-success outcome and the log's
+/// length reveals how many attempts the interval actually made; flipping
+/// each defaulted position to `false` (one new prefix per position) and
+/// re-running walks the full binary outcome tree without ever guessing
+/// how many attempts a prefix will provoke.
+///
+/// # Example
+///
+/// ```
+/// use rtmac_phy::channel::LossModel;
+/// use rtmac_sim::SeedStream;
+/// use rtmac_verify::BitScript;
+///
+/// let mut ch = BitScript::new(2, vec![false]);
+/// let mut rng = SeedStream::new(0).rng(0);
+/// assert!(!ch.attempt(0.into(), &mut rng)); // forced failure
+/// assert!(ch.attempt(0.into(), &mut rng)); // beyond the prefix: success
+/// assert_eq!(ch.bits(), [false, true]);
+/// assert_eq!(ch.consumed(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitScript {
+    n_links: usize,
+    forced: Vec<bool>,
+    log: Vec<(LinkId, bool)>,
+}
+
+impl BitScript {
+    /// Creates the channel for `n_links` links with the given forced
+    /// outcome prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_links == 0`.
+    #[must_use]
+    pub fn new(n_links: usize, forced: Vec<bool>) -> Self {
+        assert!(n_links > 0, "a channel needs at least one link");
+        BitScript {
+            n_links,
+            forced,
+            log: Vec::new(),
+        }
+    }
+
+    /// Number of attempts consumed so far.
+    #[must_use]
+    pub fn consumed(&self) -> usize {
+        self.log.len()
+    }
+
+    /// The outcome bit of every consumed attempt, in consumption order.
+    #[must_use]
+    pub fn bits(&self) -> Vec<bool> {
+        self.log.iter().map(|&(_, b)| b).collect()
+    }
+
+    /// The full `(link, outcome)` log, in consumption order.
+    #[must_use]
+    pub fn log(&self) -> &[(LinkId, bool)] {
+        &self.log
+    }
+}
+
+impl LossModel for BitScript {
+    fn attempt(&mut self, link: LinkId, _rng: &mut SimRng) -> bool {
+        let bit = self.forced.get(self.log.len()).copied().unwrap_or(true);
+        self.log.push((link, bit));
+        bit
+    }
+
+    fn mean_success(&self, _link: LinkId) -> f64 {
+        1.0
+    }
+
+    fn n_links(&self) -> usize {
+        self.n_links
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtmac_sim::SeedStream;
+
+    #[test]
+    fn prefix_then_default_success() {
+        let mut ch = BitScript::new(3, vec![true, false, false]);
+        let mut rng = SeedStream::new(0).rng(0);
+        let outcomes: Vec<bool> = (0..5).map(|_| ch.attempt(1.into(), &mut rng)).collect();
+        assert_eq!(outcomes, [true, false, false, true, true]);
+        assert_eq!(ch.consumed(), 5);
+        assert_eq!(ch.bits(), outcomes);
+        assert!(ch.log().iter().all(|&(l, _)| l == 1.into()));
+        assert_eq!(ch.n_links(), 3);
+        assert_eq!(ch.mean_success(0.into()), 1.0);
+    }
+
+    #[test]
+    fn empty_prefix_is_all_success() {
+        let mut ch = BitScript::new(1, Vec::new());
+        let mut rng = SeedStream::new(0).rng(0);
+        assert!((0..10).all(|_| ch.attempt(0.into(), &mut rng)));
+        assert_eq!(ch.consumed(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one link")]
+    fn zero_links_rejected() {
+        let _ = BitScript::new(0, Vec::new());
+    }
+}

@@ -1,0 +1,641 @@
+//! The bounded exhaustive checker: DFS over reachable priority
+//! permutations with every protocol decision enumerated.
+
+use rtmac_mac::{DpIntervalReport, FrameKind, MacTiming, PairCoins, TraceEvent};
+use rtmac_model::{DebtLedger, LinkId, Permutation, Requirements};
+use rtmac_phy::PhyProfile;
+use rtmac_sim::SeedStream;
+
+use crate::channel::BitScript;
+use crate::counterexample::{Counterexample, Step};
+use crate::subject::Subject;
+
+/// The safety properties asserted on every enumerated interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Property {
+    /// No interval ever has two links transmitting in the same slot
+    /// (Proposition 2 territory: the deterministic backoff construction).
+    CollisionFreedom,
+    /// σ stays a bijection of `1..=N` after every interval commit.
+    SigmaBijection,
+    /// At most one adjacent swap per drawn pair, only at drawn pairs, and
+    /// σ changes by exactly the committed swaps — nothing else.
+    SwapDiscipline,
+    /// Swap candidates with no arrival enqueue the empty priority-claim
+    /// packet (Step 2 of Algorithm 2), and nobody else ever sends one.
+    EmptyClaim,
+    /// The debt recursion `d_n(k+1) = d_n(k) − S_n(k) + q_n` matches the
+    /// ledger's accounting bit-for-bit.
+    DebtRecursion,
+    /// The engine's attempt/delivery counters agree with the channel's
+    /// own log, and deliveries never exceed arrivals.
+    ChannelConsistency,
+}
+
+impl Property {
+    /// Every property, in check order.
+    pub const ALL: [Property; 6] = [
+        Property::CollisionFreedom,
+        Property::SigmaBijection,
+        Property::SwapDiscipline,
+        Property::EmptyClaim,
+        Property::DebtRecursion,
+        Property::ChannelConsistency,
+    ];
+
+    /// The stable kebab-case id used in counterexample traces.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Property::CollisionFreedom => "collision-freedom",
+            Property::SigmaBijection => "sigma-bijection",
+            Property::SwapDiscipline => "swap-discipline",
+            Property::EmptyClaim => "empty-claim",
+            Property::DebtRecursion => "debt-recursion",
+            Property::ChannelConsistency => "channel-consistency",
+        }
+    }
+
+    /// Inverts [`Property::label`].
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<Property> {
+        Property::ALL.iter().copied().find(|p| p.label() == label)
+    }
+}
+
+impl std::fmt::Display for Property {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One bounded configuration: `N` links, up to `A_max` arrivals per link,
+/// a payload size, and the uniform debt requirement `q` used by the
+/// debt-recursion shadow check.
+///
+/// The interval deadline is derived from the arrival bound so the
+/// all-failure channel path can only provoke a small, bounded number of
+/// transmission attempts — that is what keeps the per-interval channel
+/// tree finite and small.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckConfig {
+    /// Number of links `N`.
+    pub n: usize,
+    /// Maximum packets arriving per link per interval.
+    pub a_max: u32,
+    /// Data payload size in bytes.
+    pub payload_bytes: u32,
+    /// Uniform per-link timely-throughput requirement for the debt shadow.
+    pub q: f64,
+}
+
+impl CheckConfig {
+    /// A configuration with the default 100 B payload and `q = 0.7`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n ∉ 2..=6` or `a_max > 4` (the enumeration would not be
+    /// small any more).
+    #[must_use]
+    pub fn new(n: usize, a_max: u32) -> Self {
+        assert!(
+            (2..=6).contains(&n),
+            "bounded checking supports 2..=6 links"
+        );
+        assert!(a_max <= 4, "A_max above 4 explodes the interval tree");
+        CheckConfig {
+            n,
+            a_max,
+            payload_bytes: 100,
+            q: 0.7,
+        }
+    }
+
+    /// The derived timing: a deadline that fits every arrival plus two
+    /// empty claims plus slot margin, so retries are bounded.
+    #[must_use]
+    pub fn timing(&self) -> MacTiming {
+        let phy = PhyProfile::ieee80211a();
+        let data = phy.packet_exchange_airtime(self.payload_bytes);
+        let empty = phy.empty_packet_airtime();
+        let slot = phy.slot();
+        let frames = self.n as u64 * u64::from(self.a_max) + 1;
+        let deadline = data * frames + empty * 2 + slot * (self.n as u64 + 6);
+        MacTiming::new(phy, deadline, self.payload_bytes)
+    }
+
+    /// The uniform requirements of the debt shadow.
+    pub(crate) fn requirements(&self) -> Requirements {
+        // q is validated at construction/decode time; uniform() only
+        // rejects negative or non-finite values.
+        Requirements::uniform(self.n, self.q).unwrap_or_else(|_| unreachable!())
+    }
+}
+
+/// The quick CI gate: exhaustive N = 2 and N = 3 with up to two arrivals
+/// per link.
+#[must_use]
+pub fn quick_suite() -> Vec<CheckConfig> {
+    vec![CheckConfig::new(2, 2), CheckConfig::new(3, 2)]
+}
+
+/// The full suite: quick plus exhaustive N = 4 with 0/1 arrivals.
+#[must_use]
+pub fn full_suite() -> Vec<CheckConfig> {
+    let mut suite = quick_suite();
+    suite.push(CheckConfig::new(4, 1));
+    suite
+}
+
+/// What an exhaustive run covered.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckStats {
+    /// Distinct priority permutations reached (≤ `N!`).
+    pub sigma_states: u64,
+    /// Interval transitions checked — one per enumerated
+    /// `(σ, arrivals, C, ξ, channel bits)` combination.
+    pub transitions: u64,
+    /// Longest channel outcome sequence any interval consumed.
+    pub max_channel_bits: usize,
+}
+
+/// The per-step inputs shared by [`check`] and counterexample replay.
+pub(crate) struct StepInput<'a> {
+    pub sigma_before: &'a Permutation,
+    pub arrivals: &'a [u32],
+    pub candidates: &'a [usize],
+    pub coins: &'a [PairCoins],
+}
+
+/// Exhaustively checks every reachable interval of `subject` under `cfg`.
+///
+/// Starting from the identity permutation, enumerates all arrival
+/// patterns × candidate draws × coin vectors × channel outcome sequences
+/// for every reachable σ (DFS, visited set indexed by
+/// [`Permutation::rank`]), asserting every [`Property`] on each
+/// transition.
+///
+/// # Errors
+///
+/// Returns the first violation as a replayable [`Counterexample`] whose
+/// steps lead from the identity permutation to the failing interval.
+///
+/// # Panics
+///
+/// Panics if the subject's link count disagrees with the configuration,
+/// or if an interval consumes more than 63 channel bits (impossible under
+/// the derived deadline — a guard against misconfigured subjects).
+pub fn check(
+    subject: &mut dyn Subject,
+    cfg: &CheckConfig,
+) -> Result<CheckStats, Box<Counterexample>> {
+    assert_eq!(
+        subject.n_links(),
+        cfg.n,
+        "subject link count must match the configuration"
+    );
+    let n = cfg.n;
+    let timing = cfg.timing();
+    let nfact = factorial(n) as usize;
+    let mut visited = vec![false; nfact];
+    let mut pred: Vec<Option<(usize, Step)>> =
+        std::iter::repeat_with(|| None).take(nfact).collect();
+    let start = Permutation::identity(n).rank() as usize;
+    visited[start] = true;
+    let mut stack = vec![start];
+    let patterns = arrival_patterns(n, cfg.a_max);
+    let mut stats = CheckStats::default();
+
+    while let Some(rank) = stack.pop() {
+        stats.sigma_states += 1;
+        let sigma = Permutation::from_rank(n, rank as u64);
+        for arrivals in &patterns {
+            for c in 1..n {
+                let candidates = [c];
+                for coins in coin_combos() {
+                    let coin_vec = [coins];
+                    // Channel DFS: the all-success run reveals how many
+                    // attempts the interval makes; each defaulted success
+                    // is branched to a failure prefix and re-run.
+                    let mut prefixes: Vec<Vec<bool>> = vec![Vec::new()];
+                    while let Some(prefix) = prefixes.pop() {
+                        let prefix_len = prefix.len();
+                        let input = StepInput {
+                            sigma_before: &sigma,
+                            arrivals,
+                            candidates: &candidates,
+                            coins: &coin_vec,
+                        };
+                        let (bits, verdict) =
+                            run_checked_step(subject, cfg, &timing, &input, prefix);
+                        assert!(
+                            bits.len() <= 63,
+                            "channel bit budget exceeded ({} bits)",
+                            bits.len()
+                        );
+                        stats.transitions += 1;
+                        stats.max_channel_bits = stats.max_channel_bits.max(bits.len());
+                        let this_step = Step {
+                            sigma_before: sigma.priorities().to_vec(),
+                            arrivals: arrivals.clone(),
+                            candidates: candidates.to_vec(),
+                            coins: coin_vec.to_vec(),
+                            bits: bits.clone(),
+                        };
+                        if let Err((property, detail)) = verdict {
+                            let mut steps = path_to(&pred, start, rank);
+                            steps.push(this_step);
+                            return Err(Box::new(Counterexample {
+                                property,
+                                detail,
+                                n: cfg.n,
+                                a_max: cfg.a_max,
+                                payload_bytes: cfg.payload_bytes,
+                                q: cfg.q,
+                                steps,
+                            }));
+                        }
+                        for i in prefix_len..bits.len() {
+                            if bits[i] {
+                                let mut next = bits[..i].to_vec();
+                                next.push(false);
+                                prefixes.push(next);
+                            }
+                        }
+                        let after = subject.sigma().rank() as usize;
+                        if !visited[after] {
+                            visited[after] = true;
+                            pred[after] = Some((rank, this_step));
+                            stack.push(after);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(stats)
+}
+
+/// Sets σ, runs one fully injected interval, and checks every property.
+/// Always returns the consumed channel bits so the caller can branch the
+/// channel tree even on failure.
+pub(crate) fn run_checked_step(
+    subject: &mut dyn Subject,
+    cfg: &CheckConfig,
+    timing: &MacTiming,
+    input: &StepInput<'_>,
+    forced: Vec<bool>,
+) -> (Vec<bool>, Result<(), (Property, String)>) {
+    subject.set_sigma(input.sigma_before.clone());
+    let mut channel = BitScript::new(cfg.n, forced);
+    // The channel is fully scripted; the RNG is inert but required by the
+    // LossModel signature.
+    let mut rng = SeedStream::new(0).rng(0);
+    let report = subject.run_interval(
+        input.arrivals,
+        input.candidates,
+        input.coins,
+        &mut channel,
+        &mut rng,
+    );
+    let verdict = check_properties(cfg, timing, input, &report, channel.log(), subject.sigma());
+    (channel.bits(), verdict)
+}
+
+/// Asserts every [`Property`] on one completed interval.
+fn check_properties(
+    cfg: &CheckConfig,
+    timing: &MacTiming,
+    input: &StepInput<'_>,
+    report: &DpIntervalReport,
+    log: &[(LinkId, bool)],
+    sigma_after: &Permutation,
+) -> Result<(), (Property, String)> {
+    let n = cfg.n;
+    let out = &report.outcome;
+
+    // (1) Collision-freedom.
+    if out.collisions != 0 {
+        return Err((
+            Property::CollisionFreedom,
+            format!("{} collision episode(s) in one interval", out.collisions),
+        ));
+    }
+
+    // (2) σ stays a bijection of 1..=N.
+    if sigma_after.len() != n
+        || Permutation::from_priorities(sigma_after.priorities().to_vec()).is_err()
+    {
+        return Err((
+            Property::SigmaBijection,
+            format!("σ after the interval is not a bijection of 1..={n}: {sigma_after}"),
+        ));
+    }
+
+    // (3) Swap discipline: committed swaps are a strictly increasing
+    // subset of the drawn candidates, and σ changed by exactly them.
+    if report.swaps.len() > input.candidates.len() {
+        return Err((
+            Property::SwapDiscipline,
+            format!(
+                "{} swaps committed from {} drawn pair(s)",
+                report.swaps.len(),
+                input.candidates.len()
+            ),
+        ));
+    }
+    let mut expected = input.sigma_before.clone();
+    let mut prev_upper = 0usize;
+    for t in &report.swaps {
+        if !input.candidates.contains(&t.upper()) {
+            return Err((
+                Property::SwapDiscipline,
+                format!(
+                    "swap at priority {} was never drawn as a candidate ({:?})",
+                    t.upper(),
+                    input.candidates
+                ),
+            ));
+        }
+        if t.upper() <= prev_upper {
+            return Err((
+                Property::SwapDiscipline,
+                format!(
+                    "pair at priority {} committed more than one swap",
+                    t.upper()
+                ),
+            ));
+        }
+        prev_upper = t.upper();
+        expected.apply(*t);
+    }
+    if &expected != sigma_after {
+        return Err((
+            Property::SwapDiscipline,
+            format!(
+                "σ changed beyond the committed swaps: expected {expected}, subject holds {sigma_after}"
+            ),
+        ));
+    }
+
+    // (4) Empty priority claims: exactly the arrival-free candidates send
+    // them, and an unsent claim is only excusable when the deadline was
+    // too close to fit it (in which case the interval ends nearly full).
+    let mut claimants: Vec<usize> = Vec::new();
+    for &c in input.candidates {
+        for link in [
+            input.sigma_before.link_with_priority(c),
+            input.sigma_before.link_with_priority(c + 1),
+        ] {
+            if input.arrivals[link.index()] == 0 {
+                claimants.push(link.index());
+            }
+        }
+    }
+    let mut empty_tx: Vec<usize> = report
+        .trace
+        .iter()
+        .filter_map(|ev| match ev {
+            TraceEvent::TxStart {
+                link,
+                kind: FrameKind::Empty,
+                ..
+            } => Some(link.index()),
+            _ => None,
+        })
+        .collect();
+    if empty_tx.len() as u64 != out.empty_packets {
+        return Err((
+            Property::EmptyClaim,
+            format!(
+                "trace shows {} empty frame(s) but the outcome counts {}",
+                empty_tx.len(),
+                out.empty_packets
+            ),
+        ));
+    }
+    for &l in &empty_tx {
+        if !claimants.contains(&l) {
+            return Err((
+                Property::EmptyClaim,
+                format!("link {l} sent an empty claim without being an arrival-free candidate"),
+            ));
+        }
+    }
+    empty_tx.sort_unstable();
+    if empty_tx.windows(2).any(|w| w[0] == w[1]) {
+        return Err((
+            Property::EmptyClaim,
+            "a link sent its empty claim twice".to_string(),
+        ));
+    }
+    // A claimant may only be skipped near the deadline: at most (N+3)
+    // idle slot boundaries separate the last busy instant from the skip,
+    // so ample leftover time proves every claim must have been sent.
+    let threshold = timing.empty_airtime() + timing.slot() * (n as u64 + 3);
+    if out.leftover >= threshold && empty_tx.len() != claimants.len() {
+        return Err((
+            Property::EmptyClaim,
+            format!(
+                "{} of {} arrival-free candidate(s) sent the empty claim with {} left",
+                empty_tx.len(),
+                claimants.len(),
+                out.leftover
+            ),
+        ));
+    }
+
+    // (5) Debt recursion, bit-for-bit against a shadow computation that
+    // mirrors the ledger's exact operation order.
+    let mut ledger = DebtLedger::new(cfg.requirements());
+    ledger.settle_interval(&out.deliveries);
+    ledger.settle_interval(&out.deliveries);
+    for link in 0..n {
+        let s = out.deliveries[link] as f64;
+        let mut shadow = 0.0f64;
+        shadow += cfg.q - s;
+        shadow += cfg.q - s;
+        let ledger_debt = ledger.debt(LinkId::new(link));
+        if shadow.to_bits() != ledger_debt.to_bits() {
+            return Err((
+                Property::DebtRecursion,
+                format!(
+                    "link {link}: ledger debt {ledger_debt} != shadow recursion {shadow} \
+                     after two settlements of S = {}",
+                    out.deliveries[link]
+                ),
+            ));
+        }
+        if ledger.cumulative_deliveries(LinkId::new(link)) != out.deliveries[link] * 2 {
+            return Err((
+                Property::DebtRecursion,
+                format!("link {link}: cumulative delivery counter diverged"),
+            ));
+        }
+    }
+    if ledger.interval() != 2 {
+        return Err((
+            Property::DebtRecursion,
+            format!(
+                "interval counter at {} after two settlements",
+                ledger.interval()
+            ),
+        ));
+    }
+
+    // (6) Channel-log consistency.
+    if out.total_attempts() != log.len() as u64 {
+        return Err((
+            Property::ChannelConsistency,
+            format!(
+                "subject reports {} attempt(s) but the channel answered {}",
+                out.total_attempts(),
+                log.len()
+            ),
+        ));
+    }
+    for link in 0..n {
+        let l = LinkId::new(link);
+        let attempts = log.iter().filter(|&&(ll, _)| ll == l).count() as u64;
+        let successes = log.iter().filter(|&&(ll, b)| ll == l && b).count() as u64;
+        if out.attempts[link] != attempts {
+            return Err((
+                Property::ChannelConsistency,
+                format!(
+                    "link {link}: {} attempt(s) reported, channel saw {attempts}",
+                    out.attempts[link]
+                ),
+            ));
+        }
+        if out.deliveries[link] != successes {
+            return Err((
+                Property::ChannelConsistency,
+                format!(
+                    "link {link}: {} delivery(ies) reported, channel granted {successes}",
+                    out.deliveries[link]
+                ),
+            ));
+        }
+        if out.deliveries[link] > u64::from(input.arrivals[link]) {
+            return Err((
+                Property::ChannelConsistency,
+                format!(
+                    "link {link}: delivered {} of {} arrival(s)",
+                    out.deliveries[link], input.arrivals[link]
+                ),
+            ));
+        }
+    }
+
+    Ok(())
+}
+
+/// Reconstructs the interval steps from the identity permutation to the
+/// permutation at `rank`, following the DFS predecessor tree.
+fn path_to(pred: &[Option<(usize, Step)>], start: usize, mut rank: usize) -> Vec<Step> {
+    let mut reversed = Vec::new();
+    while rank != start {
+        // Every visited non-start rank has a predecessor by construction.
+        let Some((prev, step)) = &pred[rank] else {
+            break;
+        };
+        reversed.push(step.clone());
+        rank = *prev;
+    }
+    reversed.reverse();
+    reversed
+}
+
+/// All arrival vectors with each entry in `0..=a_max`.
+fn arrival_patterns(n: usize, a_max: u32) -> Vec<Vec<u32>> {
+    let mut patterns: Vec<Vec<u32>> = vec![Vec::new()];
+    for _ in 0..n {
+        let mut next = Vec::with_capacity(patterns.len() * (a_max as usize + 1));
+        for base in &patterns {
+            for a in 0..=a_max {
+                let mut v = base.clone();
+                v.push(a);
+                next.push(v);
+            }
+        }
+        patterns = next;
+    }
+    patterns
+}
+
+/// The four ξ outcomes of one candidate pair.
+fn coin_combos() -> [PairCoins; 4] {
+    [
+        PairCoins {
+            hi_up: true,
+            lo_up: true,
+        },
+        PairCoins {
+            hi_up: true,
+            lo_up: false,
+        },
+        PairCoins {
+            hi_up: false,
+            lo_up: true,
+        },
+        PairCoins {
+            hi_up: false,
+            lo_up: false,
+        },
+    ]
+}
+
+/// `n!` as a `u64` (the checker caps `n` at 6).
+fn factorial(n: usize) -> u64 {
+    (1..=n as u64).product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subject::EngineSubject;
+
+    #[test]
+    fn arrival_patterns_enumerate_the_full_grid() {
+        let p = arrival_patterns(3, 2);
+        assert_eq!(p.len(), 27);
+        assert_eq!(p[0], [0, 0, 0]);
+        assert_eq!(p[26], [2, 2, 2]);
+        let mut unique = p.clone();
+        unique.dedup();
+        assert_eq!(unique.len(), 27);
+    }
+
+    #[test]
+    fn property_labels_round_trip() {
+        for p in Property::ALL {
+            assert_eq!(Property::from_label(p.label()), Some(p));
+            assert_eq!(p.to_string(), p.label());
+        }
+        assert_eq!(Property::from_label("no-such-property"), None);
+    }
+
+    #[test]
+    fn smallest_config_passes_and_reaches_both_orderings() {
+        let cfg = CheckConfig::new(2, 1);
+        let mut subject = EngineSubject::new(cfg.timing(), cfg.n);
+        let stats = check(&mut subject, &cfg).unwrap();
+        assert_eq!(stats.sigma_states, 2, "both σ orderings must be reachable");
+        assert!(stats.transitions > 0);
+        assert!(stats.max_channel_bits >= 2);
+    }
+
+    #[test]
+    fn deadline_bounds_the_channel_tree() {
+        let cfg = CheckConfig::new(2, 2);
+        let timing = cfg.timing();
+        // The all-failure path can only squeeze a handful of attempts in.
+        assert!(timing.max_transmissions() <= 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "2..=6 links")]
+    fn oversized_config_rejected() {
+        let _ = CheckConfig::new(7, 1);
+    }
+}

@@ -1,0 +1,42 @@
+//! Bounded exhaustive model checking of the DP protocol core.
+//!
+//! The DP protocol's value proposition (Algorithm 2 of the paper) is that
+//! it is *provably* collision-free and keeps the priority vector σ a
+//! permutation while reordering it one adjacent swap at a time. The
+//! simulation crates spot-check those properties on sampled seeds; this
+//! crate certifies them **exhaustively** for small configurations by
+//! enumerating every protocol decision the engine can face:
+//!
+//! * every reachable priority permutation σ (DFS over the permutohedron,
+//!   visited set indexed by [`rtmac_model::Permutation::rank`]),
+//! * every arrival pattern with up to `A_max` packets per link,
+//! * every drawn swap-candidate pair `C(k)`,
+//! * every coin-flip vector ξ (via
+//!   [`rtmac_mac::DpEngine::run_interval_with_coins`]),
+//! * every per-attempt channel outcome (via [`BitScript`], a scripted
+//!   [`rtmac_phy::channel::LossModel`] that branches each success bit).
+//!
+//! On every enumerated interval the checker asserts the paper's safety
+//! properties ([`Property`]): collision-freedom, σ stays a bijection, at
+//! most one adjacent swap per drawn pair and only at the drawn pair,
+//! empty priority-claim packets from candidates without arrivals, the
+//! debt recursion `d_n(k+1) = d_n(k) − S_n(k) + q_n` bit-for-bit, and
+//! channel-log consistency. A violation is returned as a replayable
+//! [`Counterexample`]: an interval-by-interval decision log from the
+//! identity permutation to the failing state that [`replay`] can re-run
+//! against any [`Subject`] — the regression harness in
+//! `crates/verify/tests` replays them against both the real engine and
+//! intentionally faulty mutants.
+//!
+//! The `rtmac-verify` binary wires this into CI (`--quick` gates every
+//! push next to `rtmac-lint`).
+
+pub mod channel;
+pub mod checker;
+pub mod counterexample;
+pub mod subject;
+
+pub use channel::BitScript;
+pub use checker::{check, full_suite, quick_suite, CheckConfig, CheckStats, Property};
+pub use counterexample::{replay, Counterexample, Step};
+pub use subject::{EngineSubject, Subject};

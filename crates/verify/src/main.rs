@@ -1,0 +1,135 @@
+//! `rtmac-verify`: bounded exhaustive model checking of the DP engine.
+//!
+//! ```text
+//! rtmac-verify [--quick | --full]   run a verification suite (default: full)
+//! rtmac-verify --replay FILE        re-run a recorded counterexample trace
+//! ```
+//!
+//! Exit codes: 0 = all properties hold (or the replayed trace is clean),
+//! 1 = a violation was found (the counterexample trace is printed to
+//! stdout), 2 = usage or I/O error.
+
+use std::io::Write as _;
+
+use rtmac_verify::{check, full_suite, quick_suite, replay, Counterexample, EngineSubject};
+
+/// Writes to stdout, ignoring a closed pipe (e.g. `rtmac-verify | head`).
+macro_rules! outln {
+    ($($arg:tt)*) => {
+        let _ = writeln!(std::io::stdout(), $($arg)*);
+    };
+}
+
+fn main() {
+    std::process::exit(run(std::env::args().skip(1).collect()));
+}
+
+fn run(args: Vec<String>) -> i32 {
+    let mut mode = Mode::Full;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => mode = Mode::Quick,
+            "--full" => mode = Mode::Full,
+            "--replay" => match iter.next() {
+                Some(path) => mode = Mode::Replay(path),
+                None => {
+                    eprintln!("rtmac-verify: --replay needs a file argument");
+                    return 2;
+                }
+            },
+            "--help" | "-h" => {
+                outln!("usage: rtmac-verify [--quick | --full | --replay FILE]");
+                return 0;
+            }
+            other => {
+                eprintln!("rtmac-verify: unknown argument {other:?} (try --help)");
+                return 2;
+            }
+        }
+    }
+    match mode {
+        Mode::Quick => run_suite(&quick_suite()),
+        Mode::Full => run_suite(&full_suite()),
+        Mode::Replay(path) => run_replay(&path),
+    }
+}
+
+enum Mode {
+    Quick,
+    Full,
+    Replay(String),
+}
+
+fn run_suite(suite: &[rtmac_verify::CheckConfig]) -> i32 {
+    let mut total_transitions: u64 = 0;
+    for cfg in suite {
+        let mut subject = EngineSubject::new(cfg.timing(), cfg.n);
+        match check(&mut subject, cfg) {
+            Ok(stats) => {
+                total_transitions = total_transitions.saturating_add(stats.transitions);
+                outln!(
+                    "rtmac-verify: N={} A_max={}: {} sigma state(s), {} state(s) explored, \
+                     max {} channel bit(s) — ok",
+                    cfg.n,
+                    cfg.a_max,
+                    stats.sigma_states,
+                    stats.transitions,
+                    stats.max_channel_bits
+                );
+            }
+            Err(ce) => {
+                eprintln!(
+                    "rtmac-verify: VIOLATION of {} at N={} A_max={}: {}",
+                    ce.property, cfg.n, cfg.a_max, ce.detail
+                );
+                eprintln!("rtmac-verify: replayable trace follows on stdout");
+                outln!("{ce}");
+                return 1;
+            }
+        }
+    }
+    eprintln!(
+        "rtmac-verify: {} configuration(s) verified, {} state(s) explored in total",
+        suite.len(),
+        total_transitions
+    );
+    0
+}
+
+fn run_replay(path: &str) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("rtmac-verify: cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    let ce = match Counterexample::decode(&text) {
+        Ok(ce) => ce,
+        Err(e) => {
+            eprintln!("rtmac-verify: cannot parse {path}: {e}");
+            return 2;
+        }
+    };
+    let cfg = ce.config();
+    let mut subject = EngineSubject::new(cfg.timing(), cfg.n);
+    match replay(&mut subject, &ce) {
+        Ok(()) => {
+            outln!(
+                "rtmac-verify: trace ({} step(s), recorded as {}) is clean on the current engine",
+                ce.steps.len(),
+                ce.property
+            );
+            0
+        }
+        Err(found) => {
+            eprintln!(
+                "rtmac-verify: trace reproduces a violation of {}: {}",
+                found.property, found.detail
+            );
+            outln!("{found}");
+            1
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Mutation testing of the checker itself: deliberately faulty subjects
+//! must be caught, and every counterexample must be a replayable trace
+//! that (a) reproduces the violation on a fresh faulty subject and
+//! (b) passes cleanly on the real engine.
+
+use rtmac_mac::{
+    DpConfig, DpEngine, DpIntervalReport, FrameKind, MacTiming, PairCoins, TraceEvent,
+};
+use rtmac_model::{AdjacentTransposition, Permutation};
+use rtmac_phy::channel::LossModel;
+use rtmac_sim::SimRng;
+use rtmac_verify::{check, replay, CheckConfig, Counterexample, EngineSubject, Property, Subject};
+
+/// The seeded faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fault {
+    /// Reports a collision that never happened.
+    PhantomCollision,
+    /// Credits link 0 with one extra delivery.
+    DoubleCount,
+    /// Applies an undrawn adjacent swap to σ without reporting it.
+    SilentSwap,
+    /// Reports (and applies) a swap at a pair that was never drawn.
+    RogueSwap,
+    /// Drops empty priority-claim frames from the trace.
+    SuppressClaimTrace,
+}
+
+impl Fault {
+    /// The property each fault must be convicted under.
+    fn expected_property(self) -> Property {
+        match self {
+            Fault::PhantomCollision => Property::CollisionFreedom,
+            Fault::DoubleCount => Property::ChannelConsistency,
+            Fault::SilentSwap | Fault::RogueSwap => Property::SwapDiscipline,
+            Fault::SuppressClaimTrace => Property::EmptyClaim,
+        }
+    }
+
+    /// Swap faults need at least one undrawn pair, hence three links.
+    fn config(self) -> CheckConfig {
+        match self {
+            Fault::SilentSwap | Fault::RogueSwap => CheckConfig::new(3, 1),
+            _ => CheckConfig::new(2, 1),
+        }
+    }
+}
+
+/// The real engine wrapped with one seeded fault.
+#[derive(Debug)]
+struct FaultySubject {
+    engine: DpEngine,
+    fault: Fault,
+}
+
+impl FaultySubject {
+    fn new(timing: MacTiming, n_links: usize, fault: Fault) -> Self {
+        FaultySubject {
+            engine: DpEngine::new(DpConfig::new(timing).with_trace(true), n_links),
+            fault,
+        }
+    }
+
+    fn for_config(cfg: &CheckConfig, fault: Fault) -> Self {
+        FaultySubject::new(cfg.timing(), cfg.n, fault)
+    }
+}
+
+impl Subject for FaultySubject {
+    fn n_links(&self) -> usize {
+        self.engine.n_links()
+    }
+
+    fn sigma(&self) -> &Permutation {
+        self.engine.sigma()
+    }
+
+    fn set_sigma(&mut self, sigma: Permutation) {
+        self.engine.set_sigma(sigma);
+    }
+
+    fn run_interval(
+        &mut self,
+        arrivals: &[u32],
+        candidates: &[usize],
+        coins: &[PairCoins],
+        channel: &mut dyn LossModel,
+        rng: &mut SimRng,
+    ) -> DpIntervalReport {
+        let mut report = self
+            .engine
+            .run_interval_with_coins(arrivals, candidates, coins, channel, rng);
+        match self.fault {
+            Fault::PhantomCollision => report.outcome.collisions += 1,
+            Fault::DoubleCount => report.outcome.deliveries[0] += 1,
+            Fault::SilentSwap => {
+                let t = undrawn_swap(candidates);
+                let mutated = self.engine.sigma().with(t);
+                self.engine.set_sigma(mutated);
+            }
+            Fault::RogueSwap => {
+                let t = undrawn_swap(candidates);
+                let mutated = self.engine.sigma().with(t);
+                self.engine.set_sigma(mutated);
+                report.swaps.push(t);
+            }
+            Fault::SuppressClaimTrace => {
+                report.trace.retain(|ev| {
+                    !matches!(
+                        ev,
+                        TraceEvent::TxStart {
+                            kind: FrameKind::Empty,
+                            ..
+                        }
+                    )
+                });
+            }
+        }
+        report
+    }
+}
+
+/// An adjacent pair that was not drawn this interval (assumes N = 3, so
+/// the drawn set is a subset of {1, 2}).
+fn undrawn_swap(candidates: &[usize]) -> AdjacentTransposition {
+    let upper = if candidates.contains(&1) { 2 } else { 1 };
+    AdjacentTransposition::new(upper)
+}
+
+/// Runs the full conviction pipeline for one fault: the checker catches
+/// it, the trace round-trips through text, replays against a fresh
+/// faulty subject to the same property, and is clean on the real engine.
+fn convict(fault: Fault) {
+    let cfg = fault.config();
+    let mut subject = FaultySubject::for_config(&cfg, fault);
+    let ce = check(&mut subject, &cfg).expect_err("the seeded fault must be caught");
+    assert_eq!(
+        ce.property,
+        fault.expected_property(),
+        "{fault:?} convicted under the wrong property: {}",
+        ce.detail
+    );
+    assert!(
+        !ce.steps.is_empty(),
+        "a counterexample needs at least one step"
+    );
+
+    // The printed trace round-trips.
+    let decoded = Counterexample::decode(&ce.encode()).expect("trace must parse back");
+    assert_eq!(decoded, *ce);
+
+    // Replay on a fresh faulty subject reproduces the same violation.
+    let mut fresh = FaultySubject::for_config(&cfg, fault);
+    let found =
+        replay(&mut fresh, &decoded).expect_err("the trace must reproduce on the faulty subject");
+    assert_eq!(found.property, ce.property);
+    assert_eq!(
+        found.steps.len(),
+        ce.steps.len(),
+        "must fail at the recorded step"
+    );
+
+    // The same trace is clean on the real engine: the fault is in the
+    // mutant, not the protocol.
+    let mut clean = EngineSubject::new(cfg.timing(), cfg.n);
+    replay(&mut clean, &decoded).expect("the real engine must pass the trace");
+}
+
+#[test]
+fn phantom_collision_is_caught() {
+    convict(Fault::PhantomCollision);
+}
+
+#[test]
+fn double_counted_delivery_is_caught() {
+    convict(Fault::DoubleCount);
+}
+
+#[test]
+fn silent_sigma_mutation_is_caught() {
+    convict(Fault::SilentSwap);
+}
+
+#[test]
+fn rogue_undrawn_swap_is_caught() {
+    convict(Fault::RogueSwap);
+}
+
+#[test]
+fn suppressed_claim_trace_is_caught() {
+    convict(Fault::SuppressClaimTrace);
+}

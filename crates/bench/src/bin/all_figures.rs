@@ -19,8 +19,18 @@ fn main() {
         figures::fig8(video, seed),
         figures::fig9(control, seed),
         figures::fig10(control, seed),
+        figures::fig_fault(video, seed),
     ];
-    let names = ["fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10"];
+    let names = [
+        "fig3",
+        "fig4",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig_fault",
+    ];
     for (table, name) in tables.iter().zip(names) {
         print!("{}", table.render());
         println!();

@@ -1,0 +1,14 @@
+//! Regenerates the fault-injection robustness sweep (sensing errors plus
+//! link churn, DB-DP degraded engine).
+//! Usage: `fig_fault [--quick | --intervals N]`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let intervals = rtmac_bench::intervals_from_args(&args, 5000);
+    eprintln!("running the fault sweep with {intervals} intervals per point...");
+    let table = rtmac_bench::figures::fig_fault(intervals, 2018);
+    print!("{}", table.render());
+    table
+        .write_csv("bench_results", "fig_fault")
+        .expect("write csv");
+}

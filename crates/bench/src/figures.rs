@@ -8,7 +8,7 @@
 //! figures (Figs. 9–10).
 
 use rtmac::model::LinkId;
-use rtmac::scenario::{self, Param, PolicySpec, Sweep, TrafficSpec};
+use rtmac::scenario::{self, FaultSpec, Param, PolicySpec, Sweep, TrafficSpec};
 use rtmac::RunReport;
 
 use crate::table::SeriesTable;
@@ -312,6 +312,59 @@ pub fn fig10(intervals: usize, seed: u64) -> SeriesTable {
     )
 }
 
+/// The sensing-error rates of the fault sweep.
+pub const FAULT_EPSILONS: [f64; 5] = [0.0, 1e-4, 1e-3, 1e-2, 1e-1];
+
+/// The fault-injection robustness sweep (DESIGN.md §9): an 8-link video
+/// network under symmetric carrier-sensing error rate ε plus one link
+/// crash/revive event (link 3 goes down at `intervals/4` for
+/// `intervals/20` intervals and revives with stale priority state), run on
+/// DB-DP's degraded engine. Tabulates the total timely-throughput, the mean
+/// time-to-reconverge after a priority desynchronization (in intervals; 0
+/// when the run never desynchronized), and the raw divergence / recovery
+/// fallback counts.
+///
+/// The ε = 0 row isolates churn: the only corruption is the revived link's
+/// stale priority belief.
+#[must_use]
+pub fn fig_fault(intervals: usize, seed: u64) -> SeriesTable {
+    let crash_at = (intervals as u64) / 4;
+    let down = ((intervals as u64) / 20).max(1);
+    let scenarios: Vec<_> = FAULT_EPSILONS
+        .iter()
+        .map(|&eps| {
+            scenario::video(8, 0.55, 0.9, seed)
+                .with_intervals(intervals)
+                .with_fault(FaultSpec::sensing(eps).with_churn(3, crash_at, down))
+        })
+        .collect();
+    let mut table = SeriesTable::new(
+        "Fault sweep: 8-link video network with sensing errors and one crash/revive \
+         (DB-DP degraded engine vs epsilon)",
+        "epsilon",
+        vec![
+            "throughput".into(),
+            "mean reconverge".into(),
+            "divergences".into(),
+            "fallbacks".into(),
+        ],
+    );
+    let rows = crate::parallel_map(scenarios, |sc| {
+        let report = sc.run().expect("valid fault sweep point");
+        let stats = report.fault.expect("degraded engine reports fault stats");
+        vec![
+            report.per_link_throughput.iter().sum::<f64>(),
+            stats.mean_time_to_reconverge().unwrap_or(0.0),
+            stats.divergences as f64,
+            stats.fallbacks as f64,
+        ]
+    });
+    for (&eps, row) in FAULT_EPSILONS.iter().zip(rows) {
+        table.push_row(eps, row);
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -356,6 +409,20 @@ mod tests {
             "priority 1 ({first}) should out-deliver priority 20 ({last})"
         );
         assert!(last > 0.0, "lowest priority must not starve");
+    }
+
+    #[test]
+    fn fig_fault_sweeps_epsilon() {
+        let t = fig_fault(200, 9);
+        assert_eq!(t.rows().len(), 5);
+        assert_eq!(t.columns().len(), 4);
+        let worst = &t.rows()[4].1;
+        assert!(worst[2] > 0.0, "ε = 0.1 must cause divergences");
+        assert!(worst[3] > 0.0, "ε = 0.1 must trigger recovery fallbacks");
+        // Every row still delivers traffic.
+        for (eps, row) in t.rows() {
+            assert!(row[0] > 0.0, "no throughput at ε = {eps}");
+        }
     }
 
     #[test]

@@ -33,6 +33,17 @@ fn fig3_csv_is_byte_identical() {
 }
 
 #[test]
+fn fig_fault_csv_is_byte_identical() {
+    let table = figures::fig_fault(VIDEO_INTERVALS, SEED);
+    assert_eq!(
+        table.to_csv(),
+        checked_in("fig_fault"),
+        "fig_fault regenerated through the scenario registry diverged from \
+         bench_results/fig_fault.csv"
+    );
+}
+
+#[test]
 fn fig9_csv_is_byte_identical() {
     let table = figures::fig9(CONTROL_INTERVALS, SEED);
     assert_eq!(

@@ -153,6 +153,7 @@ impl NetworkOpts {
                 seed: self.seed,
                 replications: 1,
                 track: None,
+                fault: None,
             },
         };
         sc.policy = policy;
@@ -277,7 +278,7 @@ pub fn policy_flag(spec: PolicySpec) -> Option<&'static str> {
 /// [`NetworkOpts::to_scenario`] reproduces the scenario, field for field.
 #[must_use]
 pub fn render_run_command(sc: &Scenario) -> Option<Vec<String>> {
-    if sc.track.is_some() || sc.replications != 1 {
+    if sc.track.is_some() || sc.fault.is_some() || sc.replications != 1 {
         return None;
     }
     let arrivals = match &sc.traffic {

@@ -57,6 +57,7 @@ proptest! {
             seed,
             replications: 1,
             track: None,
+            fault: None,
         };
 
         let argv = render_run_command(&sc);

@@ -61,7 +61,7 @@ pub use policy::{
 };
 pub use report::RunReport;
 pub use runner::Runner;
-pub use scenario::{PolicySpec, Scenario};
+pub use scenario::{ChurnSpec, FaultSpec, PolicySpec, Scenario};
 
 // Re-export the substrate crates so downstream users need only one
 // dependency.

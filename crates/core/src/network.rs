@@ -1,14 +1,16 @@
 //! The end-to-end network simulator: arrivals → policy → debts → metrics.
 
-use rtmac_mac::{IntervalOutcome, MacTiming};
+use rtmac_mac::{DpConfig, FaultyDpEngine, IntervalOutcome, MacTiming, RecoveryConfig};
 use rtmac_model::metrics::{ConvergenceTracker, DeficiencySeries};
 use rtmac_model::{ConfigError, DebtLedger, LinkId, NetworkConfig, Requirements};
 use rtmac_phy::channel::{Bernoulli, LossModel};
+use rtmac_phy::fault::{ChurnSchedule, FaultModel};
 use rtmac_phy::PhyProfile;
 use rtmac_sim::{Nanos, SeedStream, SimRng};
 use rtmac_traffic::{ArrivalProcess, BernoulliArrivals, BurstUniform, ConstantArrivals};
 
-use crate::{PolicyKind, RunReport, TransmissionPolicy};
+use crate::scenario::FaultSpec;
+use crate::{DbDp, PolicyKind, RunReport, TransmissionPolicy};
 
 /// A complete simulated network: topology and channel (`rtmac-model`,
 /// `rtmac-phy`), traffic (`rtmac-traffic`), a transmission policy, and the
@@ -161,6 +163,7 @@ impl Network {
             idle_slots: self.idle_slots,
             busy_time: self.busy_time,
             tracked: self.tracked.clone(),
+            fault: self.policy.fault_stats(),
         }
     }
 }
@@ -185,6 +188,7 @@ pub struct NetworkBuilder {
     channel: Option<Box<dyn LossModel>>,
     seed: u64,
     track: Option<(LinkId, f64)>,
+    fault: Option<FaultSpec>,
 }
 
 impl Default for NetworkBuilder {
@@ -203,6 +207,7 @@ impl Default for NetworkBuilder {
             channel: None,
             seed: 0,
             track: None,
+            fault: None,
         }
     }
 }
@@ -360,6 +365,16 @@ impl NetworkBuilder {
         self
     }
 
+    /// Injects carrier-sensing faults and link churn into the run. Only the
+    /// DB-DP policy supports fault injection (it switches to the degraded
+    /// [`FaultyDpEngine`] path); [`build`](Self::build) rejects the
+    /// combination with any other policy.
+    #[must_use]
+    pub fn fault(mut self, fault: FaultSpec) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
     /// Validates everything and builds the [`Network`].
     ///
     /// # Errors
@@ -437,9 +452,76 @@ impl NetworkBuilder {
             }
             timing = timing.with_link_payloads(&payloads);
         }
-        let policy = kind.instantiate(config.n_links(), config.success_probabilities(), timing);
-
         let seeds = SeedStream::new(self.seed);
+        let policy: Box<dyn TransmissionPolicy> = match (kind, self.fault) {
+            (
+                PolicyKind::DbDp {
+                    influence,
+                    r,
+                    swap_pairs,
+                },
+                Some(spec),
+            ) => {
+                for (name, p) in [
+                    ("fault false_busy (must lie in [0, 1))", spec.false_busy),
+                    ("fault false_idle (must lie in [0, 1))", spec.false_idle),
+                ] {
+                    if !(0.0..1.0).contains(&p) {
+                        return Err(ConfigError::InvalidParameter { name, value: p });
+                    }
+                }
+                if spec.miss_limit == 0 {
+                    return Err(ConfigError::InvalidParameter {
+                        name: "fault miss_limit (must be at least 1)",
+                        value: 0.0,
+                    });
+                }
+                let mut engine = FaultyDpEngine::new(
+                    DpConfig::new(timing).with_swap_pairs(swap_pairs),
+                    config.n_links(),
+                )
+                .with_fault_model(FaultModel::new(
+                    spec.false_busy,
+                    spec.false_idle,
+                    seeds.rng(3),
+                ))
+                .with_recovery(RecoveryConfig::new().with_miss_limit(spec.miss_limit));
+                if let Some(churn) = spec.churn {
+                    if churn.link >= config.n_links() {
+                        return Err(ConfigError::InvalidParameter {
+                            name: "churn link",
+                            value: churn.link as f64,
+                        });
+                    }
+                    if churn.down_intervals == 0 {
+                        return Err(ConfigError::InvalidParameter {
+                            name: "churn down_intervals (a crash must last at least one interval)",
+                            value: 0.0,
+                        });
+                    }
+                    engine = engine.with_churn(ChurnSchedule::new(
+                        LinkId::new(churn.link),
+                        churn.crash_at,
+                        churn.down_intervals,
+                    ));
+                }
+                Box::new(DbDp::with_faults(
+                    engine,
+                    influence,
+                    r,
+                    config.success_probabilities().to_vec(),
+                ))
+            }
+            (_, Some(spec)) => {
+                return Err(ConfigError::InvalidParameter {
+                    name: "fault (fault injection requires the DB-DP policy)",
+                    value: spec.false_busy,
+                })
+            }
+            (kind, None) => {
+                kind.instantiate(config.n_links(), config.success_probabilities(), timing)
+            }
+        };
         let tracked = match self.track {
             Some((link, band)) => {
                 if link.index() >= config.n_links() {
@@ -613,6 +695,75 @@ mod tests {
             assert!(*latency <= Nanos::from_millis(2));
             assert!(!latency.is_zero());
         }
+    }
+
+    #[test]
+    fn fault_injection_runs_and_reports() {
+        let mut net = base_builder()
+            .fault(FaultSpec::sensing(0.05).with_churn(1, 20, 10))
+            .policy(PolicyKind::db_dp())
+            .build()
+            .unwrap();
+        let report = net.run(300);
+        let stats = report.fault.expect("degraded DB-DP exposes fault stats");
+        assert!(
+            stats.sensing_flips > 0,
+            "ε = 0.05 over 300 intervals must flip"
+        );
+        // Deterministic at seed 1: sensing faults desynchronize the priority
+        // beliefs and recovery restores the bijection at least once.
+        assert!(stats.desync_intervals > 0);
+        assert!(stats.reconvergences > 0);
+        assert!(report.policy.contains("degraded"));
+    }
+
+    #[test]
+    fn zero_rate_fault_matches_pristine_numbers() {
+        let pristine = base_builder()
+            .policy(PolicyKind::db_dp())
+            .build()
+            .unwrap()
+            .run(150);
+        let faulty = base_builder()
+            .fault(FaultSpec::sensing(0.0))
+            .policy(PolicyKind::db_dp())
+            .build()
+            .unwrap()
+            .run(150);
+        // Same seeds, zero fault rates: the degraded engine replays the
+        // pristine protocol bit-for-bit.
+        assert_eq!(pristine.per_link_throughput, faulty.per_link_throughput);
+        assert_eq!(pristine.deficiency, faulty.deficiency);
+        assert_eq!(pristine.collisions, faulty.collisions);
+        assert_eq!(pristine.busy_time, faulty.busy_time);
+        assert_eq!(faulty.fault.unwrap().sensing_flips, 0);
+    }
+
+    #[test]
+    fn fault_injection_requires_db_dp() {
+        assert!(matches!(
+            base_builder()
+                .fault(FaultSpec::sensing(0.01))
+                .policy(PolicyKind::Ldf)
+                .build(),
+            Err(ConfigError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn fault_parameters_validated() {
+        let fault_build = |spec: FaultSpec| {
+            base_builder()
+                .fault(spec)
+                .policy(PolicyKind::db_dp())
+                .build()
+        };
+        assert!(fault_build(FaultSpec::sensing(1.0)).is_err());
+        assert!(fault_build(FaultSpec::sensing(-0.1)).is_err());
+        assert!(fault_build(FaultSpec::sensing(0.01).with_miss_limit(0)).is_err());
+        assert!(fault_build(FaultSpec::sensing(0.01).with_churn(9, 5, 5)).is_err());
+        assert!(fault_build(FaultSpec::sensing(0.01).with_churn(1, 5, 0)).is_err());
+        assert!(fault_build(FaultSpec::sensing(0.01).with_churn(1, 5, 5)).is_ok());
     }
 
     #[test]

@@ -2,8 +2,8 @@
 //! debt-driven wrappers around the `rtmac-mac` engines.
 
 use rtmac_mac::{
-    CentralizedEngine, DcfConfig, DcfEngine, DpConfig, DpEngine, FcsmaEngine, FcsmaQuantizer,
-    FrameCsmaEngine, IntervalOutcome, MacTiming,
+    CentralizedEngine, DcfConfig, DcfEngine, DpConfig, DpEngine, FaultStats, FaultyDpEngine,
+    FcsmaEngine, FcsmaQuantizer, FrameCsmaEngine, IntervalOutcome, MacTiming,
 };
 use rtmac_model::influence::{DebtInfluence, Linear, PaperLog};
 use rtmac_model::{DebtLedger, LinkId, Permutation};
@@ -31,7 +31,15 @@ pub trait TransmissionPolicy {
     ) -> IntervalOutcome;
 
     /// The current priority permutation, for policies that maintain one.
+    /// Policies running in degraded mode (fault injection) return `None`
+    /// here: their per-link priority beliefs need not form a permutation.
     fn sigma(&self) -> Option<&Permutation> {
+        None
+    }
+
+    /// Fault/recovery counters, for policies running under fault
+    /// injection. `None` for every fault-free policy.
+    fn fault_stats(&self) -> Option<FaultStats> {
         None
     }
 }
@@ -292,12 +300,30 @@ pub fn eq14_mu(influence: &dyn DebtInfluence, r: f64, d_plus: f64, p_n: f64) -> 
 /// feasibility-optimal (Theorem 1).
 #[derive(Debug)]
 pub struct DbDp {
-    engine: DpEngine,
+    driver: DpDriver,
     influence: Box<dyn DebtInfluence>,
     r: f64,
     p: Vec<f64>,
     mu_buf: Vec<f64>,
     name: String,
+}
+
+/// Which DP engine a [`DbDp`] policy drives: the pristine collision-free
+/// engine (every fault-free run), or the degraded-mode engine of the
+/// fault-injection experiments.
+#[derive(Debug)]
+enum DpDriver {
+    Pristine(Box<DpEngine>),
+    Faulty(Box<FaultyDpEngine>),
+}
+
+impl DpDriver {
+    fn n_links(&self) -> usize {
+        match self {
+            DpDriver::Pristine(e) => e.n_links(),
+            DpDriver::Faulty(e) => e.n_links(),
+        }
+    }
 }
 
 impl DbDp {
@@ -309,12 +335,38 @@ impl DbDp {
     /// engine's link count.
     #[must_use]
     pub fn new(engine: DpEngine, influence: Box<dyn DebtInfluence>, r: f64, p: Vec<f64>) -> Self {
+        Self::with_driver(DpDriver::Pristine(Box::new(engine)), influence, r, p)
+    }
+
+    /// Wires the *degraded-mode* DP engine (sensing faults, churn,
+    /// recovery) to the same debt-driven coin parameters. Panics as
+    /// [`DbDp::new`].
+    #[must_use]
+    pub fn with_faults(
+        engine: FaultyDpEngine,
+        influence: Box<dyn DebtInfluence>,
+        r: f64,
+        p: Vec<f64>,
+    ) -> Self {
+        Self::with_driver(DpDriver::Faulty(Box::new(engine)), influence, r, p)
+    }
+
+    fn with_driver(
+        driver: DpDriver,
+        influence: Box<dyn DebtInfluence>,
+        r: f64,
+        p: Vec<f64>,
+    ) -> Self {
         assert!(r.is_finite() && r > 0.0, "R must be positive and finite");
-        assert_eq!(p.len(), engine.n_links(), "one p_n per link");
+        assert_eq!(p.len(), driver.n_links(), "one p_n per link");
         let n = p.len();
-        let name = format!("DB-DP(f={}, R={r})", influence.name());
+        let degraded = match driver {
+            DpDriver::Pristine(_) => "",
+            DpDriver::Faulty(_) => ", degraded",
+        };
+        let name = format!("DB-DP(f={}, R={r}{degraded})", influence.name());
         DbDp {
-            engine,
+            driver,
             influence,
             r,
             p,
@@ -330,10 +382,23 @@ impl DbDp {
         eq14_mu(self.influence.as_ref(), self.r, d_plus, p_n)
     }
 
-    /// The underlying DP engine (e.g. to inspect `σ`).
+    /// The underlying pristine DP engine (e.g. to inspect `σ`); `None`
+    /// when the policy runs the degraded-mode engine.
     #[must_use]
-    pub fn engine(&self) -> &DpEngine {
-        &self.engine
+    pub fn engine(&self) -> Option<&DpEngine> {
+        match &self.driver {
+            DpDriver::Pristine(e) => Some(e),
+            DpDriver::Faulty(_) => None,
+        }
+    }
+
+    /// The underlying degraded-mode engine, when faults are injected.
+    #[must_use]
+    pub fn faulty_engine(&self) -> Option<&FaultyDpEngine> {
+        match &self.driver {
+            DpDriver::Pristine(_) => None,
+            DpDriver::Faulty(e) => Some(e),
+        }
     }
 }
 
@@ -357,13 +422,33 @@ impl TransmissionPolicy for DbDp {
                 self.p[n],
             );
         }
-        self.engine
-            .run_interval(arrivals, &self.mu_buf, channel, rng)
-            .outcome
+        match &mut self.driver {
+            DpDriver::Pristine(engine) => {
+                engine
+                    .run_interval(arrivals, &self.mu_buf, channel, rng)
+                    .outcome
+            }
+            DpDriver::Faulty(engine) => {
+                engine
+                    .run_interval(arrivals, &self.mu_buf, channel, rng)
+                    .outcome
+            }
+        }
     }
 
     fn sigma(&self) -> Option<&Permutation> {
-        Some(self.engine.sigma())
+        match &self.driver {
+            DpDriver::Pristine(engine) => Some(engine.sigma()),
+            // Degraded mode: the belief multiset need not be a permutation.
+            DpDriver::Faulty(_) => None,
+        }
+    }
+
+    fn fault_stats(&self) -> Option<FaultStats> {
+        match &self.driver {
+            DpDriver::Pristine(_) => None,
+            DpDriver::Faulty(engine) => Some(engine.stats()),
+        }
     }
 }
 
@@ -667,7 +752,8 @@ mod tests {
         let mut link1_first = 0;
         for _ in 0..400 {
             let _ = policy.run_interval(&[1, 1], &debts, &mut ch, &mut rng);
-            if policy.engine().sigma().priority_of(LinkId::new(1)) == 1 {
+            let sigma = policy.engine().expect("pristine driver").sigma();
+            if sigma.priority_of(LinkId::new(1)) == 1 {
                 link1_first += 1;
             }
         }

@@ -1,5 +1,6 @@
 //! Aggregated results of a multi-interval simulation run.
 
+use rtmac_mac::FaultStats;
 use rtmac_model::metrics::{ConvergenceTracker, DeficiencySeries};
 use rtmac_model::LinkId;
 use rtmac_sim::Nanos;
@@ -37,6 +38,10 @@ pub struct RunReport {
     /// Convergence tracker for the watched link, when one was configured
     /// via [`crate::NetworkBuilder::track_link`].
     pub tracked: Option<ConvergenceTracker>,
+    /// Fault-injection counters (divergences, recovery fallbacks,
+    /// reconvergence times) when the run used the degraded DB-DP path via
+    /// [`crate::NetworkBuilder::fault`]; `None` for pristine runs.
+    pub fault: Option<FaultStats>,
 }
 
 impl RunReport {
@@ -104,6 +109,7 @@ mod tests {
             idle_slots: 0,
             busy_time: Nanos::ZERO,
             tracked: None,
+            fault: None,
         }
     }
 

@@ -256,6 +256,70 @@ impl PolicySpec {
     }
 }
 
+/// Declarative link-churn selection: one crash/revive event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnSpec {
+    /// The crashing link.
+    pub link: usize,
+    /// The interval at which it goes down.
+    pub crash_at: u64,
+    /// How many intervals it stays down before reviving with stale
+    /// priority state.
+    pub down_intervals: u64,
+}
+
+/// Declarative fault injection for the degraded-mode DP experiments:
+/// carrier-sensing error rates, an optional churn event, and the recovery
+/// rule's miss limit. Only meaningful for [`PolicySpec::DbDp`];
+/// [`NetworkBuilder::build`] rejects other policies.
+///
+/// With both probabilities zero and no churn the degraded-mode engine is
+/// still selected, but it replays the pristine engine's randomness
+/// draw-for-draw, so results are byte-identical to a fault-free run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Probability an idle carrier-sense instant reads busy.
+    pub false_busy: f64,
+    /// Probability a busy carrier-sense instant reads idle.
+    pub false_idle: f64,
+    /// Optional crash/revive event.
+    pub churn: Option<ChurnSpec>,
+    /// Consecutive unheard-adjacent-claim intervals tolerated before the
+    /// R2 fallback fires.
+    pub miss_limit: u32,
+}
+
+impl FaultSpec {
+    /// Symmetric sensing errors at rate `eps`, no churn, default recovery.
+    #[must_use]
+    pub fn sensing(eps: f64) -> Self {
+        FaultSpec {
+            false_busy: eps,
+            false_idle: eps,
+            churn: None,
+            miss_limit: 3,
+        }
+    }
+
+    /// Adds a crash/revive event.
+    #[must_use]
+    pub fn with_churn(mut self, link: usize, crash_at: u64, down_intervals: u64) -> Self {
+        self.churn = Some(ChurnSpec {
+            link,
+            crash_at,
+            down_intervals,
+        });
+        self
+    }
+
+    /// Overrides the R2 miss limit.
+    #[must_use]
+    pub fn with_miss_limit(mut self, miss_limit: u32) -> Self {
+        self.miss_limit = miss_limit;
+        self
+    }
+}
+
 /// One fully-specified experiment configuration: everything a run needs,
 /// as plain comparable data.
 #[derive(Debug, Clone, PartialEq)]
@@ -286,6 +350,9 @@ pub struct Scenario {
     /// Track one link's running throughput: `(link index, band)` as in
     /// [`NetworkBuilder::track_link`] (the Fig. 5 instrumentation).
     pub track: Option<(usize, f64)>,
+    /// Fault injection (sensing errors + churn) for the degraded-mode DP
+    /// experiments; `None` runs every policy on its fault-free path.
+    pub fault: Option<FaultSpec>,
 }
 
 impl Scenario {
@@ -331,6 +398,13 @@ impl Scenario {
         self
     }
 
+    /// Injects faults (sensing errors and/or churn) into the run.
+    #[must_use]
+    pub fn with_fault(mut self, fault: FaultSpec) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
     /// A preconfigured [`NetworkBuilder`] — the escape hatch for consumers
     /// that need knobs the declarative form does not carry (custom loss
     /// models, per-link payloads); chain the extra builder calls before
@@ -350,6 +424,9 @@ impl Scenario {
         }
         if let Some((link, band)) = self.track {
             b = b.track_link(LinkId::new(link), band);
+        }
+        if let Some(fault) = self.fault {
+            b = b.fault(fault);
         }
         b
     }
@@ -506,6 +583,7 @@ pub fn video(n: usize, alpha: f64, rho: f64, seed: u64) -> Scenario {
         seed,
         replications: 1,
         track: None,
+        fault: None,
     }
 }
 
@@ -530,6 +608,7 @@ pub fn video_per_link(alpha: Vec<f64>, p: Vec<f64>, rho: Vec<f64>, seed: u64) ->
         seed,
         replications: 1,
         track: None,
+        fault: None,
     }
 }
 
@@ -553,6 +632,7 @@ pub fn control(n: usize, lambda: f64, rho: f64, seed: u64) -> Scenario {
         seed,
         replications: 1,
         track: None,
+        fault: None,
     }
 }
 
@@ -578,6 +658,7 @@ pub fn asym(alpha_star: f64, rho: f64, seed: u64) -> Scenario {
         seed,
         replications: 1,
         track: None,
+        fault: None,
     }
 }
 
@@ -615,6 +696,7 @@ pub fn tiny(seed: u64) -> Scenario {
         seed,
         replications: 1,
         track: None,
+        fault: None,
     }
 }
 

@@ -192,6 +192,7 @@ impl Engine {
                     | RuleKind::HashIter
                     | RuleKind::Index
                     | RuleKind::FieldArith
+                    | RuleKind::NanosArith
                     | RuleKind::FloatAccum
                     | RuleKind::PathCall
             ) {

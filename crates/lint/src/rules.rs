@@ -5,7 +5,8 @@
 //! [`crate::tokenize::lex`], so occurrences inside comments, strings, and
 //! char literals never fire. The lexical rules look at one line at a
 //! time; the syntactic rules ([`RuleKind::FieldArith`],
-//! [`RuleKind::FloatAccum`], [`RuleKind::PathCall`]) additionally use the
+//! [`RuleKind::NanosArith`], [`RuleKind::FloatAccum`],
+//! [`RuleKind::PathCall`]) additionally use the
 //! brace-matched token stream of [`crate::syntax`] to walk operand paths
 //! and method chains across line breaks. Detection is deliberately
 //! conservative and token-based — the point is a fast, dependency-free
@@ -32,6 +33,9 @@ pub enum RuleKind {
     /// Syntactic: unchecked `+`/`-`/`+=`/`-=` whose operand path ends in
     /// a guarded integer field name.
     FieldArith,
+    /// Syntactic: raw binary arithmetic whose operand path ends in a
+    /// guarded unit-unwrap accessor (`.as_nanos()`).
+    NanosArith,
     /// Syntactic: float accumulation (`.sum::<f64>()` and friends) over a
     /// method chain rooted at a hash-ordered collection.
     FloatAccum,
@@ -212,6 +216,27 @@ pub const RULES: &[Rule] = &[
                   operator — across method calls, indexing, and line breaks — and \
                   fires when the path ends in one of the guarded field names from \
                   lint.toml. Test code is exempt.",
+    },
+    Rule {
+        id: "nanos-raw-arith",
+        kind: RuleKind::NanosArith,
+        default_severity: Severity::Deny,
+        exempt_tests: true,
+        default_tokens: &["as_nanos"],
+        summary: "no raw +/-/*, / or % arithmetic on unwrapped Nanos values",
+        explain: "`.as_nanos()` unwraps a `Nanos` into a bare u64, dropping both \
+                  the unit and the overflow discipline: a raw `+`/`-`/`*` on the \
+                  result can wrap (slot counts times nanosecond deadlines exceed \
+                  u64 within hours of simulated time) and a raw `/`/`%` encodes a \
+                  unit conversion as an unexplained magic constant. Keep \
+                  durations in `Nanos` and use its saturating_*/checked_* \
+                  operations, or cross the boundary through a named accessor \
+                  (`as_micros`, `as_millis_f64`). The rule walks the operand \
+                  paths of each arithmetic operator across calls, indexing, and \
+                  line breaks, and fires when a path ends in a guarded unwrap \
+                  accessor; chaining a checked method \
+                  (`.as_nanos().checked_div(..)`) or an explicit `as` cast into \
+                  a wider domain does not fire. Test code is exempt.",
     },
     Rule {
         id: "float-accum-unordered",
@@ -492,6 +517,52 @@ pub fn scan(rule: &Rule, file: &SourceFile, syntax: &Syntax, tokens: &[String]) 
                 }
             }
         }
+        RuleKind::NanosArith => {
+            for (i, t) in syntax.tokens.iter().enumerate() {
+                if t.kind != TokKind::Punct {
+                    continue;
+                }
+                let op = t.text.as_str();
+                if !matches!(
+                    op,
+                    "+" | "-" | "*" | "/" | "%" | "+=" | "-=" | "*=" | "/=" | "%="
+                ) {
+                    continue;
+                }
+                if rule.exempt_tests && t.in_test {
+                    continue;
+                }
+                let bare = !op.ends_with('=');
+                if bare && !syntax.is_binary_operator(i) {
+                    continue;
+                }
+                let guarded = |idx: usize| {
+                    let name = &syntax.tokens[idx].text;
+                    tokens.iter().any(|g| g == name).then_some(idx)
+                };
+                // Compound assignments only read on the right; the left
+                // side of `+=` is a place expression, never a call.
+                let mut hit = bare
+                    .then(|| syntax.lhs_terminal_ident(i).and_then(guarded))
+                    .flatten();
+                if hit.is_none() {
+                    hit = rhs_operand_end(syntax, i + 1).and_then(guarded);
+                }
+                if let Some(idx) = hit {
+                    findings.push(RawFinding {
+                        line: t.line,
+                        col: t.col,
+                        rule: rule.id,
+                        message: format!(
+                            "raw `{op}` on the output of `.{}()`; keep the value \
+                             in `Nanos` (saturating_*/checked_*) or name the \
+                             unit conversion",
+                            syntax.tokens[idx].text
+                        ),
+                    });
+                }
+            }
+        }
         RuleKind::FloatAccum => {
             for (i, t) in syntax.tokens.iter().enumerate() {
                 if t.kind != TokKind::Ident {
@@ -568,6 +639,32 @@ pub fn scan(rule: &Rule, file: &SourceFile, syntax: &Syntax, tokens: &[String]) 
         RuleKind::CrateAttrs | RuleKind::Meta => {}
     }
     findings
+}
+
+/// The last method/field segment of the operand expression *starting* at
+/// token `start`, stepping over call and index argument groups — for
+/// `c.deadline.as_nanos().max(1)` this returns `max`'s token index. An
+/// operand that does not begin with an identifier, or that ends in an
+/// explicit `as` cast (a deliberate move into the raw integer domain),
+/// yields `None`.
+fn rhs_operand_end(syntax: &Syntax, start: usize) -> Option<usize> {
+    let mut j = start;
+    syntax.tokens.get(j).filter(|t| t.kind == TokKind::Ident)?;
+    let mut last = j;
+    loop {
+        match syntax.tokens.get(j + 1).map(|t| t.text.as_str()) {
+            Some(".") | Some("::") => match syntax.tokens.get(j + 2) {
+                Some(seg) if seg.kind == TokKind::Ident => {
+                    j += 2;
+                    last = j;
+                }
+                _ => return Some(last),
+            },
+            Some("(") | Some("[") => j = syntax.partner(j + 1)?,
+            Some("as") => return None,
+            _ => return Some(last),
+        }
+    }
 }
 
 /// Whether token `i` is a float-accumulation terminal: `.sum::<f64>()`,
@@ -748,6 +845,52 @@ mod tests {
         assert!(run(
             "unchecked-arith",
             "#[cfg(test)]\nmod tests {\n    fn f(s: &mut S) { s.interval += 1; }\n}\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn nanos_arith_flags_raw_ops_on_unwrapped_values() {
+        let hits = run(
+            "nanos-raw-arith",
+            "let slack = deadline.as_nanos() - elapsed;\n",
+        );
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("`-`") && hits[0].message.contains("as_nanos"));
+        // Guarded accessor on the right-hand side, through a field path.
+        assert_eq!(
+            run(
+                "nanos-raw-arith",
+                "let t = slots * self.deadline.as_nanos();\n"
+            )
+            .len(),
+            1
+        );
+        // Compound assignments feed from the right.
+        assert_eq!(run("nanos-raw-arith", "total += t.as_nanos();\n").len(), 1);
+        // One finding per operator even with guarded paths on both sides.
+        assert_eq!(
+            run("nanos-raw-arith", "let d = a.as_nanos() - b.as_nanos();\n").len(),
+            1
+        );
+    }
+
+    #[test]
+    fn nanos_arith_allows_checked_chains_casts_and_tests() {
+        // Chaining a checked method: the path no longer ends in the raw
+        // accessor.
+        assert!(run("nanos-raw-arith", "let q = t.as_nanos().checked_div(n);\n").is_empty());
+        assert!(run("nanos-raw-arith", "let m = 1 + t.as_nanos().max(1);\n").is_empty());
+        // An explicit cast marks deliberate raw-domain arithmetic.
+        assert!(run("nanos-raw-arith", "let w = t.as_nanos() as u128 + 1;\n").is_empty());
+        assert!(run("nanos-raw-arith", "let w = 1 + t.as_nanos() as u128;\n").is_empty());
+        // Nanos-domain arithmetic and unguarded accessors stay silent.
+        assert!(run("nanos-raw-arith", "let d = a.saturating_sub(b);\n").is_empty());
+        assert!(run("nanos-raw-arith", "let u = x.as_micros() / 2;\n").is_empty());
+        // Exempt in test code.
+        assert!(run(
+            "nanos-raw-arith",
+            "#[cfg(test)]\nmod tests {\n    fn f() { let x = t.as_nanos() % 4000; }\n}\n"
         )
         .is_empty());
     }

@@ -1,0 +1,22 @@
+//! Fixture: raw arithmetic on unwrapped `Nanos`-style durations
+//! (nanos-raw-arith).
+
+pub struct Dur(u64);
+
+impl Dur {
+    pub fn as_nanos(&self) -> u64 {
+        self.0
+    }
+}
+
+pub fn violations(deadline: &Dur, elapsed: &Dur, slots: u64, total: &mut u64) {
+    let _slack = deadline.as_nanos() - elapsed.as_nanos();
+    let _pad = slots * deadline.as_nanos();
+    *total += deadline.as_nanos();
+}
+
+pub fn fine(deadline: &Dur, budget: u64) -> u64 {
+    let _widened = deadline.as_nanos() as u128 + 1;
+    let _checked = deadline.as_nanos().checked_div(8);
+    budget.min(deadline.as_nanos())
+}

@@ -49,6 +49,9 @@ fn fixture_violations_are_found_exactly() {
         ("src/float_accum.rs", 17, "nondeterministic-iter"),
         ("src/float_accum.rs", 18, "nondeterministic-iter"),
         ("src/float_accum.rs", 22, "nondeterministic-iter"),
+        ("src/nanos_arith.rs", 13, "nanos-raw-arith"),
+        ("src/nanos_arith.rs", 14, "nanos-raw-arith"),
+        ("src/nanos_arith.rs", 15, "nanos-raw-arith"),
         ("src/nondet_iter.rs", 3, "nondeterministic-iter"),
         ("src/nondet_iter.rs", 6, "nondeterministic-iter"),
         ("src/nondet_iter.rs", 7, "nondeterministic-iter"),
@@ -150,6 +153,12 @@ fn syntactic_rule_columns_point_at_tokens() {
         at("src/scenario_boundary.rs", "scenario-boundary"),
         [(16, 5), (20, 5), (25, 5)]
     );
+    // `.as_nanos() - ` — `-` at col 38; `*` at 22; `+=` at 12 (the deref
+    // `*` on line 15 is not a binary operator and must not anchor).
+    assert_eq!(
+        at("src/nanos_arith.rs", "nanos-raw-arith"),
+        [(13, 38), (14, 22), (15, 12)]
+    );
 }
 
 fn run_binary(args: &[&str]) -> std::process::Output {
@@ -178,6 +187,7 @@ fn binary_reports_fixture_violations_with_exit_one() {
         "src/waiver_problems.rs:8:1: stale-waiver (warn)",
         "badcrate/src/lib.rs:1:1: missing-crate-attrs",
         "src/unchecked_arith.rs:10:16: unchecked-arith: unchecked `+=` on counter field `interval`",
+        "src/nanos_arith.rs:13:38: nanos-raw-arith: raw `-` on the output of `.as_nanos()`",
         "src/float_accum.rs:8:16: float-accum-unordered: float accumulation `.sum(..)`",
         "src/scenario_boundary.rs:16:5: scenario-boundary: `Network::builder()` bypasses",
     ] {
@@ -188,7 +198,7 @@ fn binary_reports_fixture_violations_with_exit_one() {
     }
     let stderr = String::from_utf8(out.stderr).expect("utf-8 stderr");
     assert!(
-        stderr.contains("33 error(s), 1 warning(s)"),
+        stderr.contains("36 error(s), 1 warning(s)"),
         "summary line: {stderr}"
     );
 }
@@ -226,8 +236,8 @@ fn binary_json_format_reports_findings() {
         !stdout.contains("src/panics.rs:5:15:"),
         "text output leaked into JSON mode:\n{stdout}"
     );
-    // Every finding made it across (33 errors + 1 warning).
-    assert_eq!(stdout.matches("\"path\"").count(), 34);
+    // Every finding made it across (36 errors + 1 warning).
+    assert_eq!(stdout.matches("\"path\"").count(), 37);
 }
 
 /// The real workspace is lint-clean: the binary exits 0 from the repo

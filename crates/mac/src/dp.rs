@@ -152,6 +152,13 @@ pub enum TraceEvent {
         /// The upper priority `C` of the exchanged pair.
         upper: usize,
     },
+    /// Degraded mode only ([`crate::FaultyDpEngine`]): the two sides of a
+    /// drawn pair committed inconsistent priority moves, so the local σ
+    /// views diverged. The pristine [`DpEngine`] never emits this.
+    Divergence {
+        /// The upper priority `C` of the diverging pair.
+        upper: usize,
+    },
 }
 
 /// Result of one DP interval: the generic [`IntervalOutcome`] plus the
@@ -739,7 +746,8 @@ impl DpEngine {
                     }
                     done[l] = true;
                 }
-                outcome.collisions += 1;
+                // The episode is counted once through `medium.stats()` at
+                // interval end (adding it here too would double-count).
                 t = tx.ends_at + slot;
             }
             first_boundary = false;

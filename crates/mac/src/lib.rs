@@ -13,6 +13,11 @@
 //!   from per-link priority indices, randomized adjacent-pair reordering
 //!   driven purely by coin flips and carrier sensing, empty priority-claim
 //!   packets, and the multi-pair generalization of Remark 6.
+//! * [`FaultyDpEngine`] — the degraded-mode DP path: the same protocol
+//!   executed over per-link priority *beliefs* with injected carrier-sensing
+//!   faults and link churn, modeled collisions instead of asserted
+//!   collision-freedom, and a self-stabilizing recovery rule that restores
+//!   the priority bijection.
 //! * [`FcsmaEngine`] — the discretized Fast-CSMA baseline of Li & Eryilmaz
 //!   as used in the paper's comparison: slotted random access whose
 //!   per-slot attempt probability is a quantized function of delivery debt,
@@ -45,6 +50,7 @@
 mod centralized;
 mod dcf;
 mod dp;
+mod faulty;
 mod fcsma;
 mod frame_csma;
 mod outcome;
@@ -55,6 +61,7 @@ mod timing;
 pub use centralized::CentralizedEngine;
 pub use dcf::{DcfConfig, DcfEngine};
 pub use dp::{DpConfig, DpEngine, DpIntervalReport, FrameKind, PairCoins, TraceEvent};
+pub use faulty::{FaultStats, FaultyDpEngine, RecoveryConfig};
 pub use fcsma::{FcsmaEngine, FcsmaQuantizer};
 pub use frame_csma::FrameCsmaEngine;
 pub use outcome::IntervalOutcome;

@@ -72,6 +72,12 @@ pub fn render(trace: &[TraceEvent], timing: &MacTiming, n_links: usize, columns:
             TraceEvent::SwapCommitted { upper } => {
                 notes.push(format!("  swap: priorities {upper} <-> {}", upper + 1));
             }
+            TraceEvent::Divergence { upper } => {
+                notes.push(format!(
+                    "  divergence: pair {upper}/{} committed inconsistently",
+                    upper + 1
+                ));
+            }
             TraceEvent::BackoffSet { .. } => {}
         }
     }

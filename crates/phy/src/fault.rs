@@ -1,0 +1,307 @@
+//! Fault injection for the carrier-sensing substrate.
+//!
+//! The DP protocol's collision-freedom argument assumes the sensing oracle
+//! of Eqs. 7–8 is exact and that every node stays up. This module provides
+//! the two deviations the robustness experiments inject:
+//!
+//! * [`FaultModel`] — a deterministic, seeded source of per-link sensing
+//!   errors: *false busy* (an idle boundary reads as occupied) and *false
+//!   idle* (an occupied boundary reads as clear), applied at the
+//!   carrier-sense instants where a MAC engine asks for them.
+//! * [`ChurnSchedule`] — a scripted crash/revive event: one link goes dark
+//!   for a window of intervals and rejoins with whatever priority state it
+//!   held before the crash (stale σ).
+//!
+//! Both are plain data plus an explicit RNG, so runs are bit-reproducible
+//! under the workspace's `SeedStream` discipline. [`FaultModel::none`]
+//! consumes **zero** random draws and never flips an observation — engines
+//! wired with it must behave exactly like their fault-free code paths.
+
+use rand::Rng;
+use rtmac_model::LinkId;
+use rtmac_sim::SimRng;
+
+/// A deterministic sensing-error process.
+///
+/// Each call to [`FaultModel::sense`] filters one carrier-sense observation:
+/// with probability `false_busy` an idle medium is reported busy, with
+/// probability `false_idle` a busy medium is reported idle. The model owns
+/// its RNG (seed it from a dedicated `SeedStream` label) so injected faults
+/// never perturb the protocol or channel randomness.
+///
+/// # Example
+///
+/// ```
+/// use rtmac_phy::fault::FaultModel;
+/// use rtmac_model::LinkId;
+/// use rtmac_sim::SeedStream;
+///
+/// let mut faults = FaultModel::symmetric(0.5, SeedStream::new(7).rng(3));
+/// let heard: Vec<bool> = (0..8).map(|_| faults.sense(LinkId::new(0), false)).collect();
+/// assert!(heard.contains(&true), "eps = 0.5 flips some observations");
+///
+/// let mut none = FaultModel::none();
+/// assert!(!none.sense(LinkId::new(0), false));
+/// assert_eq!(none.injected(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultModel {
+    false_busy: f64,
+    false_idle: f64,
+    rng: SimRng,
+    injected: u64,
+}
+
+impl FaultModel {
+    /// A sensing process with the given error rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rate is not a probability in `[0, 1)`.
+    #[must_use]
+    pub fn new(false_busy: f64, false_idle: f64, rng: SimRng) -> Self {
+        for (name, p) in [("false_busy", false_busy), ("false_idle", false_idle)] {
+            assert!(
+                p.is_finite() && (0.0..1.0).contains(&p),
+                "{name} = {p} must lie in [0, 1)"
+            );
+        }
+        FaultModel {
+            false_busy,
+            false_idle,
+            rng,
+            injected: 0,
+        }
+    }
+
+    /// Both error rates set to the same `eps` — the ε of the `fig_fault`
+    /// sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps` is not a probability in `[0, 1)`.
+    #[must_use]
+    pub fn symmetric(eps: f64, rng: SimRng) -> Self {
+        Self::new(eps, eps, rng)
+    }
+
+    /// The perfect-sensing model: never flips an observation and never
+    /// draws from its RNG, so engines carrying it stay bit-identical to
+    /// their fault-free code paths.
+    #[must_use]
+    pub fn none() -> Self {
+        use rand::SeedableRng;
+        Self::new(0.0, 0.0, SimRng::seed_from_u64(0))
+    }
+
+    /// Whether this model can ever flip an observation.
+    #[must_use]
+    pub fn is_none(&self) -> bool {
+        self.false_busy == 0.0 && self.false_idle == 0.0
+    }
+
+    /// The false-busy rate.
+    #[must_use]
+    pub fn false_busy(&self) -> f64 {
+        self.false_busy
+    }
+
+    /// The false-idle rate.
+    #[must_use]
+    pub fn false_idle(&self) -> f64 {
+        self.false_idle
+    }
+
+    /// Number of observations flipped so far.
+    #[must_use]
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Filters one carrier-sense observation for `link`: returns what the
+    /// link *hears* given that the medium is actually `actual_busy`.
+    ///
+    /// With both rates zero this returns `actual_busy` without consuming
+    /// any randomness. Otherwise it consumes exactly one draw per call —
+    /// regardless of the medium's actual state — so the fault stream stays
+    /// aligned across runs whose busy/idle patterns differ.
+    pub fn sense(&mut self, link: LinkId, actual_busy: bool) -> bool {
+        let _ = link; // rates are uniform today; the signature is per-link
+        if self.is_none() {
+            return actual_busy;
+        }
+        let flip_rate = if actual_busy {
+            self.false_idle
+        } else {
+            self.false_busy
+        };
+        let flip = self.rng.random_bool(flip_rate);
+        if flip {
+            self.injected = self.injected.saturating_add(1);
+            !actual_busy
+        } else {
+            actual_busy
+        }
+    }
+}
+
+/// A scripted crash/revive event: `link` is down (neither transmitting,
+/// sensing, nor updating priority state) for `down_intervals` intervals
+/// starting at interval `crash_at`, then rejoins with the priority state it
+/// held when it crashed.
+///
+/// # Example
+///
+/// ```
+/// use rtmac_phy::fault::ChurnSchedule;
+/// use rtmac_model::LinkId;
+///
+/// let churn = ChurnSchedule::new(LinkId::new(2), 100, 25);
+/// assert!(!churn.is_down(99));
+/// assert!(churn.is_down(100) && churn.is_down(124));
+/// assert!(!churn.is_down(125));
+/// assert_eq!(churn.revives_at(), 125);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnSchedule {
+    link: LinkId,
+    crash_at: u64,
+    down_intervals: u64,
+}
+
+impl ChurnSchedule {
+    /// A crash of `link` at interval `crash_at` lasting `down_intervals`
+    /// intervals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `down_intervals == 0` (a zero-length crash is a no-op the
+    /// caller almost certainly did not mean).
+    #[must_use]
+    pub fn new(link: LinkId, crash_at: u64, down_intervals: u64) -> Self {
+        assert!(
+            down_intervals > 0,
+            "a crash must last at least one interval"
+        );
+        ChurnSchedule {
+            link,
+            crash_at,
+            down_intervals,
+        }
+    }
+
+    /// The crashing link.
+    #[must_use]
+    pub fn link(&self) -> LinkId {
+        self.link
+    }
+
+    /// The interval at which the link goes down.
+    #[must_use]
+    pub fn crash_at(&self) -> u64 {
+        self.crash_at
+    }
+
+    /// The first interval at which the link is back up.
+    #[must_use]
+    pub fn revives_at(&self) -> u64 {
+        self.crash_at.saturating_add(self.down_intervals)
+    }
+
+    /// Whether the link is down during interval `interval`.
+    #[must_use]
+    pub fn is_down(&self, interval: u64) -> bool {
+        interval >= self.crash_at && interval < self.revives_at()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtmac_sim::SeedStream;
+
+    #[test]
+    fn none_is_transparent_and_drawless() {
+        let mut a = FaultModel::none();
+        let mut b = FaultModel::none();
+        for i in 0..100 {
+            let busy = i % 3 == 0;
+            assert_eq!(a.sense(LinkId::new(i % 4), busy), busy);
+        }
+        assert_eq!(a.injected(), 0);
+        assert!(a.is_none());
+        // The RNG was never touched: both models stay bit-equal.
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert!(!b.sense(LinkId::new(0), false));
+    }
+
+    #[test]
+    fn rates_bias_the_right_direction() {
+        // false_busy only: idle observations flip sometimes, busy never.
+        let mut m = FaultModel::new(0.5, 0.0, SeedStream::new(1).rng(0));
+        let mut idle_flips = 0;
+        for _ in 0..200 {
+            if m.sense(LinkId::new(0), false) {
+                idle_flips += 1;
+            }
+            assert!(
+                m.sense(LinkId::new(0), true),
+                "false_idle = 0 never flips busy"
+            );
+        }
+        assert!(
+            idle_flips > 50,
+            "eps = 0.5 must flip often, got {idle_flips}"
+        );
+        assert_eq!(m.injected(), idle_flips);
+    }
+
+    #[test]
+    fn fault_stream_is_reproducible() {
+        let run = || {
+            let mut m = FaultModel::symmetric(0.3, SeedStream::new(9).rng(3));
+            (0..64)
+                .map(|i| m.sense(LinkId::new(0), i % 2 == 0))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn draw_count_is_independent_of_medium_state() {
+        // Same seed, different busy/idle histories: the *number* of draws
+        // per call is constant, so the streams stay aligned.
+        let seq = |pattern: fn(usize) -> bool| {
+            let mut m = FaultModel::symmetric(0.25, SeedStream::new(4).rng(3));
+            for i in 0..32 {
+                let _ = m.sense(LinkId::new(0), pattern(i));
+            }
+            // Observable alignment: the next flip decision matches.
+            m.sense(LinkId::new(0), false)
+        };
+        // Both observations answer "does draw #33 flip an idle reading?".
+        assert_eq!(seq(|_| false), seq(|i| i % 2 == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in [0, 1)")]
+    fn rejects_rate_of_one() {
+        let _ = FaultModel::symmetric(1.0, SeedStream::new(0).rng(0));
+    }
+
+    #[test]
+    fn churn_window_is_half_open() {
+        let c = ChurnSchedule::new(LinkId::new(1), 10, 5);
+        assert_eq!(c.link(), LinkId::new(1));
+        assert_eq!(c.crash_at(), 10);
+        assert_eq!(c.revives_at(), 15);
+        let downs: Vec<u64> = (0..20).filter(|&k| c.is_down(k)).collect();
+        assert_eq!(downs, [10, 11, 12, 13, 14]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one interval")]
+    fn zero_length_crash_rejected() {
+        let _ = ChurnSchedule::new(LinkId::new(0), 5, 0);
+    }
+}

@@ -17,6 +17,10 @@
 //!   [`channel::Bernoulli`] success probability `p_n`, plus a
 //!   [`channel::GilbertElliott`] burst-loss extension used by the
 //!   robustness tests.
+//! * [`fault`] — deterministic fault injection: seeded false-busy /
+//!   false-idle carrier-sensing errors ([`fault::FaultModel`]) and scripted
+//!   link crash/revive churn ([`fault::ChurnSchedule`]) for the degraded-mode
+//!   DP experiments.
 //!
 //! # Example
 //!
@@ -31,6 +35,7 @@
 //! ```
 
 pub mod channel;
+pub mod fault;
 mod medium;
 mod profile;
 

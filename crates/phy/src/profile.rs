@@ -126,7 +126,7 @@ impl PhyProfile {
     /// tail (6) bits and the MAC-framed payload.
     #[must_use]
     fn frame_airtime(&self, payload: u32, mbps: u32) -> Nanos {
-        let bits_per_symbol = mbps as u64 * (self.symbol.as_nanos() / 1000);
+        let bits_per_symbol = mbps as u64 * self.symbol.as_micros();
         let bits = 16 + 6 + 8 * u64::from(self.mac_overhead_bytes + payload);
         let symbols = bits.div_ceil(bits_per_symbol);
         self.preamble + self.symbol * symbols
@@ -141,7 +141,7 @@ impl PhyProfile {
     /// Airtime of an ACK frame at the control rate.
     #[must_use]
     pub fn ack_airtime(&self) -> Nanos {
-        let bits_per_symbol = u64::from(self.control_rate_mbps) * (self.symbol.as_nanos() / 1000);
+        let bits_per_symbol = u64::from(self.control_rate_mbps) * self.symbol.as_micros();
         let bits = 16 + 6 + 8 * u64::from(self.ack_bytes);
         let symbols = bits.div_ceil(bits_per_symbol);
         self.preamble + self.symbol * symbols

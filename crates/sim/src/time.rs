@@ -82,6 +82,17 @@ impl Nanos {
         self.0
     }
 
+    /// This time in whole microseconds, truncating.
+    ///
+    /// ```
+    /// # use rtmac_sim::Nanos;
+    /// assert_eq!(Nanos::from_nanos(4_500).as_micros(), 4);
+    /// ```
+    #[must_use]
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
     /// This time expressed in (possibly fractional) microseconds.
     ///
     /// ```

@@ -30,17 +30,23 @@ pub enum Property {
     /// The engine's attempt/delivery counters agree with the channel's
     /// own log, and deliveries never exceed arrivals.
     ChannelConsistency,
+    /// Liveness of the reordering dynamics: every priority permutation is
+    /// reachable from every other through the enumerated swap transitions
+    /// (the σ transition graph is strongly connected). Checked globally
+    /// after the DFS completes, not per interval.
+    SigmaLiveness,
 }
 
 impl Property {
     /// Every property, in check order.
-    pub const ALL: [Property; 6] = [
+    pub const ALL: [Property; 7] = [
         Property::CollisionFreedom,
         Property::SigmaBijection,
         Property::SwapDiscipline,
         Property::EmptyClaim,
         Property::DebtRecursion,
         Property::ChannelConsistency,
+        Property::SigmaLiveness,
     ];
 
     /// The stable kebab-case id used in counterexample traces.
@@ -53,6 +59,7 @@ impl Property {
             Property::EmptyClaim => "empty-claim",
             Property::DebtRecursion => "debt-recursion",
             Property::ChannelConsistency => "channel-consistency",
+            Property::SigmaLiveness => "sigma-liveness",
         }
     }
 
@@ -205,6 +212,10 @@ pub fn check(
     let mut stack = vec![start];
     let patterns = arrival_patterns(n, cfg.a_max);
     let mut stats = CheckStats::default();
+    // σ transition edges (deduplicated), for the liveness check: the
+    // reverse adjacency list answers "which states step directly into v?".
+    let mut edge_seen = vec![false; nfact * nfact];
+    let mut rev_edges: Vec<Vec<usize>> = vec![Vec::new(); nfact];
 
     while let Some(rank) = stack.pop() {
         stats.sigma_states += 1;
@@ -263,6 +274,10 @@ pub fn check(
                             }
                         }
                         let after = subject.sigma().rank() as usize;
+                        if after != rank && !edge_seen[rank * nfact + after] {
+                            edge_seen[rank * nfact + after] = true;
+                            rev_edges[after].push(rank);
+                        }
                         if !visited[after] {
                             visited[after] = true;
                             pred[after] = Some((rank, this_step));
@@ -272,6 +287,51 @@ pub fn check(
                 }
             }
         }
+    }
+
+    // Liveness: identity reaches every permutation (forward DFS coverage)
+    // and every reached permutation can step back to identity (backward
+    // BFS over the reversed transition edges) — together, the σ transition
+    // graph is strongly connected, so every permutation is reachable from
+    // every other.
+    if let Some(unreached) = visited.iter().position(|&v| !v) {
+        return Err(Box::new(Counterexample {
+            property: Property::SigmaLiveness,
+            detail: format!(
+                "σ = {} is unreachable from the identity permutation under swap dynamics",
+                Permutation::from_rank(n, unreached as u64)
+            ),
+            n: cfg.n,
+            a_max: cfg.a_max,
+            payload_bytes: cfg.payload_bytes,
+            q: cfg.q,
+            steps: Vec::new(),
+        }));
+    }
+    let mut reaches_identity = vec![false; nfact];
+    reaches_identity[start] = true;
+    let mut queue = vec![start];
+    while let Some(v) = queue.pop() {
+        for &u in &rev_edges[v] {
+            if !reaches_identity[u] {
+                reaches_identity[u] = true;
+                queue.push(u);
+            }
+        }
+    }
+    if let Some(trapped) = reaches_identity.iter().position(|&r| !r) {
+        return Err(Box::new(Counterexample {
+            property: Property::SigmaLiveness,
+            detail: format!(
+                "σ = {} cannot return to the identity permutation under swap dynamics",
+                Permutation::from_rank(n, trapped as u64)
+            ),
+            n: cfg.n,
+            a_max: cfg.a_max,
+            payload_bytes: cfg.payload_bytes,
+            q: cfg.q,
+            steps: path_to(&pred, start, trapped),
+        }));
     }
     Ok(stats)
 }

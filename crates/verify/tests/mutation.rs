@@ -4,11 +4,13 @@
 //! (b) passes cleanly on the real engine.
 
 use rtmac_mac::{
-    DpConfig, DpEngine, DpIntervalReport, FrameKind, MacTiming, PairCoins, TraceEvent,
+    DpConfig, DpEngine, DpIntervalReport, FaultyDpEngine, FrameKind, MacTiming, PairCoins,
+    RecoveryConfig, TraceEvent,
 };
 use rtmac_model::{AdjacentTransposition, Permutation};
-use rtmac_phy::channel::LossModel;
-use rtmac_sim::SimRng;
+use rtmac_phy::channel::{Bernoulli, LossModel};
+use rtmac_phy::PhyProfile;
+use rtmac_sim::{Nanos, SeedStream, SimRng};
 use rtmac_verify::{check, replay, CheckConfig, Counterexample, EngineSubject, Property, Subject};
 
 /// The seeded faults.
@@ -164,6 +166,101 @@ fn convict(fault: Fault) {
     // mutant, not the protocol.
     let mut clean = EngineSubject::new(cfg.timing(), cfg.n);
     replay(&mut clean, &decoded).expect("the real engine must pass the trace");
+}
+
+/// A subject whose reordering is dead: it commits no swaps and pins σ to
+/// whatever the checker set. Every per-interval safety property still
+/// holds (σ changes by exactly the committed swaps — none), so only the
+/// global sigma-liveness check can convict it.
+#[derive(Debug)]
+struct FrozenSigmaSubject {
+    engine: DpEngine,
+}
+
+impl Subject for FrozenSigmaSubject {
+    fn n_links(&self) -> usize {
+        self.engine.n_links()
+    }
+
+    fn sigma(&self) -> &Permutation {
+        self.engine.sigma()
+    }
+
+    fn set_sigma(&mut self, sigma: Permutation) {
+        self.engine.set_sigma(sigma);
+    }
+
+    fn run_interval(
+        &mut self,
+        arrivals: &[u32],
+        candidates: &[usize],
+        coins: &[PairCoins],
+        channel: &mut dyn LossModel,
+        rng: &mut SimRng,
+    ) -> DpIntervalReport {
+        let before = self.engine.sigma().clone();
+        let mut report = self
+            .engine
+            .run_interval_with_coins(arrivals, candidates, coins, channel, rng);
+        report.swaps.clear();
+        self.engine.set_sigma(before);
+        report
+    }
+}
+
+#[test]
+fn frozen_sigma_breaks_liveness() {
+    let cfg = CheckConfig::new(2, 1);
+    let mut subject = FrozenSigmaSubject {
+        engine: DpEngine::new(DpConfig::new(cfg.timing()).with_trace(true), cfg.n),
+    };
+    let ce = check(&mut subject, &cfg).expect_err("a frozen σ must be convicted");
+    assert_eq!(ce.property, Property::SigmaLiveness, "{}", ce.detail);
+    assert!(
+        ce.detail.contains("unreachable"),
+        "only the identity ordering is reachable: {}",
+        ce.detail
+    );
+    // Liveness counterexamples have no failing step (the violation is the
+    // absence of transitions) but still round-trip through the text format.
+    assert!(ce.steps.is_empty());
+    let decoded = Counterexample::decode(&ce.encode()).expect("trace must parse back");
+    assert_eq!(decoded, *ce);
+    // The real engine's reordering is live under the same configuration.
+    let mut clean = EngineSubject::new(cfg.timing(), cfg.n);
+    check(&mut clean, &cfg).expect("the real engine reaches every ordering");
+}
+
+/// The recovery mutant of the degraded engine: a link that never falls
+/// back to the lowest priority. Conviction is behavioral — from a
+/// corrupted (non-bijective) belief multiset, the self-stabilizing rule
+/// must restore a bijection while the mutant provably never does.
+#[test]
+fn recovery_mutant_that_never_falls_back_is_convicted() {
+    let timing = MacTiming::new(PhyProfile::ieee80211a(), Nanos::from_millis(2), 100);
+    let reconverged_at = |recovery: RecoveryConfig| -> Option<usize> {
+        let mut engine =
+            FaultyDpEngine::new(DpConfig::new(timing.clone()), 2).with_recovery(recovery);
+        engine.set_beliefs(vec![1, 1]); // duplicate priority beliefs
+        let mut channel = Bernoulli::reliable(2);
+        let mut rng = SeedStream::new(7).rng(0);
+        for k in 0..400 {
+            engine.run_interval(&[1, 1], &[0.5, 0.5], &mut channel, &mut rng);
+            if engine.is_bijective() {
+                return Some(k);
+            }
+        }
+        None
+    };
+    assert!(
+        reconverged_at(RecoveryConfig::new()).is_some(),
+        "self-stabilization must heal the duplicate"
+    );
+    assert_eq!(
+        reconverged_at(RecoveryConfig::disabled()),
+        None,
+        "with fallback disabled the duplicate must persist forever"
+    );
 }
 
 #[test]

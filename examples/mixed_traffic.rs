@@ -40,6 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed: 5,
         replications: 1,
         track: None,
+        fault: None,
     };
 
     // Per-link payload sizes are the one knob the declarative scenario

@@ -30,6 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed: 7,
         replications: 1,
         track: None,
+        fault: None,
     };
     let mut network = scenario.network()?;
 

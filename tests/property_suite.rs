@@ -52,6 +52,7 @@ proptest! {
             seed,
             replications: 1,
             track: None,
+            fault: None,
         };
         let mut net = sc.network().unwrap();
         let report = net.run(intervals);

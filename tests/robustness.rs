@@ -131,6 +131,7 @@ fn extreme_parameters_smoke() {
         seed: 43,
         replications: 1,
         track: None,
+        fault: None,
     }
     .run()
     .unwrap();

@@ -10,8 +10,9 @@
 //! stateful [`Network`] (and its boxed policy) is instantiated exactly once
 //! per run by [`Scenario::network`].
 //!
-//! The registry at the bottom names the paper's workloads ([`video20`],
-//! [`control10`], [`asym`], [`tiny`]) and defines each figure's sweep as a
+//! The registry at the bottom names the paper's workloads (`video20` and
+//! `control10` via [`video`] and [`control`], plus [`asym`] and [`tiny`])
+//! and defines each figure's sweep as a
 //! base `Scenario` plus an [`Axis`] ([`fig3`].. [`fig10`]), so the bench
 //! harness, the CLI's `--scenario` flag, and the docs all speak the same
 //! vocabulary.

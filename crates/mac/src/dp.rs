@@ -313,27 +313,7 @@ impl DpEngine {
     /// `{1, …, N−1}` (Step 1 / Remark 6). With one pair this is exactly the
     /// uniform draw of Algorithm 2.
     fn draw_candidates(&self, rng: &mut SimRng) -> Vec<usize> {
-        let n = self.sigma.len();
-        let want = self.config.swap_pairs.min(n / 2);
-        if n < 2 || want == 0 {
-            return Vec::new();
-        }
-        if want == 1 {
-            return vec![rng.random_range(1..n)];
-        }
-        // Rejection-sample a uniformly random set of `want` non-adjacent
-        // values from 1..=n-1 (non-adjacent: |C_i − C_j| ≥ 2 so the pairs
-        // {C, C+1} are disjoint).
-        let mut pool: Vec<usize> = (1..n).collect();
-        let mut picked = vec![0usize; want];
-        loop {
-            pool.shuffle(rng);
-            picked.copy_from_slice(&pool[..want]);
-            picked.sort_unstable();
-            if picked.windows(2).all(|w| w[1] - w[0] >= 2) {
-                return picked;
-            }
-        }
+        draw_nonadjacent_candidates(self.sigma.len(), self.config.swap_pairs, rng)
     }
 
     /// Runs one interval of the DP protocol (Steps 1–7 of Algorithm 2).
@@ -820,6 +800,55 @@ impl DpEngine {
             trace,
         }
     }
+}
+
+/// Draws `want` pairwise non-adjacent upper priorities `C` uniformly at
+/// random from `{1, …, N−1}` (Step 1 of Algorithm 2 / Remark 6).
+///
+/// Non-adjacent means `|C_i − C_j| ≥ 2`, so the swap pairs `{C, C+1}` are
+/// disjoint; the result is sorted ascending. `want` is clamped to `⌊n/2⌋`
+/// (the maximum number of disjoint adjacent pairs), and the draw is empty
+/// when `n < 2` or `want == 0`. This is the same sampler
+/// [`DpEngine::run_interval`] uses internally for its shared candidate
+/// draw; the statistical model checker (`crates/verify`) calls it directly
+/// to sample the candidate-*set* dimension of a trajectory.
+///
+/// # Example
+///
+/// ```
+/// use rtmac_mac::draw_nonadjacent_candidates;
+/// use rtmac_sim::SeedStream;
+///
+/// let mut rng = SeedStream::new(7).rng(0);
+/// let set = draw_nonadjacent_candidates(6, 2, &mut rng);
+/// assert_eq!(set.len(), 2);
+/// assert!(set.windows(2).all(|w| w[1] - w[0] >= 2));
+/// assert!(set.iter().all(|&c| (1..6).contains(&c)));
+/// ```
+#[must_use]
+pub fn draw_nonadjacent_candidates(n: usize, want: usize, rng: &mut SimRng) -> Vec<usize> {
+    let want = want.min(n / 2);
+    if n < 2 || want == 0 {
+        return Vec::new();
+    }
+    if want == 1 {
+        return vec![rng.random_range(1..n)];
+    }
+    // Stars-and-bars bijection: sorted non-adjacent `want`-sets of
+    // {1..n−1} correspond one-to-one to plain `want`-subsets of
+    // {1..n−want} via x_i = y_i + (i − 1), so drawing a uniform subset
+    // and shifting yields an exactly uniform non-adjacent set in O(n).
+    // (Rejection sampling degenerates near the maximum packing: at
+    // n = 20, want = 10 only one of the C(19,10) = 92378 subsets is
+    // non-adjacent.)
+    let mut pool: Vec<usize> = (1..=n - want).collect();
+    pool.shuffle(rng);
+    let mut picked = pool[..want].to_vec();
+    picked.sort_unstable();
+    for (i, x) in picked.iter_mut().enumerate() {
+        *x += i;
+    }
+    picked
 }
 
 #[cfg(test)]

@@ -34,7 +34,6 @@
 //! so the interval reports are byte-identical — a property pinned by
 //! proptest here and by the fig3/fig9 goldens end-to-end.
 
-use rand::seq::SliceRandom;
 use rand::Rng;
 use rtmac_model::{AdjacentTransposition, LinkId, Permutation};
 use rtmac_phy::channel::LossModel;
@@ -389,24 +388,7 @@ impl FaultyDpEngine {
     /// kept draw-for-draw identical so the zero-fault paths replay the
     /// pristine randomness exactly.
     fn draw_candidates(&self, rng: &mut SimRng) -> Vec<usize> {
-        let n = self.beliefs.len();
-        let want = self.config.swap_pairs().min(n / 2);
-        if n < 2 || want == 0 {
-            return Vec::new();
-        }
-        if want == 1 {
-            return vec![rng.random_range(1..n)];
-        }
-        let mut pool: Vec<usize> = (1..n).collect();
-        let mut picked = vec![0usize; want];
-        loop {
-            pool.shuffle(rng);
-            picked.copy_from_slice(&pool[..want]);
-            picked.sort_unstable();
-            if picked.windows(2).all(|w| w[1] - w[0] >= 2) {
-                return picked;
-            }
-        }
+        crate::draw_nonadjacent_candidates(self.beliefs.len(), self.config.swap_pairs(), rng)
     }
 
     /// Runs one degraded-mode interval. Arguments as in

@@ -60,7 +60,10 @@ mod timing;
 
 pub use centralized::CentralizedEngine;
 pub use dcf::{DcfConfig, DcfEngine};
-pub use dp::{DpConfig, DpEngine, DpIntervalReport, FrameKind, PairCoins, TraceEvent};
+pub use dp::{
+    draw_nonadjacent_candidates, DpConfig, DpEngine, DpIntervalReport, FrameKind, PairCoins,
+    TraceEvent,
+};
 pub use faulty::{FaultStats, FaultyDpEngine, RecoveryConfig};
 pub use fcsma::{FcsmaEngine, FcsmaQuantizer};
 pub use frame_csma::FrameCsmaEngine;

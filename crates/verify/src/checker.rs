@@ -139,18 +139,47 @@ impl CheckConfig {
     }
 }
 
+/// One entry of a verification suite: a bounded configuration plus the
+/// exploration mode (plain DFS over all `N!` states, or the
+/// symmetry-reduced quotient DFS of [`crate::check_with_symmetry`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteEntry {
+    /// The bounded configuration.
+    pub cfg: CheckConfig,
+    /// Quotient the σ-DFS by full link relabeling (all links equivalent).
+    pub symmetric: bool,
+}
+
 /// The quick CI gate: exhaustive N = 2 and N = 3 with up to two arrivals
 /// per link.
 #[must_use]
-pub fn quick_suite() -> Vec<CheckConfig> {
-    vec![CheckConfig::new(2, 2), CheckConfig::new(3, 2)]
+pub fn quick_suite() -> Vec<SuiteEntry> {
+    vec![
+        SuiteEntry {
+            cfg: CheckConfig::new(2, 2),
+            symmetric: false,
+        },
+        SuiteEntry {
+            cfg: CheckConfig::new(3, 2),
+            symmetric: false,
+        },
+    ]
 }
 
-/// The full suite: quick plus exhaustive N = 4 with 0/1 arrivals.
+/// The full suite: quick plus exhaustive N = 4 with 0/1 arrivals, plus
+/// symmetry-reduced N = 5 (quotiented by link relabeling — see
+/// [`crate::check_with_symmetry`]).
 #[must_use]
-pub fn full_suite() -> Vec<CheckConfig> {
+pub fn full_suite() -> Vec<SuiteEntry> {
     let mut suite = quick_suite();
-    suite.push(CheckConfig::new(4, 1));
+    suite.push(SuiteEntry {
+        cfg: CheckConfig::new(4, 1),
+        symmetric: false,
+    });
+    suite.push(SuiteEntry {
+        cfg: CheckConfig::new(5, 1),
+        symmetric: true,
+    });
     suite
 }
 
@@ -172,6 +201,95 @@ pub(crate) struct StepInput<'a> {
     pub arrivals: &'a [u32],
     pub candidates: &'a [usize],
     pub coins: &'a [PairCoins],
+}
+
+/// The precomputed per-interval decision tables a bounded configuration
+/// enumerates from every σ state: all arrival patterns, all non-adjacent
+/// candidate sets, and (per set size) all coin vectors.
+pub(crate) struct TransitionTables {
+    pub patterns: Vec<Vec<u32>>,
+    pub cand_sets: Vec<Vec<usize>>,
+    /// `coin_tables[k]` holds every ξ vector for a k-pair candidate set.
+    pub coin_tables: Vec<Vec<Vec<PairCoins>>>,
+}
+
+impl TransitionTables {
+    pub(crate) fn new(cfg: &CheckConfig) -> Self {
+        let cand_sets = nonadjacent_candidate_sets(cfg.n);
+        let max_pairs = cand_sets.iter().map(Vec::len).max().unwrap_or(0);
+        TransitionTables {
+            patterns: arrival_patterns(cfg.n, cfg.a_max),
+            cand_sets,
+            coin_tables: (0..=max_pairs).map(coin_vectors).collect(),
+        }
+    }
+}
+
+/// Enumerates every interval transition out of `sigma` — all arrival
+/// patterns × non-adjacent candidate sets × coin vectors × per-attempt
+/// channel outcomes — checking every per-interval [`Property`] on each,
+/// and hands `(step, σ_after)` to `on_transition` for successor
+/// bookkeeping. Shared by the plain DFS ([`check`]) and the
+/// symmetry-reduced DFS ([`crate::check_with_symmetry`]).
+///
+/// On a violation, returns the failing step together with the violated
+/// property and its detail; the caller prepends its own path to the
+/// starting state.
+pub(crate) fn explore_from(
+    subject: &mut dyn Subject,
+    cfg: &CheckConfig,
+    timing: &MacTiming,
+    sigma: &Permutation,
+    tables: &TransitionTables,
+    stats: &mut CheckStats,
+    on_transition: &mut dyn FnMut(&Step, &Permutation),
+) -> Result<(), Box<(Step, Property, String)>> {
+    for arrivals in &tables.patterns {
+        for candidates in &tables.cand_sets {
+            for coin_vec in &tables.coin_tables[candidates.len()] {
+                // Channel DFS: the all-success run reveals how many
+                // attempts the interval makes; each defaulted success
+                // is branched to a failure prefix and re-run.
+                let mut prefixes: Vec<Vec<bool>> = vec![Vec::new()];
+                while let Some(prefix) = prefixes.pop() {
+                    let prefix_len = prefix.len();
+                    let input = StepInput {
+                        sigma_before: sigma,
+                        arrivals,
+                        candidates,
+                        coins: coin_vec,
+                    };
+                    let (bits, verdict) = run_checked_step(subject, cfg, timing, &input, prefix);
+                    assert!(
+                        bits.len() <= 63,
+                        "channel bit budget exceeded ({} bits)",
+                        bits.len()
+                    );
+                    stats.transitions += 1;
+                    stats.max_channel_bits = stats.max_channel_bits.max(bits.len());
+                    let this_step = Step {
+                        sigma_before: sigma.priorities().to_vec(),
+                        arrivals: arrivals.clone(),
+                        candidates: candidates.clone(),
+                        coins: coin_vec.clone(),
+                        bits: bits.clone(),
+                    };
+                    if let Err((property, detail)) = verdict {
+                        return Err(Box::new((this_step, property, detail)));
+                    }
+                    for i in prefix_len..bits.len() {
+                        if bits[i] {
+                            let mut next = bits[..i].to_vec();
+                            next.push(false);
+                            prefixes.push(next);
+                        }
+                    }
+                    on_transition(&this_step, subject.sigma());
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Exhaustively checks every reachable interval of `subject` under `cfg`.
@@ -210,7 +328,7 @@ pub fn check(
     let start = Permutation::identity(n).rank() as usize;
     visited[start] = true;
     let mut stack = vec![start];
-    let patterns = arrival_patterns(n, cfg.a_max);
+    let tables = TransitionTables::new(cfg);
     let mut stats = CheckStats::default();
     // σ transition edges (deduplicated), for the liveness check: the
     // reverse adjacency list answers "which states step directly into v?".
@@ -220,72 +338,40 @@ pub fn check(
     while let Some(rank) = stack.pop() {
         stats.sigma_states += 1;
         let sigma = Permutation::from_rank(n, rank as u64);
-        for arrivals in &patterns {
-            for c in 1..n {
-                let candidates = [c];
-                for coins in coin_combos() {
-                    let coin_vec = [coins];
-                    // Channel DFS: the all-success run reveals how many
-                    // attempts the interval makes; each defaulted success
-                    // is branched to a failure prefix and re-run.
-                    let mut prefixes: Vec<Vec<bool>> = vec![Vec::new()];
-                    while let Some(prefix) = prefixes.pop() {
-                        let prefix_len = prefix.len();
-                        let input = StepInput {
-                            sigma_before: &sigma,
-                            arrivals,
-                            candidates: &candidates,
-                            coins: &coin_vec,
-                        };
-                        let (bits, verdict) =
-                            run_checked_step(subject, cfg, &timing, &input, prefix);
-                        assert!(
-                            bits.len() <= 63,
-                            "channel bit budget exceeded ({} bits)",
-                            bits.len()
-                        );
-                        stats.transitions += 1;
-                        stats.max_channel_bits = stats.max_channel_bits.max(bits.len());
-                        let this_step = Step {
-                            sigma_before: sigma.priorities().to_vec(),
-                            arrivals: arrivals.clone(),
-                            candidates: candidates.to_vec(),
-                            coins: coin_vec.to_vec(),
-                            bits: bits.clone(),
-                        };
-                        if let Err((property, detail)) = verdict {
-                            let mut steps = path_to(&pred, start, rank);
-                            steps.push(this_step);
-                            return Err(Box::new(Counterexample {
-                                property,
-                                detail,
-                                n: cfg.n,
-                                a_max: cfg.a_max,
-                                payload_bytes: cfg.payload_bytes,
-                                q: cfg.q,
-                                steps,
-                            }));
-                        }
-                        for i in prefix_len..bits.len() {
-                            if bits[i] {
-                                let mut next = bits[..i].to_vec();
-                                next.push(false);
-                                prefixes.push(next);
-                            }
-                        }
-                        let after = subject.sigma().rank() as usize;
-                        if after != rank && !edge_seen[rank * nfact + after] {
-                            edge_seen[rank * nfact + after] = true;
-                            rev_edges[after].push(rank);
-                        }
-                        if !visited[after] {
-                            visited[after] = true;
-                            pred[after] = Some((rank, this_step));
-                            stack.push(after);
-                        }
-                    }
+        let explored = explore_from(
+            subject,
+            cfg,
+            &timing,
+            &sigma,
+            &tables,
+            &mut stats,
+            &mut |step, sigma_after| {
+                let after = sigma_after.rank() as usize;
+                if after != rank && !edge_seen[rank * nfact + after] {
+                    edge_seen[rank * nfact + after] = true;
+                    rev_edges[after].push(rank);
                 }
-            }
+                if !visited[after] {
+                    visited[after] = true;
+                    pred[after] = Some((rank, step.clone()));
+                    stack.push(after);
+                }
+            },
+        );
+        if let Err(found) = explored {
+            let (step, property, detail) = *found;
+            let mut steps = path_to(&pred, start, rank);
+            steps.push(step);
+            return Err(Box::new(Counterexample {
+                property,
+                detail,
+                n: cfg.n,
+                a_max: cfg.a_max,
+                payload_bytes: cfg.payload_bytes,
+                q: cfg.q,
+                seed: None,
+                steps,
+            }));
         }
     }
 
@@ -305,6 +391,7 @@ pub fn check(
             a_max: cfg.a_max,
             payload_bytes: cfg.payload_bytes,
             q: cfg.q,
+            seed: None,
             steps: Vec::new(),
         }));
     }
@@ -330,6 +417,7 @@ pub fn check(
             a_max: cfg.a_max,
             payload_bytes: cfg.payload_bytes,
             q: cfg.q,
+            seed: None,
             steps: path_to(&pred, start, trapped),
         }));
     }
@@ -592,7 +680,7 @@ fn check_properties(
 
 /// Reconstructs the interval steps from the identity permutation to the
 /// permutation at `rank`, following the DFS predecessor tree.
-fn path_to(pred: &[Option<(usize, Step)>], start: usize, mut rank: usize) -> Vec<Step> {
+pub(crate) fn path_to(pred: &[Option<(usize, Step)>], start: usize, mut rank: usize) -> Vec<Step> {
     let mut reversed = Vec::new();
     while rank != start {
         // Every visited non-start rank has a predecessor by construction.
@@ -623,30 +711,40 @@ fn arrival_patterns(n: usize, a_max: u32) -> Vec<Vec<u32>> {
     patterns
 }
 
-/// The four ξ outcomes of one candidate pair.
-fn coin_combos() -> [PairCoins; 4] {
-    [
-        PairCoins {
-            hi_up: true,
-            lo_up: true,
-        },
-        PairCoins {
-            hi_up: true,
-            lo_up: false,
-        },
-        PairCoins {
-            hi_up: false,
-            lo_up: true,
-        },
-        PairCoins {
-            hi_up: false,
-            lo_up: false,
-        },
-    ]
+/// Every non-empty sorted candidate set over the upper priorities `1..n`
+/// whose members are pairwise non-adjacent (gap ≥ 2) — exactly the sets
+/// the engine's multi-pair draw can produce.
+pub(crate) fn nonadjacent_candidate_sets(n: usize) -> Vec<Vec<usize>> {
+    fn extend(sets: &mut Vec<Vec<usize>>, current: &mut Vec<usize>, n: usize, min: usize) {
+        for c in min..n {
+            current.push(c);
+            sets.push(current.clone());
+            extend(sets, current, n, c + 2);
+            current.pop();
+        }
+    }
+    let mut sets = Vec::new();
+    extend(&mut sets, &mut Vec::new(), n, 1);
+    sets
 }
 
-/// `n!` as a `u64` (the checker caps `n` at 6).
-fn factorial(n: usize) -> u64 {
+/// All `4^k` coin vectors for a `k`-pair candidate set, in bitmask order.
+pub(crate) fn coin_vectors(k: usize) -> Vec<Vec<PairCoins>> {
+    (0..1u64 << (2 * k))
+        .map(|mask| {
+            (0..k)
+                .map(|i| PairCoins {
+                    hi_up: mask >> (2 * i) & 1 == 1,
+                    lo_up: mask >> (2 * i + 1) & 1 == 1,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// `n!` as a `u64` (exact for `n ≤ 20`, the cap shared with
+/// [`Permutation::rank`]).
+pub(crate) fn factorial(n: usize) -> u64 {
     (1..=n as u64).product()
 }
 
@@ -664,6 +762,23 @@ mod tests {
         let mut unique = p.clone();
         unique.dedup();
         assert_eq!(unique.len(), 27);
+    }
+
+    #[test]
+    fn candidate_sets_are_nonadjacent_and_complete() {
+        // n = 5: singles {1},{2},{3},{4} plus pairs {1,3},{1,4},{2,4}.
+        let sets = nonadjacent_candidate_sets(5);
+        assert_eq!(sets.len(), 7);
+        for s in &sets {
+            assert!(!s.is_empty());
+            assert!(s.windows(2).all(|w| w[1] - w[0] >= 2), "adjacent in {s:?}");
+            assert!(s.iter().all(|&c| (1..5).contains(&c)));
+        }
+        // n = 2 and n = 3 admit only single pairs, so the multi-set
+        // generalization leaves the quick suite's enumeration unchanged.
+        assert!(nonadjacent_candidate_sets(3).iter().all(|s| s.len() == 1));
+        assert_eq!(coin_vectors(0), vec![Vec::new()]);
+        assert_eq!(coin_vectors(2).len(), 16);
     }
 
     #[test]

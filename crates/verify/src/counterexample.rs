@@ -48,6 +48,9 @@ pub struct Counterexample {
     pub payload_bytes: u32,
     /// Uniform debt requirement.
     pub q: f64,
+    /// The SMC seed that produced this trace, when the statistical
+    /// explorer found it (`None` for exhaustive traces).
+    pub seed: Option<u64>,
     /// The interval steps; the last one exhibits the violation.
     pub steps: Vec<Step>,
 }
@@ -78,6 +81,9 @@ impl Counterexample {
         out.push_str(&format!("a_max = {}\n", self.a_max));
         out.push_str(&format!("payload = {}\n", self.payload_bytes));
         out.push_str(&format!("q = {}\n", self.q));
+        if let Some(seed) = self.seed {
+            out.push_str(&format!("seed = {seed}\n"));
+        }
         for step in &self.steps {
             out.push_str(&format!(
                 "step sigma={} arrivals={} candidates={} coins={} bits={}\n",
@@ -108,6 +114,7 @@ impl Counterexample {
         let mut a_max = None;
         let mut payload = None;
         let mut q = None;
+        let mut seed = None;
         let mut steps = Vec::new();
         for line in lines {
             if let Some(rest) = line.strip_prefix("step ") {
@@ -131,6 +138,7 @@ impl Counterexample {
                         }
                         q = Some(v);
                     }
+                    "seed" => seed = Some(parse_num::<u64>("seed", value)?),
                     other => return Err(format!("unknown key {other:?}")),
                 }
             } else {
@@ -144,6 +152,7 @@ impl Counterexample {
             a_max: a_max.ok_or("missing a_max line")?,
             payload_bytes: payload.ok_or("missing payload line")?,
             q: q.ok_or("missing q line")?,
+            seed,
             steps,
         })
     }
@@ -325,6 +334,7 @@ mod tests {
             a_max: 2,
             payload_bytes: 100,
             q: 0.7,
+            seed: Some(2018),
             steps: vec![
                 Step {
                     sigma_before: vec![1, 2, 3],
@@ -356,6 +366,7 @@ mod tests {
         let text = ce.encode();
         assert!(text.contains("property = swap-discipline"));
         assert!(text.contains("detail = example with newline"));
+        assert!(text.contains("seed = 2018"));
         assert!(
             text.contains("step sigma=[1,2,3] arrivals=[0,2,1] candidates=[1] coins=+- bits=101")
         );

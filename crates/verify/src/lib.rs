@@ -28,15 +28,36 @@
 //! `crates/verify/tests` replays them against both the real engine and
 //! intentionally faulty mutants.
 //!
+//! Exhaustive enumeration stops being tractable around N = 4, so the
+//! crate scales past it along two axes:
+//!
+//! * **Symmetry reduction** ([`check_with_symmetry`]): the engine treats
+//!   equally-provisioned links interchangeably, so the σ-DFS is
+//!   quotiented by link relabeling and only one canonical representative
+//!   per orbit is explored — on a homogeneous network all `N!` states
+//!   collapse into a single orbit, which carries the full suite to N = 5.
+//! * **Statistical model checking** ([`smc()`]): a seeded Monte-Carlo
+//!   explorer samples full decision trajectories at N ∈ {10, 20} on the
+//!   `rtmac` core crate's worker pool and reports exact Clopper–Pearson
+//!   confidence bounds ([`clopper_pearson`]) per property, with the same
+//!   replayable counterexample traces on violation.
+//!
 //! The `rtmac-verify` binary wires this into CI (`--quick` gates every
-//! push next to `rtmac-lint`).
+//! push next to `rtmac-lint`; an `smc` smoke run guards the statistical
+//! path).
 
 pub mod channel;
 pub mod checker;
 pub mod counterexample;
+pub mod smc;
 pub mod subject;
+pub mod symmetry;
 
 pub use channel::BitScript;
-pub use checker::{check, full_suite, quick_suite, CheckConfig, CheckStats, Property};
+pub use checker::{check, full_suite, quick_suite, CheckConfig, CheckStats, Property, SuiteEntry};
 pub use counterexample::{replay, Counterexample, Step};
+pub use smc::{
+    clopper_pearson, smc, LivenessProbe, PropertyBound, SmcConfig, SmcReport, LIVENESS_MIN_DRAWS,
+};
 pub use subject::{EngineSubject, Subject};
+pub use symmetry::{check_with_symmetry, LinkClasses};

@@ -1,7 +1,9 @@
-//! `rtmac-verify`: bounded exhaustive model checking of the DP engine.
+//! `rtmac-verify`: bounded exhaustive and statistical model checking of
+//! the DP engine.
 //!
 //! ```text
-//! rtmac-verify [--quick | --full]   run a verification suite (default: full)
+//! rtmac-verify [--quick | --full]   run an exhaustive suite (default: full)
+//! rtmac-verify smc [FLAGS]          statistical model checking at large N
 //! rtmac-verify --replay FILE        re-run a recorded counterexample trace
 //! ```
 //!
@@ -11,7 +13,11 @@
 
 use std::io::Write as _;
 
-use rtmac_verify::{check, full_suite, quick_suite, replay, Counterexample, EngineSubject};
+use rtmac::runner::Runner;
+use rtmac_verify::{
+    check, check_with_symmetry, full_suite, quick_suite, replay, smc, Counterexample,
+    EngineSubject, LinkClasses, SmcConfig, SuiteEntry,
+};
 
 /// Writes to stdout, ignoring a closed pipe (e.g. `rtmac-verify | head`).
 macro_rules! outln {
@@ -19,6 +25,32 @@ macro_rules! outln {
         let _ = writeln!(std::io::stdout(), $($arg)*);
     };
 }
+
+const HELP: &str = "\
+rtmac-verify — model checking of the DP protocol's safety invariants
+
+usage:
+  rtmac-verify [--quick | --full]   exhaustive suite (default: --full)
+  rtmac-verify smc [FLAGS]          statistical model checking at large N
+  rtmac-verify --replay FILE        re-run a recorded counterexample trace
+
+exhaustive modes:
+  --quick    N = 2 and N = 3, A_max = 2 (the CI gate)
+  --full     quick plus N = 4 (A_max = 1) and symmetry-reduced N = 5
+
+smc flags (seeded Monte-Carlo over full decision trajectories):
+  --links N         number of links, 2..=20          [default: 10]
+  --samples K       trajectories to sample           [default: 100000]
+  --confidence C    Clopper-Pearson level in (0,1)   [default: 0.99]
+  --seed S          root seed (sample i uses substream i) [default: 2018]
+  --depth D         intervals per trajectory         [default: 4]
+  --a-max A         per-link arrival bound           [default: 2]
+  --trace FILE      also write a violating trace to FILE
+  --workers W       worker threads                   [default: all cores]
+
+Violations print a replayable counterexample trace on stdout; feed it
+back with --replay to reproduce. Exit codes: 0 clean, 1 violation,
+2 usage or I/O error.";
 
 fn main() {
     std::process::exit(run(std::env::args().skip(1).collect()));
@@ -31,6 +63,15 @@ fn run(args: Vec<String>) -> i32 {
         match arg.as_str() {
             "--quick" => mode = Mode::Quick,
             "--full" => mode = Mode::Full,
+            "smc" => {
+                return match parse_smc(iter.by_ref()) {
+                    Ok((cfg, trace, workers)) => run_smc(&cfg, trace.as_deref(), workers),
+                    Err(e) => {
+                        eprintln!("rtmac-verify: {e}");
+                        2
+                    }
+                };
+            }
             "--replay" => match iter.next() {
                 Some(path) => mode = Mode::Replay(path),
                 None => {
@@ -39,11 +80,14 @@ fn run(args: Vec<String>) -> i32 {
                 }
             },
             "--help" | "-h" => {
-                outln!("usage: rtmac-verify [--quick | --full | --replay FILE]");
+                outln!("{HELP}");
                 return 0;
             }
             other => {
-                eprintln!("rtmac-verify: unknown argument {other:?} (try --help)");
+                eprintln!(
+                    "rtmac-verify: unknown argument {other:?} — valid modes are \
+                     --quick, --full, smc, and --replay FILE (try --help)"
+                );
                 return 2;
             }
         }
@@ -61,18 +105,91 @@ enum Mode {
     Replay(String),
 }
 
-fn run_suite(suite: &[rtmac_verify::CheckConfig]) -> i32 {
+/// Parses the flags after the `smc` subcommand.
+fn parse_smc(
+    iter: &mut dyn Iterator<Item = String>,
+) -> Result<(SmcConfig, Option<String>, usize), String> {
+    let mut links = 10usize;
+    let mut samples = 100_000u64;
+    let mut confidence = 0.99f64;
+    let mut seed = 2018u64;
+    let mut depth = 4u32;
+    let mut a_max = 2u32;
+    let mut trace = None;
+    let mut workers = 0usize;
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .ok_or_else(|| format!("smc: {name} needs a value"))
+        };
+        match flag.as_str() {
+            "--links" => links = parse(&value("--links")?, "--links")?,
+            "--samples" => samples = parse(&value("--samples")?, "--samples")?,
+            "--confidence" => confidence = parse(&value("--confidence")?, "--confidence")?,
+            "--seed" => seed = parse(&value("--seed")?, "--seed")?,
+            "--depth" => depth = parse(&value("--depth")?, "--depth")?,
+            "--a-max" => a_max = parse(&value("--a-max")?, "--a-max")?,
+            "--trace" => trace = Some(value("--trace")?),
+            "--workers" => workers = parse(&value("--workers")?, "--workers")?,
+            other => {
+                return Err(format!(
+                    "smc: unknown flag {other:?} — valid flags are --links, --samples, \
+                     --confidence, --seed, --depth, --a-max, --trace, --workers (try --help)"
+                ));
+            }
+        }
+    }
+    if !(2..=20).contains(&links) {
+        return Err(format!("smc: --links must be in 2..=20, got {links}"));
+    }
+    if samples == 0 {
+        return Err("smc: --samples must be at least 1".to_string());
+    }
+    if !(confidence > 0.0 && confidence < 1.0) {
+        return Err(format!(
+            "smc: --confidence must lie strictly in (0, 1), got {confidence}"
+        ));
+    }
+    if depth == 0 {
+        return Err("smc: --depth must be at least 1".to_string());
+    }
+    let cfg = SmcConfig::new(links, samples)
+        .with_confidence(confidence)
+        .with_seed(seed)
+        .with_depth(depth)
+        .with_a_max(a_max);
+    Ok((cfg, trace, workers))
+}
+
+fn parse<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("smc: invalid {flag} value {value:?}"))
+}
+
+fn run_suite(suite: &[SuiteEntry]) -> i32 {
     let mut total_transitions: u64 = 0;
-    for cfg in suite {
+    for entry in suite {
+        let cfg = &entry.cfg;
         let mut subject = EngineSubject::new(cfg.timing(), cfg.n);
-        match check(&mut subject, cfg) {
+        let outcome = if entry.symmetric {
+            check_with_symmetry(&mut subject, cfg, &LinkClasses::homogeneous(cfg.n))
+        } else {
+            check(&mut subject, cfg)
+        };
+        match outcome {
             Ok(stats) => {
                 total_transitions = total_transitions.saturating_add(stats.transitions);
                 outln!(
-                    "rtmac-verify: N={} A_max={}: {} sigma state(s), {} state(s) explored, \
+                    "rtmac-verify: N={} A_max={}{}: {} sigma state(s), {} state(s) explored, \
                      max {} channel bit(s) — ok",
                     cfg.n,
                     cfg.a_max,
+                    if entry.symmetric {
+                        " (symmetry-reduced)"
+                    } else {
+                        ""
+                    },
                     stats.sigma_states,
                     stats.transitions,
                     stats.max_channel_bits
@@ -95,6 +212,66 @@ fn run_suite(suite: &[rtmac_verify::CheckConfig]) -> i32 {
         total_transitions
     );
     0
+}
+
+fn run_smc(cfg: &SmcConfig, trace: Option<&str>, workers: usize) -> i32 {
+    let runner = if workers == 0 {
+        Runner::default()
+    } else {
+        Runner::new(workers)
+    };
+    let check_cfg = cfg.check_config();
+    let report = smc(cfg, &runner, || {
+        EngineSubject::new(check_cfg.timing(), check_cfg.n)
+    });
+    eprintln!(
+        "rtmac-verify: smc N={} A_max={} depth={} seed={}: {} trajectory(ies), \
+         {} interval(s) executed",
+        cfg.n, cfg.a_max, cfg.depth, cfg.seed, report.samples, report.intervals
+    );
+    for bound in &report.bounds {
+        outln!(
+            "rtmac-verify: {:<20} {:>8} violation(s)  p ∈ [{:.3e}, {:.3e}] at {}% confidence",
+            bound.property.label(),
+            bound.violations,
+            bound.lower,
+            bound.upper,
+            report.confidence * 100.0
+        );
+    }
+    let drawn: u64 = report.liveness.draws.iter().sum();
+    let committed: u64 = report.liveness.commits.iter().sum();
+    outln!(
+        "rtmac-verify: {:<20} {drawn} pair draw(s), {committed} committed swap(s), \
+         {} starved pair(s)",
+        "sigma-liveness",
+        report
+            .liveness
+            .starved(rtmac_verify::LIVENESS_MIN_DRAWS)
+            .len()
+    );
+    match &report.counterexample {
+        None => {
+            eprintln!("rtmac-verify: smc clean — no property violated on any sampled trajectory");
+            0
+        }
+        Some(ce) => {
+            eprintln!(
+                "rtmac-verify: VIOLATION of {} at N={} (seed {}): {}",
+                ce.property, cfg.n, cfg.seed, ce.detail
+            );
+            if let Some(path) = trace {
+                if let Err(e) = std::fs::write(path, ce.encode()) {
+                    eprintln!("rtmac-verify: cannot write trace to {path}: {e}");
+                    return 2;
+                }
+                eprintln!("rtmac-verify: replayable trace written to {path}");
+            }
+            eprintln!("rtmac-verify: replayable trace follows on stdout");
+            outln!("{ce}");
+            1
+        }
+    }
 }
 
 fn run_replay(path: &str) -> i32 {

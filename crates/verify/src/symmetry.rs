@@ -1,0 +1,354 @@
+//! Symmetry reduction: quotienting the exhaustive σ-DFS by link
+//! relabeling.
+//!
+//! The DP engine is *equivariant* under relabeling of indistinguishable
+//! links: it consults a link's identity only through its priority index,
+//! its arrival count, and its position in the attempt order, so renaming
+//! links that share a debt requirement and arrival bound commutes with
+//! running an interval. Two priority permutations that differ only by
+//! such a renaming therefore satisfy exactly the same safety properties,
+//! and the checker only needs to explore one representative per orbit.
+//!
+//! A [`LinkClasses`] partition declares which links are interchangeable.
+//! The orbit of σ under class-preserving relabeling is determined by its
+//! *class sequence* — the sequence of link classes read along the service
+//! order — and the canonical representative ([`LinkClasses::canonicalize`])
+//! is the orbit's Lehmer-minimal element: walk the service order and
+//! assign each priority the smallest not-yet-used link of the required
+//! class. The number of orbits is `N! / ∏ |class|!` (multinomial
+//! coefficient counting distinct class sequences); on a homogeneous
+//! network every σ collapses into a single orbit, which is what lets the
+//! full suite reach N = 5 with the interval-enumeration cost of a single
+//! σ state.
+//!
+//! [`check_with_symmetry`] runs the same DFS as [`crate::check`] but over
+//! canonical representatives only. Because quotienting discards the
+//! σ-transition graph's global structure, the strong-connectivity liveness
+//! argument is replaced by a *generator coverage* argument: if from every
+//! representative every adjacent transposition is observed committed on
+//! its own, then (by equivariance) every adjacent transposition is
+//! achievable from every state, and the adjacent transpositions generate
+//! the full symmetric group — each is its own inverse, so the transition
+//! graph restricted to those moves is strongly connected.
+
+use rtmac_model::{LinkId, Permutation};
+
+use crate::checker::{
+    explore_from, factorial, path_to, CheckConfig, CheckStats, Property, TransitionTables,
+};
+use crate::counterexample::{Counterexample, Step};
+use crate::subject::Subject;
+
+/// A partition of the links into relabel-equivalence classes.
+///
+/// Links in the same class must be indistinguishable to the subject —
+/// same debt requirement, same arrival bound, same payload — for the
+/// quotient to be sound. The bounded configurations of [`CheckConfig`]
+/// are uniform in all three, so [`LinkClasses::homogeneous`] (all links
+/// in one class) is the partition the verification suites use;
+/// [`LinkClasses::from_class_ids`] exists for orbit-count arithmetic on
+/// heterogeneous partitions.
+///
+/// ```
+/// use rtmac_model::Permutation;
+/// use rtmac_verify::LinkClasses;
+///
+/// // All links interchangeable: every σ collapses into one orbit whose
+/// // canonical representative is the identity permutation.
+/// let all = LinkClasses::homogeneous(3);
+/// assert_eq!(all.orbit_count(), 1);
+/// let sigma = Permutation::from_priorities(vec![3, 1, 2]).unwrap();
+/// assert_eq!(all.canonicalize(&sigma), Permutation::identity(3));
+///
+/// // Links {0, 1} interchangeable, link 2 distinct: 3!/2! = 3 orbits.
+/// let split = LinkClasses::from_class_ids(vec![0, 0, 1]).unwrap();
+/// assert_eq!(split.orbit_count(), 3);
+/// let sigma = Permutation::from_priorities(vec![3, 2, 1]).unwrap();
+/// assert_eq!(
+///     split.canonicalize(&sigma).priorities(),
+///     &[2, 3, 1] // links 0 and 1 renamed; link 2 keeps priority 1
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkClasses {
+    class_ids: Vec<usize>,
+}
+
+impl LinkClasses {
+    /// All `n` links in one class (fully interchangeable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or above 20 (the [`Permutation::rank`] cap).
+    #[must_use]
+    pub fn homogeneous(n: usize) -> Self {
+        assert!((1..=20).contains(&n), "symmetry supports 1..=20 links");
+        LinkClasses {
+            class_ids: vec![0; n],
+        }
+    }
+
+    /// A partition given as one class id per link (ids are opaque; equal
+    /// id ⇔ same class).
+    ///
+    /// # Errors
+    ///
+    /// Rejects an empty partition or one with more than 20 links.
+    pub fn from_class_ids(class_ids: Vec<usize>) -> Result<Self, String> {
+        if class_ids.is_empty() {
+            return Err("a link partition needs at least one link".to_string());
+        }
+        if class_ids.len() > 20 {
+            return Err(format!(
+                "symmetry supports at most 20 links, got {}",
+                class_ids.len()
+            ));
+        }
+        Ok(LinkClasses { class_ids })
+    }
+
+    /// Number of links partitioned.
+    #[must_use]
+    pub fn n_links(&self) -> usize {
+        self.class_ids.len()
+    }
+
+    /// The sizes of the classes, in first-occurrence order.
+    #[must_use]
+    pub fn class_sizes(&self) -> Vec<usize> {
+        let mut sizes = Vec::new();
+        for (i, &id) in self.class_ids.iter().enumerate() {
+            if !self.class_ids[..i].contains(&id) {
+                sizes.push(self.class_ids.iter().filter(|&&c| c == id).count());
+            }
+        }
+        sizes
+    }
+
+    /// Number of orbits of the `N!` permutations under class-preserving
+    /// relabeling: the multinomial coefficient `N! / ∏ |class|!`.
+    #[must_use]
+    pub fn orbit_count(&self) -> u64 {
+        let mut count = factorial(self.n_links());
+        for size in self.class_sizes() {
+            count /= factorial(size);
+        }
+        count
+    }
+
+    /// The canonical (Lehmer-minimal) representative of σ's orbit: walk
+    /// the service order and give each priority the smallest unused link
+    /// of the class found there.
+    #[must_use]
+    pub fn canonicalize(&self, sigma: &Permutation) -> Permutation {
+        let n = self.n_links();
+        assert_eq!(sigma.len(), n, "σ and the partition disagree on N");
+        let mut used = vec![false; n];
+        let mut order = Vec::with_capacity(n);
+        for p in 1..=n {
+            let class = self.class_ids[sigma.link_with_priority(p).index()];
+            // Every class member is eventually consumed exactly once, so
+            // an unused one always exists.
+            let rep = (0..n)
+                .find(|&l| !used[l] && self.class_ids[l] == class)
+                .unwrap_or_else(|| unreachable!());
+            used[rep] = true;
+            order.push(LinkId::new(rep));
+        }
+        // `order` lists each link exactly once by construction.
+        Permutation::from_order(&order).unwrap_or_else(|_| unreachable!())
+    }
+}
+
+/// Exhaustively checks `subject` under `cfg` like [`crate::check`], but
+/// explores only one canonical representative per orbit of the
+/// `classes` relabeling action.
+///
+/// The returned [`CheckStats::sigma_states`] counts orbit
+/// representatives (equal to [`LinkClasses::orbit_count`] on a clean
+/// engine); `transitions` counts intervals actually executed. Liveness
+/// is certified by orbit coverage plus generator coverage (see the
+/// module overview) instead of the plain checker's strong-connectivity
+/// sweep.
+///
+/// ```
+/// use rtmac_verify::{check_with_symmetry, CheckConfig, EngineSubject, LinkClasses};
+///
+/// let cfg = CheckConfig::new(3, 1);
+/// let mut subject = EngineSubject::new(cfg.timing(), cfg.n);
+/// let stats = check_with_symmetry(&mut subject, &cfg, &LinkClasses::homogeneous(3)).unwrap();
+/// assert_eq!(stats.sigma_states, 1); // 3! states collapse into one orbit
+/// ```
+///
+/// # Errors
+///
+/// Returns the first violation as a replayable [`Counterexample`], like
+/// [`crate::check`].
+///
+/// # Panics
+///
+/// Panics if the subject, configuration, and partition disagree on the
+/// link count, or if an interval consumes more than 63 channel bits.
+pub fn check_with_symmetry(
+    subject: &mut dyn Subject,
+    cfg: &CheckConfig,
+    classes: &LinkClasses,
+) -> Result<CheckStats, Box<Counterexample>> {
+    assert_eq!(
+        subject.n_links(),
+        cfg.n,
+        "subject link count must match the configuration"
+    );
+    assert_eq!(
+        classes.n_links(),
+        cfg.n,
+        "partition link count must match the configuration"
+    );
+    let n = cfg.n;
+    let timing = cfg.timing();
+    let nfact = factorial(n) as usize;
+    let mut visited = vec![false; nfact];
+    let mut pred: Vec<Option<(usize, Step)>> =
+        std::iter::repeat_with(|| None).take(nfact).collect();
+    let start = classes.canonicalize(&Permutation::identity(n)).rank() as usize;
+    visited[start] = true;
+    let mut stack = vec![start];
+    let tables = TransitionTables::new(cfg);
+    let mut stats = CheckStats::default();
+    // Generator coverage: swap_alone[rep·(n−1) + (c−1)] records that some
+    // transition out of `rep` committed the adjacent transposition at
+    // upper priority `c` and nothing else.
+    let mut swap_alone = vec![false; nfact * (n - 1)];
+
+    while let Some(rank) = stack.pop() {
+        stats.sigma_states += 1;
+        let sigma = Permutation::from_rank(n, rank as u64);
+        let explored = explore_from(
+            subject,
+            cfg,
+            &timing,
+            &sigma,
+            &tables,
+            &mut stats,
+            &mut |step, sigma_after| {
+                if let Some(t) = sigma.adjacent_transposition_to(sigma_after) {
+                    swap_alone[rank * (n - 1) + (t.upper() - 1)] = true;
+                }
+                let after = classes.canonicalize(sigma_after).rank() as usize;
+                if !visited[after] {
+                    visited[after] = true;
+                    pred[after] = Some((rank, step.clone()));
+                    stack.push(after);
+                }
+            },
+        );
+        if let Err(found) = explored {
+            let (step, property, detail) = *found;
+            let mut steps = path_to(&pred, start, rank);
+            steps.push(step);
+            return Err(Box::new(Counterexample {
+                property,
+                detail,
+                n: cfg.n,
+                a_max: cfg.a_max,
+                payload_bytes: cfg.payload_bytes,
+                q: cfg.q,
+                seed: None,
+                steps,
+            }));
+        }
+    }
+
+    // Liveness (a): every orbit was reached — no class sequence is
+    // unreachable from the identity's orbit.
+    for rank in 0..nfact {
+        let rep = classes.canonicalize(&Permutation::from_rank(n, rank as u64));
+        if !visited[rep.rank() as usize] {
+            return Err(Box::new(Counterexample {
+                property: Property::SigmaLiveness,
+                detail: format!(
+                    "the orbit of σ = {} (representative {rep}) is unreachable \
+                     from the identity permutation under swap dynamics",
+                    Permutation::from_rank(n, rank as u64)
+                ),
+                n: cfg.n,
+                a_max: cfg.a_max,
+                payload_bytes: cfg.payload_bytes,
+                q: cfg.q,
+                seed: None,
+                steps: Vec::new(),
+            }));
+        }
+    }
+    // Liveness (b): from every representative, every adjacent
+    // transposition was committed alone — so by equivariance every
+    // adjacent move is available everywhere, and those moves (each its
+    // own inverse) connect all of S_N.
+    for rank in 0..nfact {
+        if !visited[rank] {
+            continue;
+        }
+        for c in 1..n {
+            if !swap_alone[rank * (n - 1) + (c - 1)] {
+                return Err(Box::new(Counterexample {
+                    property: Property::SigmaLiveness,
+                    detail: format!(
+                        "no enumerated transition out of σ = {} commits the adjacent \
+                         swap at priority {c} alone — the quotient liveness generator \
+                         set is incomplete",
+                        Permutation::from_rank(n, rank as u64)
+                    ),
+                    n: cfg.n,
+                    a_max: cfg.a_max,
+                    payload_bytes: cfg.payload_bytes,
+                    q: cfg.q,
+                    seed: None,
+                    steps: path_to(&pred, start, rank),
+                }));
+            }
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orbit_counts_match_multinomials() {
+        assert_eq!(LinkClasses::homogeneous(5).orbit_count(), 1);
+        // Partitions of 5 links and their multinomial orbit counts.
+        let cases: [(&[usize], u64); 5] = [
+            (&[0, 0, 0, 0, 1], 5),   // 5!/4! = 5
+            (&[0, 0, 0, 1, 1], 10),  // 5!/(3!·2!) = 10
+            (&[0, 0, 0, 1, 2], 20),  // 5!/3! = 20
+            (&[0, 0, 1, 1, 2], 30),  // 5!/(2!·2!) = 30
+            (&[0, 1, 2, 3, 4], 120), // all distinct: no reduction
+        ];
+        for (ids, orbits) in cases {
+            let classes = LinkClasses::from_class_ids(ids.to_vec()).unwrap();
+            assert_eq!(classes.orbit_count(), orbits, "partition {ids:?}");
+        }
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent_and_orbit_invariant() {
+        let classes = LinkClasses::from_class_ids(vec![0, 0, 1, 1]).unwrap();
+        let mut reps = Vec::new();
+        for sigma in Permutation::all(4) {
+            let rep = classes.canonicalize(&sigma);
+            assert_eq!(classes.canonicalize(&rep), rep, "not idempotent at {sigma}");
+            reps.push(rep.rank());
+        }
+        reps.sort_unstable();
+        reps.dedup();
+        assert_eq!(reps.len() as u64, classes.orbit_count());
+    }
+
+    #[test]
+    fn rejects_bad_partitions() {
+        assert!(LinkClasses::from_class_ids(Vec::new()).is_err());
+        assert!(LinkClasses::from_class_ids(vec![0; 21]).is_err());
+    }
+}

@@ -1,8 +1,11 @@
-//! The real engine passes bounded exhaustive checking, and the
-//! enumeration actually covers the state space it claims to.
+//! The real engine passes bounded exhaustive checking, the enumeration
+//! actually covers the state space it claims to, and the symmetry-reduced
+//! quotient search agrees with the plain DFS wherever both run.
 
 use rtmac_model::Permutation;
-use rtmac_verify::{check, quick_suite, CheckConfig, EngineSubject};
+use rtmac_verify::{
+    check, check_with_symmetry, full_suite, quick_suite, CheckConfig, EngineSubject, LinkClasses,
+};
 
 fn factorial(n: usize) -> u64 {
     (1..=n as u64).product()
@@ -11,9 +14,11 @@ fn factorial(n: usize) -> u64 {
 #[test]
 fn quick_suite_verifies_the_engine_exhaustively() {
     let mut total_transitions = 0u64;
-    for cfg in quick_suite() {
+    for entry in quick_suite() {
+        let cfg = &entry.cfg;
+        assert!(!entry.symmetric, "the quick suite runs the plain DFS only");
         let mut subject = EngineSubject::new(cfg.timing(), cfg.n);
-        let stats = check(&mut subject, &cfg)
+        let stats = check(&mut subject, cfg)
             .unwrap_or_else(|ce| panic!("engine violates {}:\n{ce}", ce.property));
         assert_eq!(
             stats.sigma_states,
@@ -43,6 +48,79 @@ fn four_links_with_claims_only_reach_every_permutation() {
         .unwrap_or_else(|ce| panic!("engine violates {}:\n{ce}", ce.property));
     assert_eq!(stats.sigma_states, 24);
     assert!(stats.transitions >= 24 * 3 * 4);
+}
+
+#[test]
+fn full_suite_ends_with_symmetry_reduced_five_links() {
+    let suite = full_suite();
+    let last = suite.last().expect("the full suite is not empty");
+    assert_eq!(last.cfg.n, 5);
+    assert!(last.symmetric, "N = 5 is only tractable under the quotient");
+    assert!(
+        suite[..suite.len() - 1].iter().all(|e| !e.symmetric),
+        "every other entry stays on the plain DFS"
+    );
+}
+
+#[test]
+fn symmetry_reduced_suite_completes_five_links() {
+    // The headline capability: exhaustive N = 5 under the homogeneous
+    // quotient. All 120 permutations collapse into a single orbit, and
+    // the quotiented state count must match the orbit-counting
+    // prediction N! / N! = 1 exactly.
+    let cfg = CheckConfig::new(5, 1);
+    let classes = LinkClasses::homogeneous(5);
+    let mut subject = EngineSubject::new(cfg.timing(), cfg.n);
+    let stats = check_with_symmetry(&mut subject, &cfg, &classes)
+        .unwrap_or_else(|ce| panic!("engine violates {}:\n{ce}", ce.property));
+    assert_eq!(stats.sigma_states, classes.orbit_count());
+    assert_eq!(stats.sigma_states, 1);
+    assert!(
+        stats.transitions > 1_000,
+        "one orbit still enumerates the full interval tree, got {}",
+        stats.transitions
+    );
+}
+
+#[test]
+fn quotient_verdicts_match_plain_checker_on_small_n() {
+    // Soundness cross-check at every size both modes can afford: the
+    // quotient must deliver the same verdict (clean here; mutants are
+    // cross-checked in mutation.rs) while exploring exactly one state.
+    for n in 2..=4 {
+        let cfg = CheckConfig::new(n, 1);
+        let mut plain_subject = EngineSubject::new(cfg.timing(), cfg.n);
+        let plain = check(&mut plain_subject, &cfg)
+            .unwrap_or_else(|ce| panic!("plain DFS at N={n} violates {}:\n{ce}", ce.property));
+        assert_eq!(plain.sigma_states, factorial(n));
+
+        let classes = LinkClasses::homogeneous(n);
+        let mut quotient_subject = EngineSubject::new(cfg.timing(), cfg.n);
+        let quotient = check_with_symmetry(&mut quotient_subject, &cfg, &classes)
+            .unwrap_or_else(|ce| panic!("quotient at N={n} violates {}:\n{ce}", ce.property));
+        assert_eq!(quotient.sigma_states, classes.orbit_count());
+        assert_eq!(quotient.sigma_states, 1);
+        assert_eq!(
+            quotient.max_channel_bits, plain.max_channel_bits,
+            "both modes see the same per-interval channel trees at N={n}"
+        );
+        // Per-state enumeration is identical, so the quotient runs the
+        // plain checker's transition count divided by the orbit size.
+        assert_eq!(quotient.transitions, plain.transitions / factorial(n));
+    }
+}
+
+#[test]
+fn heterogeneous_quotient_reaches_every_orbit() {
+    // A finer partition (links 0 and 1 interchangeable, link 2 distinct)
+    // reduces less: 3!/2! = 3 orbits, all of which must be visited.
+    let cfg = CheckConfig::new(3, 1);
+    let classes = LinkClasses::from_class_ids(vec![0, 0, 1]).expect("valid partition");
+    let mut subject = EngineSubject::new(cfg.timing(), cfg.n);
+    let stats = check_with_symmetry(&mut subject, &cfg, &classes)
+        .unwrap_or_else(|ce| panic!("engine violates {}:\n{ce}", ce.property));
+    assert_eq!(stats.sigma_states, classes.orbit_count());
+    assert_eq!(stats.sigma_states, 3);
 }
 
 #[test]

@@ -3,131 +3,17 @@
 //! that (a) reproduces the violation on a fresh faulty subject and
 //! (b) passes cleanly on the real engine.
 
-use rtmac_mac::{
-    DpConfig, DpEngine, DpIntervalReport, FaultyDpEngine, FrameKind, MacTiming, PairCoins,
-    RecoveryConfig, TraceEvent,
-};
-use rtmac_model::{AdjacentTransposition, Permutation};
-use rtmac_phy::channel::{Bernoulli, LossModel};
+mod common;
+
+use common::{Fault, FaultySubject, FrozenSigmaSubject};
+use rtmac_mac::{DpConfig, FaultyDpEngine, MacTiming, RecoveryConfig};
+use rtmac_phy::channel::Bernoulli;
 use rtmac_phy::PhyProfile;
-use rtmac_sim::{Nanos, SeedStream, SimRng};
-use rtmac_verify::{check, replay, CheckConfig, Counterexample, EngineSubject, Property, Subject};
-
-/// The seeded faults.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Fault {
-    /// Reports a collision that never happened.
-    PhantomCollision,
-    /// Credits link 0 with one extra delivery.
-    DoubleCount,
-    /// Applies an undrawn adjacent swap to σ without reporting it.
-    SilentSwap,
-    /// Reports (and applies) a swap at a pair that was never drawn.
-    RogueSwap,
-    /// Drops empty priority-claim frames from the trace.
-    SuppressClaimTrace,
-}
-
-impl Fault {
-    /// The property each fault must be convicted under.
-    fn expected_property(self) -> Property {
-        match self {
-            Fault::PhantomCollision => Property::CollisionFreedom,
-            Fault::DoubleCount => Property::ChannelConsistency,
-            Fault::SilentSwap | Fault::RogueSwap => Property::SwapDiscipline,
-            Fault::SuppressClaimTrace => Property::EmptyClaim,
-        }
-    }
-
-    /// Swap faults need at least one undrawn pair, hence three links.
-    fn config(self) -> CheckConfig {
-        match self {
-            Fault::SilentSwap | Fault::RogueSwap => CheckConfig::new(3, 1),
-            _ => CheckConfig::new(2, 1),
-        }
-    }
-}
-
-/// The real engine wrapped with one seeded fault.
-#[derive(Debug)]
-struct FaultySubject {
-    engine: DpEngine,
-    fault: Fault,
-}
-
-impl FaultySubject {
-    fn new(timing: MacTiming, n_links: usize, fault: Fault) -> Self {
-        FaultySubject {
-            engine: DpEngine::new(DpConfig::new(timing).with_trace(true), n_links),
-            fault,
-        }
-    }
-
-    fn for_config(cfg: &CheckConfig, fault: Fault) -> Self {
-        FaultySubject::new(cfg.timing(), cfg.n, fault)
-    }
-}
-
-impl Subject for FaultySubject {
-    fn n_links(&self) -> usize {
-        self.engine.n_links()
-    }
-
-    fn sigma(&self) -> &Permutation {
-        self.engine.sigma()
-    }
-
-    fn set_sigma(&mut self, sigma: Permutation) {
-        self.engine.set_sigma(sigma);
-    }
-
-    fn run_interval(
-        &mut self,
-        arrivals: &[u32],
-        candidates: &[usize],
-        coins: &[PairCoins],
-        channel: &mut dyn LossModel,
-        rng: &mut SimRng,
-    ) -> DpIntervalReport {
-        let mut report = self
-            .engine
-            .run_interval_with_coins(arrivals, candidates, coins, channel, rng);
-        match self.fault {
-            Fault::PhantomCollision => report.outcome.collisions += 1,
-            Fault::DoubleCount => report.outcome.deliveries[0] += 1,
-            Fault::SilentSwap => {
-                let t = undrawn_swap(candidates);
-                let mutated = self.engine.sigma().with(t);
-                self.engine.set_sigma(mutated);
-            }
-            Fault::RogueSwap => {
-                let t = undrawn_swap(candidates);
-                let mutated = self.engine.sigma().with(t);
-                self.engine.set_sigma(mutated);
-                report.swaps.push(t);
-            }
-            Fault::SuppressClaimTrace => {
-                report.trace.retain(|ev| {
-                    !matches!(
-                        ev,
-                        TraceEvent::TxStart {
-                            kind: FrameKind::Empty,
-                            ..
-                        }
-                    )
-                });
-            }
-        }
-        report
-    }
-}
-
-/// An adjacent pair that was not drawn this interval (assumes N = 3, so
-/// the drawn set is a subset of {1, 2}).
-fn undrawn_swap(candidates: &[usize]) -> AdjacentTransposition {
-    let upper = if candidates.contains(&1) { 2 } else { 1 };
-    AdjacentTransposition::new(upper)
-}
+use rtmac_sim::{Nanos, SeedStream};
+use rtmac_verify::{
+    check, check_with_symmetry, replay, CheckConfig, Counterexample, EngineSubject, LinkClasses,
+    Property,
+};
 
 /// Runs the full conviction pipeline for one fault: the checker catches
 /// it, the trace round-trips through text, replays against a fresh
@@ -145,6 +31,16 @@ fn convict(fault: Fault) {
     assert!(
         !ce.steps.is_empty(),
         "a counterexample needs at least one step"
+    );
+
+    // The quotiented checker reaches the same verdict: symmetry reduction
+    // must not mask a fault the plain DFS catches.
+    let mut quotient = FaultySubject::for_config(&cfg, fault);
+    let sym_ce = check_with_symmetry(&mut quotient, &cfg, &LinkClasses::homogeneous(cfg.n))
+        .expect_err("the symmetry-reduced checker must also convict");
+    assert_eq!(
+        sym_ce.property, ce.property,
+        "quotient verdict diverged for {fault:?}"
     );
 
     // The printed trace round-trips.
@@ -168,52 +64,10 @@ fn convict(fault: Fault) {
     replay(&mut clean, &decoded).expect("the real engine must pass the trace");
 }
 
-/// A subject whose reordering is dead: it commits no swaps and pins σ to
-/// whatever the checker set. Every per-interval safety property still
-/// holds (σ changes by exactly the committed swaps — none), so only the
-/// global sigma-liveness check can convict it.
-#[derive(Debug)]
-struct FrozenSigmaSubject {
-    engine: DpEngine,
-}
-
-impl Subject for FrozenSigmaSubject {
-    fn n_links(&self) -> usize {
-        self.engine.n_links()
-    }
-
-    fn sigma(&self) -> &Permutation {
-        self.engine.sigma()
-    }
-
-    fn set_sigma(&mut self, sigma: Permutation) {
-        self.engine.set_sigma(sigma);
-    }
-
-    fn run_interval(
-        &mut self,
-        arrivals: &[u32],
-        candidates: &[usize],
-        coins: &[PairCoins],
-        channel: &mut dyn LossModel,
-        rng: &mut SimRng,
-    ) -> DpIntervalReport {
-        let before = self.engine.sigma().clone();
-        let mut report = self
-            .engine
-            .run_interval_with_coins(arrivals, candidates, coins, channel, rng);
-        report.swaps.clear();
-        self.engine.set_sigma(before);
-        report
-    }
-}
-
 #[test]
 fn frozen_sigma_breaks_liveness() {
     let cfg = CheckConfig::new(2, 1);
-    let mut subject = FrozenSigmaSubject {
-        engine: DpEngine::new(DpConfig::new(cfg.timing()).with_trace(true), cfg.n),
-    };
+    let mut subject = FrozenSigmaSubject::new(cfg.timing(), cfg.n);
     let ce = check(&mut subject, &cfg).expect_err("a frozen σ must be convicted");
     assert_eq!(ce.property, Property::SigmaLiveness, "{}", ce.detail);
     assert!(
@@ -229,6 +83,18 @@ fn frozen_sigma_breaks_liveness() {
     // The real engine's reordering is live under the same configuration.
     let mut clean = EngineSubject::new(cfg.timing(), cfg.n);
     check(&mut clean, &cfg).expect("the real engine reaches every ordering");
+}
+
+#[test]
+fn frozen_sigma_breaks_quotient_liveness() {
+    // Under the quotient all states share one orbit, so orbit coverage
+    // alone cannot see the freeze — the generator-coverage half of the
+    // quotient liveness argument must convict instead.
+    let cfg = CheckConfig::new(3, 1);
+    let mut subject = FrozenSigmaSubject::new(cfg.timing(), cfg.n);
+    let ce = check_with_symmetry(&mut subject, &cfg, &LinkClasses::homogeneous(cfg.n))
+        .expect_err("a frozen σ must be convicted in the quotient too");
+    assert_eq!(ce.property, Property::SigmaLiveness, "{}", ce.detail);
 }
 
 /// The recovery mutant of the degraded engine: a link that never falls

@@ -1,0 +1,103 @@
+//! Tracked kernel benchmark: measures batched vs timeline interval
+//! throughput over an N-grid plus Runner job throughput, and writes the
+//! machine-readable `bench_results/BENCH_kernel.json`.
+//!
+//! ```sh
+//! # headline run: N = 10,000 links x 1,000,000 intervals (minutes)
+//! cargo run --release -p rtmac-bench --bin bench_kernel
+//! # CI smoke: same shape, tiny interval counts (seconds)
+//! cargo run --release -p rtmac-bench --bin bench_kernel -- --quick
+//! # schema check of an emitted file (exit 1 on malformed output)
+//! cargo run --release -p rtmac-bench --bin bench_kernel -- --check bench_results/BENCH_kernel.json
+//! ```
+
+use rtmac_bench::kernel::{
+    measure_batched, measure_runner, measure_timeline, render_json, validate_bench_json,
+    KernelPoint,
+};
+
+const SEED: u64 = 2018;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--check") {
+        let Some(path) = args.get(pos + 1) else {
+            eprintln!("--check requires a file path");
+            std::process::exit(2);
+        };
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match validate_bench_json(&text) {
+            Ok(()) => {
+                println!("{path}: valid rtmac-bench-kernel/1 document");
+                return;
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID — {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let quick = args.iter().any(|a| a == "--quick");
+    let mode = if quick { "quick" } else { "full" };
+
+    // Interval counts per grid point, scaled so the timeline engine's
+    // O(slots x N) walk stays tractable at large N while every rate is
+    // still measured over real work.
+    let batched_grid: &[(usize, usize)] = if quick {
+        &[(10, 2_000), (100, 500), (1_000, 100), (10_000, 20)]
+    } else {
+        &[
+            (10, 400_000),
+            (100, 100_000),
+            (1_000, 20_000),
+            (10_000, 2_000),
+        ]
+    };
+    let timeline_grid: &[(usize, usize)] = if quick {
+        &[(10, 100), (100, 20), (1_000, 5), (10_000, 2)]
+    } else {
+        &[(10, 20_000), (100, 2_000), (1_000, 200), (10_000, 20)]
+    };
+
+    let mut grid: Vec<KernelPoint> = Vec::new();
+    for &(n, intervals) in batched_grid {
+        eprintln!("batched  N = {n:>6}: {intervals} intervals...");
+        grid.push(measure_batched(n, intervals, SEED));
+    }
+    for &(n, intervals) in timeline_grid {
+        eprintln!("timeline N = {n:>6}: {intervals} intervals...");
+        grid.push(measure_timeline(n, intervals, SEED));
+    }
+
+    let headline_intervals = if quick { 10_000 } else { 1_000_000 };
+    eprintln!("headline: batched N = 10000 x {headline_intervals} intervals...");
+    let headline = measure_batched(10_000, headline_intervals, SEED);
+    eprintln!(
+        "headline: {:.0} intervals/sec ({:.1} s)",
+        headline.intervals_per_sec, headline.elapsed_s
+    );
+
+    let (jobs, work) = if quick { (64, 20) } else { (512, 200) };
+    eprintln!("runner: {jobs} jobs x {work} timeline intervals...");
+    let runner = measure_runner(jobs, work);
+
+    let doc = render_json(mode, SEED, &headline, &grid, &runner);
+    if let Err(e) = validate_bench_json(&doc) {
+        eprintln!("emitted document failed self-check: {e}\n{doc}");
+        std::process::exit(1);
+    }
+    let path = "bench_results/BENCH_kernel.json";
+    if let Err(e) = std::fs::write(path, &doc) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    print!("{doc}");
+    eprintln!("wrote {path}");
+}

@@ -1,0 +1,505 @@
+//! Kernel throughput benchmark: the massive-N batched interval kernel
+//! against the slot-walking timeline engine, plus the work-stealing
+//! [`rtmac::Runner`]'s job throughput.
+//!
+//! The `bench_kernel` binary drives [`measure_batched`], [`measure_timeline`]
+//! and [`measure_runner`] over an N-grid and writes the machine-readable
+//! `bench_results/BENCH_kernel.json` described in `bench_results/README.md`.
+//! [`validate_bench_json`] re-parses an emitted file and checks the schema —
+//! CI runs it against the quick-mode output so a malformed emitter fails the
+//! build rather than silently archiving garbage.
+//!
+//! Timing here is wall-clock by necessity (it *is* the measurement); every
+//! `Instant` use carries a lint waiver. Nothing measured feeds back into
+//! simulation state, so determinism of the simulators is untouched.
+
+use rtmac::mac::{BatchedDpEngine, DpConfig, DpEngine, MacTiming};
+use rtmac::phy::{channel::Bernoulli, PhyProfile};
+use rtmac::sim::{Nanos, SeedStream};
+use std::fmt::Write as _;
+
+/// One measured (engine, N) grid point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelPoint {
+    /// Which interval kernel ran: `"batched"` or `"timeline"`.
+    pub engine: &'static str,
+    /// Number of links simulated.
+    pub n_links: usize,
+    /// Intervals stepped during the measurement.
+    pub intervals: usize,
+    /// Wall-clock seconds the measurement took.
+    pub elapsed_s: f64,
+    /// Throughput: `intervals / elapsed_s`.
+    pub intervals_per_sec: f64,
+}
+
+/// One measured [`rtmac::Runner`] throughput point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunnerPoint {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Jobs mapped through the pool.
+    pub jobs: usize,
+    /// Wall-clock seconds for the whole map.
+    pub elapsed_s: f64,
+    /// Throughput: `jobs / elapsed_s`.
+    pub jobs_per_sec: f64,
+}
+
+/// The benchmark workload every kernel point shares: the paper's video
+/// profile (20 ms interval, 1500 B payload), saturated arrivals, p = 0.7.
+fn video_timing() -> MacTiming {
+    MacTiming::new(PhyProfile::ieee80211a(), Nanos::from_millis(20), 1500)
+}
+
+/// Steps the batched kernel for `intervals` intervals at `n_links` links
+/// and returns the measured throughput.
+///
+/// # Panics
+///
+/// Panics if the Bernoulli channel rejects the probability vector (cannot
+/// happen for the fixed 0.7 used here).
+#[must_use]
+pub fn measure_batched(n_links: usize, intervals: usize, seed: u64) -> KernelPoint {
+    let mut engine =
+        BatchedDpEngine::new(DpConfig::new(video_timing()).with_swap_pairs(3), n_links);
+    let mut channel = Bernoulli::new(vec![0.7; n_links]).expect("valid p");
+    let mut rng = SeedStream::new(seed).rng(0);
+    let arrivals = vec![3u32; n_links];
+    let mu = vec![0.5f64; n_links];
+    // lint: allow(wall-clock) — this *is* the throughput measurement.
+    let start = std::time::Instant::now();
+    for _ in 0..intervals {
+        let report = engine.step(&arrivals, &mu, &mut channel, &mut rng);
+        std::hint::black_box(report.outcome.deliveries.len());
+    }
+    let elapsed_s = start.elapsed().as_secs_f64().max(1e-12);
+    KernelPoint {
+        engine: "batched",
+        n_links,
+        intervals,
+        elapsed_s,
+        intervals_per_sec: intervals as f64 / elapsed_s,
+    }
+}
+
+/// Steps the slot-walking timeline engine for `intervals` intervals at
+/// `n_links` links and returns the measured throughput.
+///
+/// # Panics
+///
+/// Panics if the Bernoulli channel rejects the probability vector (cannot
+/// happen for the fixed 0.7 used here).
+#[must_use]
+pub fn measure_timeline(n_links: usize, intervals: usize, seed: u64) -> KernelPoint {
+    let mut engine = DpEngine::new(DpConfig::new(video_timing()).with_swap_pairs(3), n_links);
+    let mut channel = Bernoulli::new(vec![0.7; n_links]).expect("valid p");
+    let mut rng = SeedStream::new(seed).rng(0);
+    let arrivals = vec![3u32; n_links];
+    let mu = vec![0.5f64; n_links];
+    // lint: allow(wall-clock) — this *is* the throughput measurement.
+    let start = std::time::Instant::now();
+    for _ in 0..intervals {
+        let report = engine.run_interval(&arrivals, &mu, &mut channel, &mut rng);
+        std::hint::black_box(report.outcome.deliveries.len());
+    }
+    let elapsed_s = start.elapsed().as_secs_f64().max(1e-12);
+    KernelPoint {
+        engine: "timeline",
+        n_links,
+        intervals,
+        elapsed_s,
+        intervals_per_sec: intervals as f64 / elapsed_s,
+    }
+}
+
+/// Maps `jobs` small DB-DP simulations (`work_intervals` timeline intervals
+/// at 10 links each) through the default work-stealing [`rtmac::Runner`]
+/// and returns the pool's job throughput.
+#[must_use]
+pub fn measure_runner(jobs: usize, work_intervals: usize) -> RunnerPoint {
+    let runner = rtmac::Runner::default();
+    let workers = runner.workers();
+    let items: Vec<u64> = (0..jobs as u64).collect();
+    // lint: allow(wall-clock) — this *is* the throughput measurement.
+    let start = std::time::Instant::now();
+    let out = runner.map(items, |seed| {
+        let point = measure_timeline(10, work_intervals, seed);
+        point.intervals
+    });
+    let elapsed_s = start.elapsed().as_secs_f64().max(1e-12);
+    std::hint::black_box(out.len());
+    RunnerPoint {
+        workers,
+        jobs,
+        elapsed_s,
+        jobs_per_sec: jobs as f64 / elapsed_s,
+    }
+}
+
+fn write_point(out: &mut String, p: &KernelPoint) {
+    let _ = write!(
+        out,
+        "{{\"engine\": \"{}\", \"n_links\": {}, \"intervals\": {}, \
+         \"elapsed_s\": {:.6}, \"intervals_per_sec\": {:.1}}}",
+        p.engine, p.n_links, p.intervals, p.elapsed_s, p.intervals_per_sec
+    );
+}
+
+/// Renders the `BENCH_kernel.json` document (schema in
+/// `bench_results/README.md`). `headline` is the flagship batched run;
+/// `grid` carries every (engine, N) point; `speedup` pairs batched over
+/// timeline throughput at each N present for both engines.
+#[must_use]
+pub fn render_json(
+    mode: &str,
+    seed: u64,
+    headline: &KernelPoint,
+    grid: &[KernelPoint],
+    runner: &RunnerPoint,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"rtmac-bench-kernel/1\",");
+    let _ = writeln!(out, "  \"label\": \"kernel\",");
+    let _ = writeln!(out, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(out, "  \"seed\": {seed},");
+    out.push_str("  \"headline\": ");
+    write_point(&mut out, headline);
+    out.push_str(",\n  \"grid\": [\n");
+    for (i, p) in grid.iter().enumerate() {
+        out.push_str("    ");
+        write_point(&mut out, p);
+        out.push_str(if i + 1 < grid.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n  \"speedup\": [\n");
+    let mut rows = Vec::new();
+    for b in grid.iter().filter(|p| p.engine == "batched") {
+        if let Some(t) = grid
+            .iter()
+            .find(|p| p.engine == "timeline" && p.n_links == b.n_links)
+        {
+            rows.push(format!(
+                "    {{\"n_links\": {}, \"batched_over_timeline\": {:.2}}}",
+                b.n_links,
+                b.intervals_per_sec / t.intervals_per_sec.max(1e-12)
+            ));
+        }
+    }
+    let _ = writeln!(out, "{}", rows.join(",\n"));
+    out.push_str("  ],\n  \"runner\": ");
+    let _ = write!(
+        out,
+        "{{\"workers\": {}, \"jobs\": {}, \"elapsed_s\": {:.6}, \"jobs_per_sec\": {:.1}}}",
+        runner.workers, runner.jobs, runner.elapsed_s, runner.jobs_per_sec
+    );
+    out.push_str("\n}\n");
+    out
+}
+
+// ------------------------------------------------------------------ checking
+
+/// Minimal JSON value for schema validation (no serde in the workspace).
+#[derive(Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+    fn num(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+    fn str_val(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            s: s.as_bytes(),
+            i: 0,
+        }
+    }
+    fn skip_ws(&mut self) {
+        while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.s.get(self.i).copied()
+    }
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.i))
+        }
+    }
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.i)),
+        }
+    }
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.s[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.i))
+        }
+    }
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        while self
+            .s
+            .get(self.i)
+            .is_some_and(|&c| c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.s[start..self.i])
+            .ok()
+            .and_then(|t| t.parse::<f64>().ok())
+            .filter(|x| x.is_finite())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        while let Some(&c) = self.s.get(self.i) {
+            self.i += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .s
+                        .get(self.i)
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.i += 1;
+                    out.push(match esc {
+                        b'n' => '\n',
+                        b't' => '\t',
+                        other => other as char,
+                    });
+                }
+                other => out.push(other as char),
+            }
+        }
+        Err("unterminated string".into())
+    }
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("bad array at byte {} ({other:?})", self.i)),
+            }
+        }
+    }
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => return Err(format!("bad object at byte {} ({other:?})", self.i)),
+            }
+        }
+    }
+    fn parse(mut self) -> Result<Json, String> {
+        let v = self.value()?;
+        self.skip_ws();
+        if self.i != self.s.len() {
+            return Err(format!("trailing bytes at {}", self.i));
+        }
+        Ok(v)
+    }
+}
+
+fn check_point(p: &Json, ctx: &str) -> Result<(), String> {
+    for key in [
+        "engine",
+        "n_links",
+        "intervals",
+        "elapsed_s",
+        "intervals_per_sec",
+    ] {
+        let v = p.get(key).ok_or(format!("{ctx}: missing \"{key}\""))?;
+        match key {
+            "engine" => {
+                let e = v
+                    .str_val()
+                    .ok_or(format!("{ctx}: \"engine\" not a string"))?;
+                if e != "batched" && e != "timeline" {
+                    return Err(format!("{ctx}: unknown engine \"{e}\""));
+                }
+            }
+            _ => {
+                let x = v.num().ok_or(format!("{ctx}: \"{key}\" not a number"))?;
+                if x <= 0.0 {
+                    return Err(format!("{ctx}: \"{key}\" must be positive, got {x}"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validates an emitted `BENCH_kernel.json` document: well-formed JSON,
+/// the `rtmac-bench-kernel/1` schema tag, a positive-throughput headline
+/// and grid, a non-empty speedup table, and a sane runner block.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first schema violation.
+pub fn validate_bench_json(text: &str) -> Result<(), String> {
+    let doc = Parser::new(text).parse()?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::str_val)
+        .ok_or("missing \"schema\"")?;
+    if schema != "rtmac-bench-kernel/1" {
+        return Err(format!("unknown schema \"{schema}\""));
+    }
+    let mode = doc
+        .get("mode")
+        .and_then(Json::str_val)
+        .ok_or("missing \"mode\"")?;
+    if mode != "full" && mode != "quick" {
+        return Err(format!("unknown mode \"{mode}\""));
+    }
+    doc.get("seed")
+        .and_then(Json::num)
+        .ok_or("missing numeric \"seed\"")?;
+    let headline = doc.get("headline").ok_or("missing \"headline\"")?;
+    check_point(headline, "headline")?;
+    if headline.get("engine").and_then(Json::str_val) != Some("batched") {
+        return Err("headline must be a batched-engine run".into());
+    }
+    let Some(Json::Arr(grid)) = doc.get("grid") else {
+        return Err("missing \"grid\" array".into());
+    };
+    if grid.is_empty() {
+        return Err("empty \"grid\"".into());
+    }
+    for (i, p) in grid.iter().enumerate() {
+        check_point(p, &format!("grid[{i}]"))?;
+    }
+    let Some(Json::Arr(speedup)) = doc.get("speedup") else {
+        return Err("missing \"speedup\" array".into());
+    };
+    if speedup.is_empty() {
+        return Err("empty \"speedup\" — no N measured on both engines".into());
+    }
+    for (i, row) in speedup.iter().enumerate() {
+        for key in ["n_links", "batched_over_timeline"] {
+            row.get(key)
+                .and_then(Json::num)
+                .filter(|x| *x > 0.0)
+                .ok_or(format!("speedup[{i}]: missing positive \"{key}\""))?;
+        }
+    }
+    let runner = doc.get("runner").ok_or("missing \"runner\"")?;
+    for key in ["workers", "jobs", "elapsed_s", "jobs_per_sec"] {
+        runner
+            .get(key)
+            .and_then(Json::num)
+            .filter(|x| *x > 0.0)
+            .ok_or(format!("runner: missing positive \"{key}\""))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_doc() -> String {
+        let headline = measure_batched(16, 40, 2018);
+        let grid = vec![measure_batched(8, 40, 2018), measure_timeline(8, 10, 2018)];
+        let runner = measure_runner(4, 5);
+        render_json("quick", 2018, &headline, &grid, &runner)
+    }
+
+    #[test]
+    fn emitted_document_validates() {
+        let doc = sample_doc();
+        assert_eq!(validate_bench_json(&doc), Ok(()), "{doc}");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        let doc = sample_doc();
+        // Truncation, schema drift, and a non-numeric throughput all fail.
+        assert!(validate_bench_json(&doc[..doc.len() / 2]).is_err());
+        assert!(validate_bench_json(&doc.replace("rtmac-bench-kernel/1", "v2")).is_err());
+        assert!(validate_bench_json(&doc.replace("\"jobs\"", "\"sobs\"")).is_err());
+        assert!(validate_bench_json("{}").is_err());
+        assert!(validate_bench_json("not json").is_err());
+    }
+
+    #[test]
+    fn measurements_report_positive_throughput() {
+        let b = measure_batched(32, 20, 7);
+        let t = measure_timeline(32, 5, 7);
+        assert!(b.intervals_per_sec > 0.0);
+        assert!(t.intervals_per_sec > 0.0);
+        assert_eq!(b.engine, "batched");
+        assert_eq!(t.engine, "timeline");
+    }
+}

@@ -4,7 +4,7 @@
 use std::error::Error;
 use std::fmt;
 
-use rtmac::scenario::{self, Param, Scenario, TrafficSpec};
+use rtmac::scenario::{self, EngineSpec, Param, Scenario, TrafficSpec};
 pub use rtmac::PolicySpec;
 
 /// A parse- or run-time CLI error.
@@ -97,6 +97,8 @@ pub struct NetworkOpts {
     pub intervals: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Which DP interval kernel executes DB-DP runs.
+    pub engine: EngineSpec,
 }
 
 impl Default for NetworkOpts {
@@ -111,6 +113,7 @@ impl Default for NetworkOpts {
             ratio: 0.9,
             intervals: 1000,
             seed: 0,
+            engine: EngineSpec::Timeline,
         }
     }
 }
@@ -154,11 +157,13 @@ impl NetworkOpts {
                 replications: 1,
                 track: None,
                 fault: None,
+                engine: EngineSpec::Timeline,
             },
         };
         sc.policy = policy;
         sc.intervals = self.intervals;
         sc.seed = self.seed;
+        sc.engine = self.engine;
         Ok(sc)
     }
 }
@@ -190,6 +195,8 @@ pub enum Command {
         to: f64,
         /// Number of points (≥ 2 unless `from == to`).
         steps: usize,
+        /// Report live completed/total and items/sec on stderr.
+        progress: bool,
     },
     /// Render ASCII timelines of the DP protocol on the air.
     Timeline {
@@ -307,6 +314,12 @@ pub fn render_run_command(sc: &Scenario) -> Option<Vec<String>> {
         argv.push(flag.to_string());
         argv.push(value);
     }
+    // The default engine renders to nothing, keeping historical token
+    // streams byte-stable.
+    if sc.engine != EngineSpec::Timeline {
+        argv.push("--engine".to_string());
+        argv.push(sc.engine.label().to_string());
+    }
     Some(argv)
 }
 
@@ -333,6 +346,7 @@ fn parse_subcommand(command: &str, rest: &[String]) -> Result<Command, CliError>
     let mut from = None;
     let mut to = None;
     let mut steps = 5usize;
+    let mut progress = false;
     // A named scenario fixes the network shape, so shape flags conflict
     // with `--scenario` (while --intervals/--seed/--policy compose).
     let mut shape_flag: Option<String> = None;
@@ -382,7 +396,11 @@ fn parse_subcommand(command: &str, rest: &[String]) -> Result<Command, CliError>
             }
             "--intervals" => opts.intervals = parse_num(flag, value_for()?, "an interval count")?,
             "--seed" => opts.seed = parse_num(flag, value_for()?, "an integer seed")?,
+            "--engine" if command != "timeline" => {
+                opts.engine = parse_engine(flag, value_for()?)?;
+            }
             "--policy" if command == "run" => policy = parse_policy(flag, value_for()?)?,
+            "--progress" if command == "sweep" => progress = true,
             "--param" if command == "sweep" => param = Some(parse_sweep_param(flag, value_for()?)?),
             "--from" if command == "sweep" => {
                 from = Some(parse_num(flag, value_for()?, "a number")?);
@@ -423,9 +441,22 @@ fn parse_subcommand(command: &str, rest: &[String]) -> Result<Command, CliError>
                 from,
                 to,
                 steps,
+                progress,
             })
         }
         _ => unreachable!("caller filters commands"),
+    }
+}
+
+fn parse_engine(flag: &str, value: &str) -> Result<EngineSpec, CliError> {
+    match value {
+        "timeline" => Ok(EngineSpec::Timeline),
+        "batched" => Ok(EngineSpec::Batched),
+        _ => Err(CliError::BadValue {
+            flag: flag.to_string(),
+            value: value.to_string(),
+            expected: "timeline or batched",
+        }),
     }
 }
 

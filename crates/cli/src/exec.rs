@@ -17,7 +17,7 @@ Usage:
                  --policy <db-dp|ldf|eldf|fcsma|dcf|frame-csma>
   rtmac compare  [--scenario NAME | network flags]
   rtmac sweep    [--scenario NAME | network flags] --param <alpha|lambda|ratio|p>
-                 --from X --to Y [--steps N]
+                 --from X --to Y [--steps N] [--progress]
   rtmac timeline [network flags]   (ASCII protocol trace, <= 10 intervals)
   rtmac help
 
@@ -36,6 +36,14 @@ workloads — these stay supported for custom networks):
   --ratio R          required delivery ratio (0.9)
   --intervals K      intervals to simulate (1000)
   --seed S           RNG seed (0)
+  --engine E         DP interval kernel for DB-DP runs: timeline | batched
+                     (timeline). `batched` is the massive-N kernel —
+                     bit-identical results, O(min(N, deadline/slot)) per
+                     interval.
+
+Sweep flags:
+  --progress         live completed/total and items/sec on stderr while
+                     the sweep's (point x contender) grid runs
 
 Examples:
   rtmac run --scenario video20
@@ -160,6 +168,7 @@ fn render_sweep(
     from: f64,
     to: f64,
     steps: usize,
+    progress: bool,
 ) -> Result<String, CliError> {
     let name = match param {
         SweepParam::Alpha => "alpha",
@@ -184,7 +193,25 @@ fn render_sweep(
             jobs.push(apply_sweep(opts.to_scenario(spec)?, param, value));
         }
     }
-    let reports = Runner::default().map(jobs, |sc| run_scenario(&sc));
+    let reports = if progress {
+        // lint: allow(wall-clock) — items/sec display on an interactive
+        // progress line; never feeds back into simulation state.
+        let started = std::time::Instant::now();
+        let reports = Runner::default().map_with_progress(
+            jobs,
+            |sc| run_scenario(&sc),
+            move |done, total| {
+                let rate = done as f64 / started.elapsed().as_secs_f64().max(1e-9);
+                eprint!("\rsweep: {done}/{total} scenarios ({rate:.1}/s)");
+                if done == total {
+                    eprintln!();
+                }
+            },
+        );
+        reports
+    } else {
+        Runner::default().map(jobs, |sc| run_scenario(&sc))
+    };
 
     let mut out = String::new();
     let _ = writeln!(
@@ -270,7 +297,8 @@ pub fn execute(command: Command) -> Result<String, CliError> {
             from,
             to,
             steps,
-        } => render_sweep(&opts, param, from, to, steps),
+            progress,
+        } => render_sweep(&opts, param, from, to, steps, progress),
         Command::Timeline { opts } => render_timeline(&opts),
     }
 }
@@ -290,6 +318,7 @@ mod tests {
             ratio: 0.9,
             intervals: 100,
             seed: 1,
+            engine: rtmac::scenario::EngineSpec::Timeline,
         }
     }
 
@@ -333,14 +362,22 @@ mod tests {
 
     #[test]
     fn sweep_single_step_uses_from() {
-        let out = render_sweep(&quick_opts(), SweepParam::Ratio, 0.85, 0.99, 1).unwrap();
+        let out = render_sweep(&quick_opts(), SweepParam::Ratio, 0.85, 0.99, 1, false).unwrap();
         assert!(out.contains("0.8500"));
         assert!(!out.contains("0.9900"));
     }
 
     #[test]
     fn sweep_endpoints_inclusive() {
-        let out = render_sweep(&quick_opts(), SweepParam::SuccessProbability, 0.5, 0.9, 3).unwrap();
+        let out = render_sweep(
+            &quick_opts(),
+            SweepParam::SuccessProbability,
+            0.5,
+            0.9,
+            3,
+            false,
+        )
+        .unwrap();
         assert!(out.contains("0.5000") && out.contains("0.7000") && out.contains("0.9000"));
     }
 

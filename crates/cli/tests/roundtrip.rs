@@ -3,7 +3,7 @@
 //! scenario, and land on the same value (and the same tokens again).
 
 use proptest::prelude::*;
-use rtmac::scenario::{Param, Scenario, TrafficSpec};
+use rtmac::scenario::{EngineSpec, Param, Scenario, TrafficSpec};
 use rtmac_cli::{parse, render_run_command, Command, PolicySpec};
 
 fn policy_by_index(i: usize) -> PolicySpec {
@@ -42,8 +42,16 @@ proptest! {
         ratio in 0.01f64..1.0,
         intervals in 1usize..10_000,
         seed in 0u64..u64::MAX,
-        policy_i in 0usize..6,
+        policy_engine_i in 0usize..12,
     ) {
+        // The vendored proptest tops out at 10-tuple strategies, so the
+        // policy index and engine choice share one dimension.
+        let policy_i = policy_engine_i % 6;
+        let engine = if policy_engine_i / 6 == 1 {
+            EngineSpec::Batched
+        } else {
+            EngineSpec::Timeline
+        };
         let sc = Scenario {
             name: "custom",
             links,
@@ -58,6 +66,7 @@ proptest! {
             replications: 1,
             track: None,
             fault: None,
+            engine,
         };
 
         let argv = render_run_command(&sc);

@@ -1,6 +1,8 @@
 //! The end-to-end network simulator: arrivals → policy → debts → metrics.
 
-use rtmac_mac::{DpConfig, FaultyDpEngine, IntervalOutcome, MacTiming, RecoveryConfig};
+use rtmac_mac::{
+    BatchedDpEngine, DpConfig, FaultyDpEngine, IntervalOutcome, MacTiming, RecoveryConfig,
+};
 use rtmac_model::metrics::{ConvergenceTracker, DeficiencySeries};
 use rtmac_model::{ConfigError, DebtLedger, LinkId, NetworkConfig, Requirements};
 use rtmac_phy::channel::{Bernoulli, LossModel};
@@ -9,7 +11,7 @@ use rtmac_phy::PhyProfile;
 use rtmac_sim::{Nanos, SeedStream, SimRng};
 use rtmac_traffic::{ArrivalProcess, BernoulliArrivals, BurstUniform, ConstantArrivals};
 
-use crate::scenario::FaultSpec;
+use crate::scenario::{EngineSpec, FaultSpec};
 use crate::{DbDp, PolicyKind, RunReport, TransmissionPolicy};
 
 /// A complete simulated network: topology and channel (`rtmac-model`,
@@ -189,6 +191,7 @@ pub struct NetworkBuilder {
     seed: u64,
     track: Option<(LinkId, f64)>,
     fault: Option<FaultSpec>,
+    engine: EngineSpec,
 }
 
 impl Default for NetworkBuilder {
@@ -208,6 +211,7 @@ impl Default for NetworkBuilder {
             seed: 0,
             track: None,
             fault: None,
+            engine: EngineSpec::Timeline,
         }
     }
 }
@@ -375,6 +379,17 @@ impl NetworkBuilder {
         self
     }
 
+    /// Selects the DP interval kernel (default [`EngineSpec::Timeline`]).
+    /// [`EngineSpec::Batched`] runs the massive-N [`BatchedDpEngine`] —
+    /// bit-identical results, `O(min(N, deadline/slot))` per interval —
+    /// and is only supported for the fault-free DB-DP policy;
+    /// [`build`](Self::build) rejects every other combination.
+    #[must_use]
+    pub fn engine(mut self, engine: EngineSpec) -> Self {
+        self.engine = engine;
+        self
+    }
+
     /// Validates everything and builds the [`Network`].
     ///
     /// # Errors
@@ -453,7 +468,37 @@ impl NetworkBuilder {
             timing = timing.with_link_payloads(&payloads);
         }
         let seeds = SeedStream::new(self.seed);
-        let policy: Box<dyn TransmissionPolicy> = match (kind, self.fault) {
+        let policy: Box<dyn TransmissionPolicy> = match (kind, self.fault, self.engine) {
+            (
+                PolicyKind::DbDp {
+                    influence,
+                    r,
+                    swap_pairs,
+                },
+                None,
+                EngineSpec::Batched,
+            ) => Box::new(DbDp::batched(
+                BatchedDpEngine::new(
+                    DpConfig::new(timing).with_swap_pairs(swap_pairs),
+                    config.n_links(),
+                ),
+                influence,
+                r,
+                config.success_probabilities().to_vec(),
+            )),
+            (_, Some(spec), EngineSpec::Batched) => {
+                return Err(ConfigError::InvalidParameter {
+                    name: "engine (the batched kernel does not support fault injection; \
+                           use the timeline engine)",
+                    value: spec.false_busy,
+                })
+            }
+            (_, None, EngineSpec::Batched) => {
+                return Err(ConfigError::InvalidParameter {
+                    name: "engine (the batched kernel only drives the DB-DP policy)",
+                    value: f64::NAN,
+                })
+            }
             (
                 PolicyKind::DbDp {
                     influence,
@@ -461,6 +506,7 @@ impl NetworkBuilder {
                     swap_pairs,
                 },
                 Some(spec),
+                EngineSpec::Timeline,
             ) => {
                 for (name, p) in [
                     ("fault false_busy (must lie in [0, 1))", spec.false_busy),
@@ -512,13 +558,13 @@ impl NetworkBuilder {
                     config.success_probabilities().to_vec(),
                 ))
             }
-            (_, Some(spec)) => {
+            (_, Some(spec), EngineSpec::Timeline) => {
                 return Err(ConfigError::InvalidParameter {
                     name: "fault (fault injection requires the DB-DP policy)",
                     value: spec.false_busy,
                 })
             }
-            (kind, None) => {
+            (kind, None, EngineSpec::Timeline) => {
                 kind.instantiate(config.n_links(), config.success_probabilities(), timing)
             }
         };

@@ -2,8 +2,8 @@
 //! debt-driven wrappers around the `rtmac-mac` engines.
 
 use rtmac_mac::{
-    CentralizedEngine, DcfConfig, DcfEngine, DpConfig, DpEngine, FaultStats, FaultyDpEngine,
-    FcsmaEngine, FcsmaQuantizer, FrameCsmaEngine, IntervalOutcome, MacTiming,
+    BatchedDpEngine, CentralizedEngine, DcfConfig, DcfEngine, DpConfig, DpEngine, FaultStats,
+    FaultyDpEngine, FcsmaEngine, FcsmaQuantizer, FrameCsmaEngine, IntervalOutcome, MacTiming,
 };
 use rtmac_model::influence::{DebtInfluence, Linear, PaperLog};
 use rtmac_model::{DebtLedger, LinkId, Permutation};
@@ -309,11 +309,13 @@ pub struct DbDp {
 }
 
 /// Which DP engine a [`DbDp`] policy drives: the pristine collision-free
-/// engine (every fault-free run), or the degraded-mode engine of the
-/// fault-injection experiments.
+/// timeline engine (the fault-free default), the batched massive-N kernel
+/// (bit-identical to the timeline engine), or the degraded-mode engine of
+/// the fault-injection experiments.
 #[derive(Debug)]
 enum DpDriver {
     Pristine(Box<DpEngine>),
+    Batched(Box<BatchedDpEngine>),
     Faulty(Box<FaultyDpEngine>),
 }
 
@@ -321,6 +323,7 @@ impl DpDriver {
     fn n_links(&self) -> usize {
         match self {
             DpDriver::Pristine(e) => e.n_links(),
+            DpDriver::Batched(e) => e.n_links(),
             DpDriver::Faulty(e) => e.n_links(),
         }
     }
@@ -336,6 +339,21 @@ impl DbDp {
     #[must_use]
     pub fn new(engine: DpEngine, influence: Box<dyn DebtInfluence>, r: f64, p: Vec<f64>) -> Self {
         Self::with_driver(DpDriver::Pristine(Box::new(engine)), influence, r, p)
+    }
+
+    /// Wires the *batched* massive-N DP kernel to the same debt-driven
+    /// coin parameters. The policy name, randomness consumption, and every
+    /// reported number are identical to [`DbDp::new`] — the engines are
+    /// bit-for-bit equivalent — only the per-interval cost changes. Panics
+    /// as [`DbDp::new`].
+    #[must_use]
+    pub fn batched(
+        engine: BatchedDpEngine,
+        influence: Box<dyn DebtInfluence>,
+        r: f64,
+        p: Vec<f64>,
+    ) -> Self {
+        Self::with_driver(DpDriver::Batched(Box::new(engine)), influence, r, p)
     }
 
     /// Wires the *degraded-mode* DP engine (sensing faults, churn,
@@ -360,8 +378,10 @@ impl DbDp {
         assert!(r.is_finite() && r > 0.0, "R must be positive and finite");
         assert_eq!(p.len(), driver.n_links(), "one p_n per link");
         let n = p.len();
+        // The batched kernel is bit-identical to the pristine engine, so it
+        // shares the pristine name: reports must not depend on the kernel.
         let degraded = match driver {
-            DpDriver::Pristine(_) => "",
+            DpDriver::Pristine(_) | DpDriver::Batched(_) => "",
             DpDriver::Faulty(_) => ", degraded",
         };
         let name = format!("DB-DP(f={}, R={r}{degraded})", influence.name());
@@ -383,12 +403,21 @@ impl DbDp {
     }
 
     /// The underlying pristine DP engine (e.g. to inspect `σ`); `None`
-    /// when the policy runs the degraded-mode engine.
+    /// when the policy runs the batched or degraded-mode engine.
     #[must_use]
     pub fn engine(&self) -> Option<&DpEngine> {
         match &self.driver {
             DpDriver::Pristine(e) => Some(e),
-            DpDriver::Faulty(_) => None,
+            DpDriver::Batched(_) | DpDriver::Faulty(_) => None,
+        }
+    }
+
+    /// The underlying batched massive-N kernel, when selected.
+    #[must_use]
+    pub fn batched_engine(&self) -> Option<&BatchedDpEngine> {
+        match &self.driver {
+            DpDriver::Batched(e) => Some(e),
+            DpDriver::Pristine(_) | DpDriver::Faulty(_) => None,
         }
     }
 
@@ -396,7 +425,7 @@ impl DbDp {
     #[must_use]
     pub fn faulty_engine(&self) -> Option<&FaultyDpEngine> {
         match &self.driver {
-            DpDriver::Pristine(_) => None,
+            DpDriver::Pristine(_) | DpDriver::Batched(_) => None,
             DpDriver::Faulty(e) => Some(e),
         }
     }
@@ -428,6 +457,10 @@ impl TransmissionPolicy for DbDp {
                     .run_interval(arrivals, &self.mu_buf, channel, rng)
                     .outcome
             }
+            DpDriver::Batched(engine) => engine
+                .step(arrivals, &self.mu_buf, channel, rng)
+                .outcome
+                .clone(),
             DpDriver::Faulty(engine) => {
                 engine
                     .run_interval(arrivals, &self.mu_buf, channel, rng)
@@ -439,6 +472,7 @@ impl TransmissionPolicy for DbDp {
     fn sigma(&self) -> Option<&Permutation> {
         match &self.driver {
             DpDriver::Pristine(engine) => Some(engine.sigma()),
+            DpDriver::Batched(engine) => Some(engine.sigma()),
             // Degraded mode: the belief multiset need not be a permutation.
             DpDriver::Faulty(_) => None,
         }
@@ -446,7 +480,7 @@ impl TransmissionPolicy for DbDp {
 
     fn fault_stats(&self) -> Option<FaultStats> {
         match &self.driver {
-            DpDriver::Pristine(_) => None,
+            DpDriver::Pristine(_) | DpDriver::Batched(_) => None,
             DpDriver::Faulty(engine) => Some(engine.stats()),
         }
     }

@@ -1,14 +1,21 @@
 //! The deterministic batch runner: fans [`Scenario`]s out across sweep
-//! points × replications on a bounded worker pool.
+//! points × replications on a bounded work-stealing pool.
 //!
 //! Two properties matter more than raw speed here:
 //!
-//! * **Bounded fan-out** — a fixed number of workers pull jobs from a
-//!   shared queue, so a 10 000-point sweep never spawns 10 000 OS threads.
+//! * **Bounded fan-out** — a fixed number of workers share the job grid, so
+//!   a 10 000-point sweep never spawns 10 000 OS threads. Each worker is
+//!   dealt a contiguous index range up front and pops jobs off its front;
+//!   when its range drains it steals the upper half of the first non-empty
+//!   victim's range. Contiguous ranges keep cache-warm neighbours together
+//!   (sweep grids are laid out point-major, so adjacent jobs share a
+//!   scenario), and stealing halves keeps the pool balanced even when job
+//!   costs are wildly uneven — e.g. an N = 10 000 point next to an N = 10
+//!   point in the same sweep.
 //! * **Worker-count independence** — every job owns its RNG (seeded from
 //!   the scenario, never from thread identity) and writes its result into
 //!   its input slot, so the output is bit-identical whether the pool has 1
-//!   worker or 64.
+//!   worker or 64, and no matter which worker stole which range.
 //!
 //! Replication seeds derive deterministically from the scenario's base
 //! seed: replication 0 *is* the base seed (so a 1-replication run
@@ -31,7 +38,7 @@
 //! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use rtmac_model::ConfigError;
 use rtmac_sim::SeedStream;
@@ -91,7 +98,14 @@ pub fn replication_seeds(scenario: &Scenario) -> Vec<u64> {
         .collect()
 }
 
-/// A bounded worker-pool executor for scenario batches.
+/// Locks a mutex, treating poisoning as benign: a poisoned lock only means
+/// another worker panicked, and `thread::scope` re-raises that panic at
+/// join, so the data behind the lock is still coherent for our purposes.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A bounded work-stealing executor for scenario batches.
 #[derive(Debug, Clone, Copy)]
 pub struct Runner {
     workers: usize,
@@ -120,8 +134,8 @@ impl Runner {
         self.workers
     }
 
-    /// Maps `f` over `items` on the worker pool. Results come back in
-    /// input order and do not depend on the worker count; at most
+    /// Maps `f` over `items` on the work-stealing pool. Results come back
+    /// in input order and do not depend on the worker count; at most
     /// `min(workers, items.len())` threads run at once.
     ///
     /// # Panics
@@ -133,41 +147,107 @@ impl Runner {
         R: Send,
         F: Fn(T) -> R + Sync,
     {
+        self.map_with_progress(items, f, |_, _| {})
+    }
+
+    /// [`Runner::map`] with a live progress callback.
+    ///
+    /// `on_progress(completed, total)` fires after every finished job, from
+    /// whichever worker finished it, with a monotone `completed` count (a
+    /// shared atomic, so two workers never report the same count). The
+    /// callback must not assume any particular completion *order* — jobs
+    /// finish in steal order, not input order — only that the count climbs
+    /// from 1 to `total`.
+    ///
+    /// The returned results are identical to [`Runner::map`]: the callback
+    /// observes progress but cannot perturb results or their order.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from `f` or `on_progress`.
+    pub fn map_with_progress<T, R, F, P>(&self, items: Vec<T>, f: F, on_progress: P) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        P: Fn(usize, usize) + Sync,
+    {
         let n = items.len();
         let workers = self.workers.min(n);
         if workers <= 1 {
-            return items.into_iter().map(f).collect();
+            let mut out = Vec::with_capacity(n);
+            for (done, item) in items.into_iter().enumerate() {
+                out.push(f(item));
+                on_progress(done + 1, n);
+            }
+            return out;
         }
-        // A lock-free-enough work queue: workers claim the next input index
-        // with an atomic counter and park each result in its own slot, so
-        // output order is input order regardless of scheduling.
-        let next = AtomicUsize::new(0);
+        // Deal each worker a contiguous index range. Jobs and results live
+        // in per-index slots, so whichever worker executes index `i`, the
+        // result lands in slot `i`: output order is input order and the
+        // steal schedule cannot leak into the results.
         let jobs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
         let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let ranges: Vec<Mutex<(usize, usize)>> = (0..workers)
+            .map(|w| Mutex::new((w * n / workers, (w + 1) * n / workers)))
+            .collect();
+        let completed = AtomicUsize::new(0);
         let f = &f;
+        let on_progress = &on_progress;
+        let ranges = &ranges;
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+            for w in 0..workers {
+                let jobs = &jobs;
+                let slots = &slots;
+                let completed = &completed;
+                scope.spawn(move || loop {
+                    // Pop the front of our own range; once it drains, steal
+                    // the upper half of the first non-empty victim (scanning
+                    // w+1, w+2, … so contention spreads) and adopt it.
+                    let mut claimed = {
+                        let mut own = lock(&ranges[w]);
+                        (own.0 < own.1).then(|| {
+                            let i = own.0;
+                            own.0 += 1;
+                            i
+                        })
+                    };
+                    if claimed.is_none() {
+                        for offset in 1..workers {
+                            let victim = (w + offset) % workers;
+                            let stolen = {
+                                let mut other = lock(&ranges[victim]);
+                                (other.0 < other.1).then(|| {
+                                    // Floor midpoint: a 1-job range is stolen
+                                    // whole rather than left to ping-pong.
+                                    let mid = (other.0 + other.1) / 2;
+                                    let stolen = (mid, other.1);
+                                    other.1 = mid;
+                                    stolen
+                                })
+                            };
+                            if let Some((lo, hi)) = stolen {
+                                *lock(&ranges[w]) = (lo + 1, hi);
+                                claimed = Some(lo);
+                                break;
+                            }
+                        }
                     }
-                    let item = jobs[i]
-                        .lock()
-                        // Poisoning only means another worker panicked; the
-                        // Option inside is still coherent, so keep going and
-                        // let thread::scope propagate that panic at join.
-                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    // No job of our own and every victim looked empty: any
+                    // remaining jobs belong to live ranges whose owners will
+                    // finish them, so this worker can retire.
+                    let Some(i) = claimed else { break };
+                    let item = lock(&jobs[i])
                         .take()
-                        // lint: allow(panic-expect) — the atomic fetch_add
-                        // hands out each index exactly once; a second claim
-                        // means memory corruption, so fail loudly rather than
-                        // skip a job and silently corrupt batch output.
+                        // lint: allow(panic-expect) — range bookkeeping hands
+                        // out each index exactly once; a second claim means
+                        // memory corruption, so fail loudly rather than skip
+                        // a job and silently corrupt batch output.
                         .expect("job claimed twice");
                     let result = f(item);
-                    *slots[i]
-                        .lock()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(result);
+                    *lock(&slots[i]) = Some(result);
+                    let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                    on_progress(done, n);
                 });
             }
         });
@@ -175,11 +255,12 @@ impl Runner {
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .unwrap_or_else(PoisonError::into_inner)
                     // lint: allow(panic-expect) — thread::scope joined every
-                    // worker (propagating any panic), so each claimed slot
-                    // was filled; an empty slot would silently misalign
-                    // results with inputs, so fail loudly instead.
+                    // worker (propagating any panic), and a worker only
+                    // retires when every range is drained, so each slot was
+                    // filled; an empty slot would silently misalign results
+                    // with inputs, so fail loudly instead.
                     .expect("worker completed every claimed job")
             })
             .collect()
@@ -246,6 +327,41 @@ mod tests {
         // Degenerate pools still work.
         assert_eq!(Runner::new(0).workers(), 1);
         assert!(Runner::new(5).map(Vec::<i32>::new(), |x| x).is_empty());
+    }
+
+    #[test]
+    fn map_with_progress_reports_every_completion() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let high_water = AtomicUsize::new(0);
+        let calls = AtomicUsize::new(0);
+        let out = Runner::new(4).map_with_progress(
+            (0..97).collect(),
+            |x: u64| x + 1,
+            |done, total| {
+                assert_eq!(total, 97);
+                assert!(done >= 1 && done <= total);
+                high_water.fetch_max(done, Ordering::Relaxed);
+                calls.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(out, (1..=97).collect::<Vec<u64>>());
+        // Exactly one callback per job, and the count reached the total.
+        assert_eq!(calls.load(Ordering::Relaxed), 97);
+        assert_eq!(high_water.load(Ordering::Relaxed), 97);
+    }
+
+    #[test]
+    fn map_balances_skewed_job_costs_via_stealing() {
+        // All the slow jobs sit in one worker's initial contiguous range;
+        // stealing must still produce input-ordered, correct results.
+        let items: Vec<u32> = (0..40).collect();
+        let out = Runner::new(4).map(items, |x| {
+            if x < 10 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            x * 3
+        });
+        assert_eq!(out, (0..40).map(|x| x * 3).collect::<Vec<u32>>());
     }
 
     #[test]

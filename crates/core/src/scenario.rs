@@ -257,6 +257,37 @@ impl PolicySpec {
     }
 }
 
+/// Which DP interval kernel executes a run.
+///
+/// The two engines are bit-for-bit equivalent (pinned by the
+/// `batched_equivalence` test suite); the choice only trades
+/// per-interval complexity. Only the DB-DP policy consults this —
+/// [`crate::NetworkBuilder::build`] rejects `Batched` for every other
+/// policy and for fault-injection runs, both of which have no batched
+/// implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineSpec {
+    /// The reference timeline engine: replays every slot boundary,
+    /// `O(deadline/slot · N)` per interval.
+    #[default]
+    Timeline,
+    /// The massive-N interval kernel: walks links in counter order over
+    /// flat struct-of-arrays state, `O(min(N, deadline/slot))` boundaries
+    /// per interval and zero heap allocations while stepping.
+    Batched,
+}
+
+impl EngineSpec {
+    /// The `--engine` spelling.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineSpec::Timeline => "timeline",
+            EngineSpec::Batched => "batched",
+        }
+    }
+}
+
 /// Declarative link-churn selection: one crash/revive event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChurnSpec {
@@ -354,6 +385,9 @@ pub struct Scenario {
     /// Fault injection (sensing errors + churn) for the degraded-mode DP
     /// experiments; `None` runs every policy on its fault-free path.
     pub fault: Option<FaultSpec>,
+    /// Which DP interval kernel executes the run (DB-DP only; the two
+    /// engines produce bit-identical results).
+    pub engine: EngineSpec,
 }
 
 impl Scenario {
@@ -406,6 +440,13 @@ impl Scenario {
         self
     }
 
+    /// Selects the DP interval kernel (default [`EngineSpec::Timeline`]).
+    #[must_use]
+    pub fn with_engine(mut self, engine: EngineSpec) -> Self {
+        self.engine = engine;
+        self
+    }
+
     /// A preconfigured [`NetworkBuilder`] — the escape hatch for consumers
     /// that need knobs the declarative form does not carry (custom loss
     /// models, per-link payloads); chain the extra builder calls before
@@ -419,6 +460,7 @@ impl Scenario {
             .success_probabilities(self.success.expand(self.links))
             .delivery_ratios(self.ratio.expand(self.links))
             .policy(self.policy.kind(self.links))
+            .engine(self.engine)
             .seed(self.seed);
         if let Some(traffic) = self.traffic.instantiate(self.links) {
             b = b.traffic(traffic);
@@ -585,6 +627,7 @@ pub fn video(n: usize, alpha: f64, rho: f64, seed: u64) -> Scenario {
         replications: 1,
         track: None,
         fault: None,
+        engine: EngineSpec::Timeline,
     }
 }
 
@@ -610,6 +653,7 @@ pub fn video_per_link(alpha: Vec<f64>, p: Vec<f64>, rho: Vec<f64>, seed: u64) ->
         replications: 1,
         track: None,
         fault: None,
+        engine: EngineSpec::Timeline,
     }
 }
 
@@ -634,6 +678,7 @@ pub fn control(n: usize, lambda: f64, rho: f64, seed: u64) -> Scenario {
         replications: 1,
         track: None,
         fault: None,
+        engine: EngineSpec::Timeline,
     }
 }
 
@@ -660,6 +705,7 @@ pub fn asym(alpha_star: f64, rho: f64, seed: u64) -> Scenario {
         replications: 1,
         track: None,
         fault: None,
+        engine: EngineSpec::Timeline,
     }
 }
 
@@ -698,6 +744,7 @@ pub fn tiny(seed: u64) -> Scenario {
         replications: 1,
         track: None,
         fault: None,
+        engine: EngineSpec::Timeline,
     }
 }
 

@@ -1,0 +1,920 @@
+//! The batched DP interval kernel: a massive-N reformulation of
+//! [`DpEngine`](crate::DpEngine) that steps one interval in
+//! `O(min(N, deadline/slot))` work instead of `O(N × boundaries)`.
+//!
+//! # Why the timeline engine is O(N × B)
+//!
+//! The timeline engine replays every slot boundary: at each of up to
+//! `B ≈ deadline/slot` boundaries it decrements all `N` backoff counters
+//! and scans for links whose counter reached zero. At `N = 10 000` video
+//! links that is ~2.2 × 10⁷ counter touches per interval, even though at
+//! most `⌊deadline/airtime⌋ ≈ 61` links ever transmit.
+//!
+//! # The batched reformulation
+//!
+//! Eq. 6 makes the backoff counters *deterministic in the priority order*:
+//! a non-candidate with priority `s` starts at counter
+//! `(s − 1) + 2·|{pairs with C + 1 < s}|`, and the two members of swap pair
+//! `j` (upper priority `C`) occupy counters in `[C − 1 + 2j, C + 2 + 2j]`
+//! depending only on their private coins. Three structural facts follow:
+//!
+//! 1. **All counters are distinct** and a link with initial counter `c`
+//!    acts at slot boundary `k = c` (counters decrement once per processed
+//!    boundary after the first). Walking links in priority order — with a
+//!    local two-element sort inside each pair block — visits them in
+//!    strictly increasing counter order. No per-boundary scan is needed.
+//! 2. **Idle gaps collapse**: between two consecutive actors the interval
+//!    advances by whole idle slots, so the walk jumps `gap` boundaries in
+//!    O(1) arithmetic (bounded by `⌈(deadline − t)/slot⌉` so the
+//!    deadline-stop boundary is exact).
+//! 3. **Carrier-sense checks become bitset lookups**: "busy at boundary
+//!    `k`" means "a transmission starts at `k`", so the walk records each
+//!    transmission boundary in a [`SenseBoard`] and the Eq. 7/8 checks
+//!    (counter-at-1, i.e. boundary `initial − 1`) and the Remark-4 concede
+//!    check (boundary after a claim that did not fit) are resolved *after*
+//!    the walk as O(1) queries, guarded by the processed bound `B` (a
+//!    boundary the timeline never processed means "check never ran").
+//!
+//! The kernel consumes the RNG in exactly the timeline order — shared
+//! candidate draw, per-pair coins in candidate order, channel attempts in
+//! counter order — so [`BatchedDpEngine::step`] reproduces
+//! [`DpEngine::run_interval`](crate::DpEngine::run_interval) bit-for-bit:
+//! same [`DpIntervalReport`], same σ evolution, same RNG stream position.
+//! The equivalence is pinned by proptest + golden tests in
+//! `tests/batched_equivalence.rs`.
+//!
+//! # Allocation discipline
+//!
+//! All working storage — the struct-of-arrays [`DpState`], the claim
+//! board, the reused [`DpIntervalReport`] — is owned by the engine; after
+//! a warm-up interval the hot path performs **zero heap allocations**
+//! (pinned by `tests/alloc_regression.rs` with a counting allocator).
+//! Trace mode is the documented exception: it buffers and sorts events and
+//! is meant for debugging, not the hot path.
+//!
+//! # Documented divergences from the timeline engine
+//!
+//! * `mu` values of non-candidate links are range-checked only in debug
+//!   builds (the timeline asserts all `N` per interval, which would be the
+//!   dominant cost at `N = 10 000`). The two candidate links' values are
+//!   asserted in all builds; no RNG draw depends on the difference.
+//! * The defensive multi-transmitter collision path of the timeline
+//!   (unreachable for a correct DP construction) has no batched
+//!   counterpart; distinct counters are asserted in debug builds instead.
+
+use rand::Rng;
+use rtmac_model::{AdjacentTransposition, LinkId, Permutation};
+use rtmac_phy::channel::LossModel;
+use rtmac_phy::{Medium, SenseBoard};
+use rtmac_sim::{Nanos, SimRng};
+
+use crate::dp::{
+    draw_nonadjacent_candidates_into, DpConfig, DpIntervalReport, FrameKind, TraceEvent,
+};
+use crate::{IntervalOutcome, MacTiming};
+
+/// Sentinel for "no concede check armed" in [`DpState::pair_concede_at`].
+const UNARMED: u64 = u64::MAX;
+
+/// Flat struct-of-arrays interval state, owned by the engine so the hot
+/// loop never allocates. Replaces the timeline engine's per-link
+/// `counter`/`role`/`done` vectors: per-pair facts live in parallel arrays
+/// indexed by pair, per-link facts are derived on the fly from the
+/// priority walk.
+#[derive(Debug, Clone, Default)]
+struct DpState {
+    /// Upper priority `C` of pair `j` (sorted, pairwise non-adjacent).
+    pair_c: Vec<usize>,
+    /// Link index holding priority `C`.
+    pair_hi: Vec<usize>,
+    /// Link index holding priority `C + 1`.
+    pair_lo: Vec<usize>,
+    /// Initial backoff counter of the hi member (Eq. 6).
+    pair_hi_counter: Vec<u64>,
+    /// Initial backoff counter of the lo member (Eq. 6).
+    pair_lo_counter: Vec<u64>,
+    /// `ξ_hi = −1`: hi wants to move down.
+    pair_hi_wants_down: Vec<bool>,
+    /// `ξ_lo = +1`: lo wants to move up.
+    pair_lo_wants_up: Vec<bool>,
+    /// lo actually began a transmission (Eq. 9's `R_i + R_j ≥ 1`).
+    pair_lo_transmitted: Vec<bool>,
+    /// Boundary whose busy bit decides hi's Remark-4 concede ([`UNARMED`]
+    /// when hi's claim fitted or hi wanted down anyway).
+    pair_concede_at: Vec<u64>,
+    /// Bit-per-boundary transmission-start record.
+    board: SenseBoard,
+    /// The drawn candidate set (reused buffer).
+    candidates: Vec<usize>,
+    /// Shuffle scratch for the stars-and-bars candidate draw.
+    draw_pool: Vec<usize>,
+    /// Links whose per-link outcome entries were written this interval;
+    /// clearing only these keeps the reset O(transmitters), not O(N).
+    touched: Vec<usize>,
+    /// Trace mode only: events keyed by (boundary, within-boundary seq)
+    /// for the post-walk merge into timeline order.
+    trace_tmp: Vec<(u64, u32, TraceEvent)>,
+    /// Trace mode only: start time of every processed boundary.
+    boundary_times: Vec<Nanos>,
+    /// Debug-postcondition scratch (σ bijection check without `vec!`).
+    seen: Vec<bool>,
+}
+
+/// What happened at a claimant's action boundary.
+enum Claim {
+    /// The deadline was reached before the claimant acted.
+    Stopped,
+    /// Nothing to send (no data, no pending empty claim); idle boundary.
+    Idle,
+    /// The frame no longer fit before the deadline (Remark 4).
+    NoFit,
+    /// A transmission started at the claimant's boundary.
+    Transmitted,
+}
+
+/// The walking state of one interval: current time, next unprocessed
+/// boundary, and the sinks the walk writes into.
+struct Walk<'a> {
+    timing: &'a MacTiming,
+    slot: Nanos,
+    deadline: Nanos,
+    arrivals: &'a [u32],
+    channel: &'a mut dyn LossModel,
+    rng: &'a mut SimRng,
+    board: &'a mut SenseBoard,
+    outcome: &'a mut IntervalOutcome,
+    touched: &'a mut Vec<usize>,
+    trace: Option<TraceRec<'a>>,
+    medium: Medium,
+    t: Nanos,
+    next_boundary: u64,
+    stopped: bool,
+}
+
+/// Trace-mode sinks (separate struct so the hot path carries one `Option`).
+struct TraceRec<'a> {
+    events: &'a mut Vec<(u64, u32, TraceEvent)>,
+    times: &'a mut Vec<Nanos>,
+}
+
+impl Walk<'_> {
+    /// Processes `count` idle boundaries: one idle slot each.
+    fn advance_idle(&mut self, count: u64) {
+        if let Some(tr) = &mut self.trace {
+            for i in 0..count {
+                tr.times.push(self.t + self.slot * i);
+            }
+        }
+        self.outcome.idle_slots += count;
+        self.t += self.slot * count;
+        self.next_boundary += count;
+    }
+
+    /// Processes the current boundary as idle (claimant had nothing to
+    /// send, or its frame did not fit).
+    fn idle_boundary(&mut self) {
+        self.advance_idle(1);
+    }
+
+    /// Advances to boundary `counter` and lets `link` act there.
+    ///
+    /// `pending_empty` mirrors the timeline's Step-2 flag: the link is a
+    /// swap candidate with no arrivals, so it claims its backoff slot with
+    /// an empty frame.
+    fn claim(&mut self, link: usize, counter: u64, pending_empty: bool) -> Claim {
+        debug_assert!(!self.stopped, "claim after deadline stop");
+        debug_assert!(
+            counter >= self.next_boundary,
+            "claimants must arrive in counter order"
+        );
+        // Timeline loop head: a boundary where t >= deadline is never
+        // processed.
+        if self.t >= self.deadline {
+            self.stopped = true;
+            return Claim::Stopped;
+        }
+        // Idle gap: every boundary strictly before `counter` belongs to no
+        // remaining claimant, so each processed one adds exactly one idle
+        // slot. `m` is how many boundaries fit before the deadline
+        // (t + (m−1)·slot < deadline ≤ t + m·slot), so the stop boundary
+        // lands exactly where the timeline loop would break.
+        let gap = counter - self.next_boundary;
+        let remaining = self.deadline - self.t;
+        let m = remaining / self.slot + u64::from(!(remaining % self.slot).is_zero());
+        if gap >= m {
+            self.advance_idle(m);
+            self.stopped = true;
+            return Claim::Stopped;
+        }
+        self.advance_idle(gap);
+        // Boundary `counter` is processed (t < deadline holds because
+        // gap ≤ m − 1).
+        let has_data = self.arrivals[link] > 0;
+        if !has_data && !pending_empty {
+            self.idle_boundary();
+            return Claim::Idle;
+        }
+        let airtime = if has_data {
+            self.timing.data_airtime_for(link)
+        } else {
+            self.timing.empty_airtime()
+        };
+        if !self.timing.fits(self.t, airtime) {
+            // Remark 4: not enough time left — idle out the interval.
+            self.idle_boundary();
+            return Claim::NoFit;
+        }
+
+        // Transmission boundary: record the claim bit, then hold the
+        // medium back-to-back exactly like the timeline Step 6.
+        debug_assert!(
+            !self.board.busy_at(counter as usize),
+            "two claimants at boundary {counter}: DP counters must be distinct"
+        );
+        self.board.record_start(counter as usize);
+        if let Some(tr) = &mut self.trace {
+            tr.times.push(self.t);
+        }
+        let mut now = self.t;
+        let mut seq: u32 = 1;
+        if has_data {
+            debug_assert!(!pending_empty, "pending empty claims require zero arrivals");
+            let mut data = self.arrivals[link];
+            self.touched.push(link);
+            while data > 0 && self.timing.fits(now, airtime) {
+                let tx = self.medium.transmit(now, &[airtime]);
+                self.outcome.attempts[link] += 1;
+                let delivered = self.channel.attempt(LinkId::new(link), self.rng);
+                if delivered {
+                    data -= 1;
+                    self.outcome.deliveries[link] += 1;
+                    self.outcome.latency_sum[link] += tx.ends_at;
+                }
+                if let Some(tr) = &mut self.trace {
+                    tr.events.push((
+                        counter,
+                        seq,
+                        TraceEvent::TxStart {
+                            link: LinkId::new(link),
+                            at: now,
+                            kind: FrameKind::Data,
+                        },
+                    ));
+                    tr.events.push((
+                        counter,
+                        seq + 1,
+                        TraceEvent::TxEnd {
+                            link: LinkId::new(link),
+                            at: tx.ends_at,
+                            delivered,
+                        },
+                    ));
+                    seq += 2;
+                }
+                now = tx.ends_at;
+            }
+        } else {
+            let tx = self.medium.transmit(now, &[airtime]);
+            self.outcome.empty_packets += 1;
+            if let Some(tr) = &mut self.trace {
+                tr.events.push((
+                    counter,
+                    seq,
+                    TraceEvent::TxStart {
+                        link: LinkId::new(link),
+                        at: now,
+                        kind: FrameKind::Empty,
+                    },
+                ));
+                tr.events.push((
+                    counter,
+                    seq + 1,
+                    TraceEvent::TxEnd {
+                        link: LinkId::new(link),
+                        at: tx.ends_at,
+                        delivered: false,
+                    },
+                ));
+            }
+            now = tx.ends_at;
+        }
+        self.t = now + self.slot; // one idle slot before the next boundary
+        self.next_boundary = counter + 1;
+        Claim::Transmitted
+    }
+}
+
+/// The batched DP engine: drop-in for [`DpEngine`](crate::DpEngine) on the
+/// stepping path, bit-identical results, `O(min(N, deadline/slot))` per
+/// interval.
+///
+/// # Example
+///
+/// ```
+/// use rtmac_mac::{BatchedDpEngine, DpConfig, DpEngine, MacTiming};
+/// use rtmac_phy::channel::Bernoulli;
+/// use rtmac_phy::PhyProfile;
+/// use rtmac_sim::{Nanos, SeedStream};
+///
+/// let timing = MacTiming::new(PhyProfile::ieee80211a(), Nanos::from_millis(2), 100);
+/// let config = DpConfig::new(timing);
+/// let mut batched = BatchedDpEngine::new(config.clone(), 4);
+/// let mut timeline = DpEngine::new(config, 4);
+/// let arrivals = [1, 1, 1, 1];
+/// let mu = [0.5; 4];
+/// let (mut ch1, mut ch2) = (Bernoulli::reliable(4), Bernoulli::reliable(4));
+/// let (mut r1, mut r2) = (SeedStream::new(7).rng(0), SeedStream::new(7).rng(0));
+/// let fast = batched.step(&arrivals, &mu, &mut ch1, &mut r1).clone();
+/// let slow = timeline.run_interval(&arrivals, &mu, &mut ch2, &mut r2);
+/// assert_eq!(fast, slow);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchedDpEngine {
+    config: DpConfig,
+    sigma: Permutation,
+    state: DpState,
+    report: DpIntervalReport,
+}
+
+impl BatchedDpEngine {
+    /// Creates an engine for `n_links` links with the identity priority
+    /// ordering, pre-sizing every buffer so stepping never allocates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_links == 0`.
+    #[must_use]
+    pub fn new(config: DpConfig, n_links: usize) -> Self {
+        let want = config.swap_pairs().min(n_links / 2);
+        // The claim board covers every boundary the timeline could
+        // process: it stops at the deadline after at most
+        // `deadline/slot + 1` boundaries (each advances t by ≥ one slot)
+        // and runs out of claimants after `max counter + 1 ≤ n + 2·want`
+        // boundaries.
+        let by_deadline = (config.timing().deadline() / config.timing().slot()) as usize + 2;
+        let by_counters = n_links + 2 * want + 2;
+        let horizon = by_deadline.min(by_counters);
+        let mut state = DpState {
+            board: SenseBoard::new(horizon),
+            ..DpState::default()
+        };
+        state.pair_c.reserve(want);
+        state.pair_hi.reserve(want);
+        state.pair_lo.reserve(want);
+        state.pair_hi_counter.reserve(want);
+        state.pair_lo_counter.reserve(want);
+        state.pair_hi_wants_down.reserve(want);
+        state.pair_lo_wants_up.reserve(want);
+        state.pair_lo_transmitted.reserve(want);
+        state.pair_concede_at.reserve(want);
+        state.candidates.reserve(want);
+        if want > 1 {
+            state.draw_pool.reserve(n_links);
+        }
+        state.touched.reserve(n_links.min(horizon));
+        state.seen.resize(n_links, false);
+        BatchedDpEngine {
+            config,
+            sigma: Permutation::identity(n_links),
+            state,
+            report: DpIntervalReport {
+                outcome: IntervalOutcome::empty(n_links),
+                candidates: Vec::with_capacity(want),
+                swaps: Vec::with_capacity(want),
+                trace: Vec::new(),
+            },
+        }
+    }
+
+    /// The current priority permutation `σ(k−1)`.
+    #[must_use]
+    pub fn sigma(&self) -> &Permutation {
+        &self.sigma
+    }
+
+    /// Overrides the priority permutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the permutation size differs from the engine's link count.
+    pub fn set_sigma(&mut self, sigma: Permutation) {
+        assert_eq!(
+            sigma.len(),
+            self.sigma.len(),
+            "permutation size must match link count"
+        );
+        self.sigma = sigma;
+    }
+
+    /// Number of links.
+    #[must_use]
+    pub fn n_links(&self) -> usize {
+        self.sigma.len()
+    }
+
+    /// The engine configuration.
+    #[must_use]
+    pub fn config(&self) -> &DpConfig {
+        &self.config
+    }
+
+    /// Runs one interval, drawing the shared candidate set internally —
+    /// the batched counterpart of
+    /// [`DpEngine::run_interval`](crate::DpEngine::run_interval). The
+    /// returned report is an engine-owned buffer, valid until the next
+    /// step; clone it to keep it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrivals`, `mu`, or the channel's link count disagree
+    /// with the engine's, or (candidate links always, every link in debug
+    /// builds) if some `μ_n ∉ (0, 1)`.
+    pub fn step(
+        &mut self,
+        arrivals: &[u32],
+        mu: &[f64],
+        channel: &mut dyn LossModel,
+        rng: &mut SimRng,
+    ) -> &DpIntervalReport {
+        self.run(arrivals, mu, None, channel, rng)
+    }
+
+    /// Runs one interval with an injected candidate set (sorted upper
+    /// priorities, pairwise non-adjacent) — the batched counterpart of
+    /// [`DpEngine::run_interval_with_candidates`](crate::DpEngine::run_interval_with_candidates).
+    ///
+    /// # Panics
+    ///
+    /// Same as [`BatchedDpEngine::step`], plus a panic if the candidate
+    /// set is malformed.
+    pub fn step_with_candidates(
+        &mut self,
+        arrivals: &[u32],
+        mu: &[f64],
+        candidates: &[usize],
+        channel: &mut dyn LossModel,
+        rng: &mut SimRng,
+    ) -> &DpIntervalReport {
+        self.run(arrivals, mu, Some(candidates), channel, rng)
+    }
+
+    /// The shared interval body.
+    #[allow(clippy::too_many_lines)] // one interval, one function: the walk,
+                                     // the sense resolution, and the commit are a single documented unit.
+    fn run(
+        &mut self,
+        arrivals: &[u32],
+        mu: &[f64],
+        inject: Option<&[usize]>,
+        channel: &mut dyn LossModel,
+        rng: &mut SimRng,
+    ) -> &DpIntervalReport {
+        let n = self.sigma.len();
+        assert_eq!(arrivals.len(), n, "arrivals must have one entry per link");
+        assert_eq!(channel.n_links(), n, "channel link count mismatch");
+        assert_eq!(mu.len(), n, "mu must have one entry per link");
+        #[cfg(debug_assertions)]
+        for (i, &m) in mu.iter().enumerate() {
+            debug_assert!(m > 0.0 && m < 1.0, "mu[{i}] = {m} must lie in (0, 1)");
+        }
+
+        let Self {
+            config,
+            sigma,
+            state,
+            report,
+        } = self;
+        let timing = config.timing();
+        let tracing = config.trace();
+        let DpState {
+            pair_c,
+            pair_hi,
+            pair_lo,
+            pair_hi_counter,
+            pair_lo_counter,
+            pair_hi_wants_down,
+            pair_lo_wants_up,
+            pair_lo_transmitted,
+            pair_concede_at,
+            board,
+            candidates,
+            draw_pool,
+            touched,
+            trace_tmp,
+            boundary_times,
+            seen,
+        } = state;
+
+        // ------------------------------------------------------ reset
+        for &l in touched.iter() {
+            report.outcome.deliveries[l] = 0;
+            report.outcome.attempts[l] = 0;
+            report.outcome.latency_sum[l] = Nanos::ZERO;
+        }
+        touched.clear();
+        report.outcome.empty_packets = 0;
+        report.outcome.collisions = 0;
+        report.outcome.busy_time = Nanos::ZERO;
+        report.outcome.idle_slots = 0;
+        report.outcome.leftover = Nanos::ZERO;
+        report.candidates.clear();
+        report.swaps.clear();
+        report.trace.clear();
+        board.reset();
+        trace_tmp.clear();
+        boundary_times.clear();
+
+        // ------------------------------------- Step 1: candidate draw
+        match inject {
+            Some(c) => {
+                candidates.clear();
+                candidates.extend_from_slice(c);
+            }
+            None => {
+                draw_nonadjacent_candidates_into(n, config.swap_pairs(), rng, candidates, draw_pool)
+            }
+        }
+        for (i, &c) in candidates.iter().enumerate() {
+            assert!(c >= 1 && c < n, "candidate priority {c} out of range");
+            if i > 0 {
+                assert!(
+                    c >= candidates[i - 1] + 2,
+                    "candidates must be sorted and non-adjacent"
+                );
+            }
+        }
+        report.candidates.extend_from_slice(candidates);
+
+        // ------------------ Steps 2–4: coins and counters, per pair.
+        // Coins are drawn in candidate order, hi before lo — the exact
+        // timeline RNG sequence.
+        pair_c.clear();
+        pair_hi.clear();
+        pair_lo.clear();
+        pair_hi_counter.clear();
+        pair_lo_counter.clear();
+        pair_hi_wants_down.clear();
+        pair_lo_wants_up.clear();
+        pair_lo_transmitted.clear();
+        pair_concede_at.clear();
+        for (j, &c) in candidates.iter().enumerate() {
+            let hi = sigma.link_with_priority(c).index();
+            let lo = sigma.link_with_priority(c + 1).index();
+            for link in [hi, lo] {
+                let m = mu[link];
+                assert!(m > 0.0 && m < 1.0, "mu[{link}] = {m} must lie in (0, 1)");
+            }
+            let xi_hi_up = rng.random_bool(mu[hi]);
+            let xi_lo_up = rng.random_bool(mu[lo]);
+            let hi_wants_down = !xi_hi_up;
+            let lo_wants_up = xi_lo_up;
+            let off = 2 * j as u64;
+            // Eq. 6: counter = σ_n − ξ (+ 2 per completed earlier pair).
+            let hi_counter = if hi_wants_down {
+                c as u64 + 1 + off
+            } else {
+                c as u64 - 1 + off
+            };
+            let lo_counter = if lo_wants_up {
+                c as u64 + off
+            } else {
+                c as u64 + 2 + off
+            };
+            pair_c.push(c);
+            pair_hi.push(hi);
+            pair_lo.push(lo);
+            pair_hi_counter.push(hi_counter);
+            pair_lo_counter.push(lo_counter);
+            pair_hi_wants_down.push(hi_wants_down);
+            pair_lo_wants_up.push(lo_wants_up);
+            pair_lo_transmitted.push(false);
+            pair_concede_at.push(UNARMED);
+        }
+        let n_pairs = pair_c.len();
+
+        // Trace mode: the timeline emits every link's BackoffSet in link
+        // order before the loop. O(N · pairs) here is fine — trace mode is
+        // explicitly off the hot path.
+        if tracing {
+            for link in 0..n {
+                let sigma_n = sigma.priority_of(LinkId::new(link));
+                let mut counter = None;
+                for j in 0..n_pairs {
+                    if pair_hi[j] == link {
+                        counter = Some(pair_hi_counter[j]);
+                    } else if pair_lo[j] == link {
+                        counter = Some(pair_lo_counter[j]);
+                    }
+                }
+                let counter = match counter {
+                    Some(c) => c,
+                    None => {
+                        let pairs_above =
+                            pair_c.iter().filter(|&&c| c + 1 < sigma_n).count() as u64;
+                        (sigma_n as u64 - 1) + 2 * pairs_above
+                    }
+                };
+                report.trace.push(TraceEvent::BackoffSet {
+                    link: LinkId::new(link),
+                    counter,
+                });
+            }
+        }
+
+        // --------------------- Phase 1: the priority walk (Steps 4/6).
+        // Claimants are visited in strictly increasing counter order: the
+        // priority sweep 1..=N, with the two members of each pair block
+        // locally ordered by counter (pair j's counters lie strictly
+        // between its neighbours' — see the module docs).
+        let mut walk = Walk {
+            timing,
+            slot: timing.slot(),
+            deadline: timing.deadline(),
+            arrivals,
+            channel,
+            rng,
+            board,
+            outcome: &mut report.outcome,
+            touched,
+            trace: if tracing {
+                Some(TraceRec {
+                    events: trace_tmp,
+                    times: boundary_times,
+                })
+            } else {
+                None
+            },
+            medium: Medium::new(),
+            t: Nanos::ZERO,
+            next_boundary: 0,
+            stopped: false,
+        };
+        let mut pair_idx = 0usize;
+        let mut p = 1usize;
+        'walk: while p <= n {
+            if pair_idx < n_pairs && pair_c[pair_idx] == p {
+                let j = pair_idx;
+                let hi_first = pair_hi_counter[j] < pair_lo_counter[j];
+                for step in 0..2 {
+                    let is_hi = (step == 0) == hi_first;
+                    let (link, counter) = if is_hi {
+                        (pair_hi[j], pair_hi_counter[j])
+                    } else {
+                        (pair_lo[j], pair_lo_counter[j])
+                    };
+                    // Step 2: a candidate with no arrivals claims its
+                    // backoff slot with an empty frame.
+                    let pending_empty = arrivals[link] == 0;
+                    match walk.claim(link, counter, pending_empty) {
+                        Claim::Stopped => break 'walk,
+                        Claim::Transmitted => {
+                            if !is_hi {
+                                pair_lo_transmitted[j] = true;
+                            }
+                        }
+                        Claim::NoFit => {
+                            // Remark 4: a *staying* hi whose claim no
+                            // longer fits concedes iff a transmission
+                            // starts at exactly the next boundary.
+                            if is_hi && !pair_hi_wants_down[j] {
+                                pair_concede_at[j] = counter + 1;
+                            }
+                        }
+                        Claim::Idle => {}
+                    }
+                }
+                p += 2;
+                pair_idx += 1;
+            } else {
+                let link = sigma.link_with_priority(p).index();
+                let counter = (p as u64 - 1) + 2 * pair_idx as u64;
+                if let Claim::Stopped = walk.claim(link, counter, false) {
+                    break 'walk;
+                }
+                p += 1;
+            }
+        }
+        // The first boundary the timeline would *not* process: either the
+        // deadline-stop boundary or `max counter + 1` once every claimant
+        // acted. Sense checks at boundaries ≥ b_end never ran.
+        let b_end = walk.next_boundary;
+        let medium_collisions = walk.medium.stats().collisions;
+        let medium_busy_time = walk.medium.stats().busy_time;
+        let medium_busy_until = walk.medium.busy_until();
+        report.outcome.collisions += medium_collisions;
+        report.outcome.busy_time = medium_busy_time;
+        report.outcome.leftover = timing.deadline().saturating_sub(medium_busy_until);
+        if tracing {
+            debug_assert_eq!(
+                boundary_times.len() as u64,
+                b_end,
+                "one recorded time per processed boundary"
+            );
+        }
+
+        // ------- Phase 2: bitset sense resolution + commit (Steps 5/7).
+        for j in 0..n_pairs {
+            let mut hi_busy_at_1 = false;
+            let mut lo_idle_at_1 = false;
+            if pair_hi_wants_down[j] {
+                // Eq. 7: hi senses at the boundary where its counter
+                // stands at 1, i.e. boundary `initial − 1`.
+                let s = pair_hi_counter[j] - 1;
+                if s < b_end {
+                    let busy = board.busy_at(s as usize);
+                    hi_busy_at_1 = busy;
+                    if tracing {
+                        trace_tmp.push((
+                            s,
+                            0,
+                            TraceEvent::SenseCheck {
+                                link: LinkId::new(pair_hi[j]),
+                                at: boundary_times[s as usize],
+                                busy,
+                            },
+                        ));
+                    }
+                }
+            }
+            if pair_lo_wants_up[j] {
+                // Eq. 8: same construction for lo.
+                let s = pair_lo_counter[j] - 1;
+                if s < b_end {
+                    let busy = board.busy_at(s as usize);
+                    lo_idle_at_1 = !busy;
+                    if tracing {
+                        trace_tmp.push((
+                            s,
+                            0,
+                            TraceEvent::SenseCheck {
+                                link: LinkId::new(pair_lo[j]),
+                                at: boundary_times[s as usize],
+                                busy,
+                            },
+                        ));
+                    }
+                }
+            }
+            let ca = pair_concede_at[j];
+            let hi_concede = ca != UNARMED && ca < b_end && board.busy_at(ca as usize);
+            let hi_swaps = (pair_hi_wants_down[j] && hi_busy_at_1) || hi_concede;
+            let lo_swaps = lo_idle_at_1 && pair_lo_wants_up[j] && pair_lo_transmitted[j];
+            debug_assert_eq!(
+                hi_swaps, lo_swaps,
+                "swap handshake diverged for pair C = {} (σ = {})",
+                pair_c[j], sigma
+            );
+            if hi_swaps && lo_swaps {
+                let t = AdjacentTransposition::new(pair_c[j]);
+                sigma.apply(t);
+                report.swaps.push(t);
+                if tracing {
+                    trace_tmp.push((
+                        u64::MAX,
+                        j as u32,
+                        TraceEvent::SwapCommitted { upper: pair_c[j] },
+                    ));
+                }
+            }
+        }
+
+        // Trace mode: merge the out-of-order sense checks back into the
+        // timeline's per-boundary emission order. Keys are unique (sense
+        // boundaries are pairwise distinct; tx events use seq ≥ 1).
+        if tracing {
+            trace_tmp.sort_unstable_by_key(|&(b, s, _)| (b, s));
+            report.trace.extend(trace_tmp.iter().map(|&(_, _, e)| e));
+        }
+
+        // Interval postconditions, mirroring the timeline's (debug only,
+        // using engine-owned scratch instead of a fresh `vec!`).
+        #[cfg(debug_assertions)]
+        {
+            seen.fill(false);
+            for &p in sigma.priorities() {
+                debug_assert!(
+                    p >= 1 && p <= n && !seen[p - 1],
+                    "σ is no longer a permutation after interval commit: {sigma}"
+                );
+                seen[p - 1] = true;
+            }
+            debug_assert!(
+                report.swaps.len() <= report.candidates.len(),
+                "more swaps committed ({}) than pairs drawn ({})",
+                report.swaps.len(),
+                report.candidates.len()
+            );
+            for w in report.swaps.windows(2) {
+                debug_assert!(
+                    w[0].upper() < w[1].upper(),
+                    "a drawn pair committed two swaps (uppers {} and {})",
+                    w[0].upper(),
+                    w[1].upper()
+                );
+            }
+            for t in report.swaps.iter() {
+                debug_assert!(
+                    report.candidates.contains(&t.upper()),
+                    "committed swap at priority {} was never drawn as a candidate",
+                    t.upper()
+                );
+            }
+        }
+        #[cfg(not(debug_assertions))]
+        let _ = seen;
+
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DpConfig, DpEngine};
+    use rtmac_phy::channel::Bernoulli;
+    use rtmac_phy::PhyProfile;
+    use rtmac_sim::SeedStream;
+
+    fn timing_ms(ms: u64, payload: u32) -> MacTiming {
+        MacTiming::new(PhyProfile::ieee80211a(), Nanos::from_millis(ms), payload)
+    }
+
+    /// Drives both engines over `intervals` with identical inputs and
+    /// asserts bit-identical reports and σ trajectories.
+    fn assert_equivalent(config: DpConfig, n: usize, seed: u64, intervals: usize) {
+        let mut fast = BatchedDpEngine::new(config.clone(), n);
+        let mut slow = DpEngine::new(config, n);
+        let mut ch_fast = Bernoulli::new(vec![0.8; n]).unwrap();
+        let mut ch_slow = Bernoulli::new(vec![0.8; n]).unwrap();
+        let seeds = SeedStream::new(seed);
+        let mut rng_fast = seeds.rng(0);
+        let mut rng_slow = seeds.rng(0);
+        let mut arrival_rng = seeds.rng(1);
+        let mut arrivals = vec![0u32; n];
+        let mu = vec![0.5; n];
+        for k in 0..intervals {
+            for a in arrivals.iter_mut() {
+                *a = arrival_rng.random_range(0..4);
+            }
+            let fast_report = fast
+                .step(&arrivals, &mu, &mut ch_fast, &mut rng_fast)
+                .clone();
+            let slow_report = slow.run_interval(&arrivals, &mu, &mut ch_slow, &mut rng_slow);
+            assert_eq!(fast_report, slow_report, "interval {k} diverged");
+            assert_eq!(fast.sigma(), slow.sigma(), "sigma diverged at interval {k}");
+        }
+    }
+
+    #[test]
+    fn matches_timeline_on_default_config() {
+        assert_equivalent(DpConfig::new(timing_ms(2, 100)), 6, 2018, 40);
+    }
+
+    #[test]
+    fn matches_timeline_with_trace_and_multi_pair() {
+        let config = DpConfig::new(timing_ms(2, 100))
+            .with_swap_pairs(3)
+            .with_trace(true);
+        assert_equivalent(config, 10, 2018, 40);
+    }
+
+    #[test]
+    fn matches_timeline_under_deadline_pressure() {
+        // 200 µs deadline: data frames never fit, only empty claims do —
+        // the Remark-4 concede path fires regularly.
+        let timing = MacTiming::new(PhyProfile::ieee80211a(), Nanos::from_micros(200), 1500);
+        assert_equivalent(DpConfig::new(timing).with_trace(true), 4, 7, 60);
+    }
+
+    #[test]
+    fn single_link_runs() {
+        let mut e = BatchedDpEngine::new(DpConfig::new(timing_ms(20, 1500)), 1);
+        let mut ch = Bernoulli::reliable(1);
+        let mut rng = SeedStream::new(3).rng(0);
+        let report = e.step(&[5], &[0.5], &mut ch, &mut rng);
+        assert_eq!(report.outcome.deliveries, [5]);
+        assert!(report.candidates.is_empty());
+    }
+
+    #[test]
+    fn report_buffer_resets_between_intervals() {
+        let mut e = BatchedDpEngine::new(DpConfig::new(timing_ms(20, 1500)), 3);
+        let mut ch = Bernoulli::reliable(3);
+        let mut rng = SeedStream::new(4).rng(0);
+        let first = e.step(&[2, 0, 1], &[0.5; 3], &mut ch, &mut rng).clone();
+        assert_eq!(first.outcome.total_deliveries(), 3);
+        // A later all-idle interval must not leak the previous counters.
+        let second = e.step(&[0, 0, 0], &[0.5; 3], &mut ch, &mut rng);
+        assert_eq!(second.outcome.total_deliveries(), 0);
+        assert_eq!(second.outcome.total_attempts(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in (0, 1)")]
+    fn candidate_mu_out_of_range_panics() {
+        let mut e = BatchedDpEngine::new(DpConfig::new(timing_ms(2, 100)), 2);
+        let mut ch = Bernoulli::reliable(2);
+        let mut rng = SeedStream::new(5).rng(0);
+        e.step_with_candidates(&[1, 1], &[1.5, 0.5], &[1], &mut ch, &mut rng);
+    }
+}

@@ -827,12 +827,34 @@ impl DpEngine {
 /// ```
 #[must_use]
 pub fn draw_nonadjacent_candidates(n: usize, want: usize, rng: &mut SimRng) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut pool = Vec::new();
+    draw_nonadjacent_candidates_into(n, want, rng, &mut out, &mut pool);
+    out
+}
+
+/// Buffer-reusing form of [`draw_nonadjacent_candidates`]: writes the drawn
+/// set into `out` using `pool` as shuffle scratch.
+///
+/// Consumes exactly the same RNG sequence as the allocating form, so a
+/// caller that swaps one for the other (the batched interval kernel does)
+/// keeps bit-identical traces. Both buffers are cleared first; after the
+/// first call at a given `(n, want)` no further allocation occurs.
+pub fn draw_nonadjacent_candidates_into(
+    n: usize,
+    want: usize,
+    rng: &mut SimRng,
+    out: &mut Vec<usize>,
+    pool: &mut Vec<usize>,
+) {
+    out.clear();
     let want = want.min(n / 2);
     if n < 2 || want == 0 {
-        return Vec::new();
+        return;
     }
     if want == 1 {
-        return vec![rng.random_range(1..n)];
+        out.push(rng.random_range(1..n));
+        return;
     }
     // Stars-and-bars bijection: sorted non-adjacent `want`-sets of
     // {1..n−1} correspond one-to-one to plain `want`-subsets of
@@ -841,14 +863,14 @@ pub fn draw_nonadjacent_candidates(n: usize, want: usize, rng: &mut SimRng) -> V
     // (Rejection sampling degenerates near the maximum packing: at
     // n = 20, want = 10 only one of the C(19,10) = 92378 subsets is
     // non-adjacent.)
-    let mut pool: Vec<usize> = (1..=n - want).collect();
+    pool.clear();
+    pool.extend(1..=n - want);
     pool.shuffle(rng);
-    let mut picked = pool[..want].to_vec();
-    picked.sort_unstable();
-    for (i, x) in picked.iter_mut().enumerate() {
+    out.extend_from_slice(&pool[..want]);
+    out.sort_unstable();
+    for (i, x) in out.iter_mut().enumerate() {
         *x += i;
     }
-    picked
 }
 
 #[cfg(test)]

@@ -1,0 +1,63 @@
+//! Zero-allocation regression guard for the batched DP interval kernel.
+//!
+//! The batched engine's contract is that *stepping* never touches the heap:
+//! every buffer (struct-of-arrays state, sense board, candidate pools, the
+//! reusable report) is sized at construction and reused. This test installs
+//! a counting global allocator, warms the engine, then asserts that further
+//! intervals perform exactly zero heap allocations.
+//!
+//! Trace mode is exempt from the contract (trace buffers legitimately grow
+//! on the first traced intervals), so the engine under test runs untraced —
+//! matching the benchmark configuration.
+
+use alloctrack::CountingAllocator;
+use rtmac_mac::{BatchedDpEngine, DpConfig, MacTiming};
+use rtmac_phy::channel::Bernoulli;
+use rtmac_phy::PhyProfile;
+use rtmac_sim::{Nanos, SeedStream};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
+
+#[test]
+fn batched_step_performs_zero_heap_allocations() {
+    const N: usize = 256;
+    let timing = MacTiming::new(PhyProfile::ieee80211a(), Nanos::from_millis(20), 1500);
+    let config = DpConfig::new(timing).with_swap_pairs(3);
+    let mut engine = BatchedDpEngine::new(config, N);
+    let mut channel = Bernoulli::new(vec![0.8; N]).unwrap();
+    let seeds = SeedStream::new(2018);
+    let mut rng = seeds.rng(0);
+    let mut arrival_rng = seeds.rng(1);
+
+    let mut arrivals = vec![0u32; N];
+    let mu = vec![0.5f64; N];
+
+    // Warm-up: let lazy one-time costs (if any) land before measuring.
+    use rand::Rng;
+    for _ in 0..5 {
+        for a in arrivals.iter_mut() {
+            *a = arrival_rng.random_range(0..=3);
+        }
+        let _ = engine.step(&arrivals, &mu, &mut channel, &mut rng);
+    }
+
+    let before = alloctrack::allocations();
+    for _ in 0..100 {
+        for a in arrivals.iter_mut() {
+            *a = arrival_rng.random_range(0..=3);
+        }
+        let report = engine.step(&arrivals, &mu, &mut channel, &mut rng);
+        // Keep the optimizer honest without allocating.
+        assert!(report.outcome.deliveries.len() == N);
+    }
+    let after = alloctrack::allocations();
+
+    assert_eq!(
+        after - before,
+        0,
+        "batched DP stepping allocated {} times over 100 intervals; \
+         the interval kernel must be allocation-free",
+        after - before
+    );
+}

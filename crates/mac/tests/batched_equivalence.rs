@@ -1,0 +1,151 @@
+//! Equivalence pinning for the batched DP interval kernel.
+//!
+//! The batched engine must reproduce the timeline [`DpEngine`] decision
+//! trace *byte-for-byte*: identical [`DpIntervalReport`]s (outcome,
+//! candidates, swaps, trace events in order), identical σ evolution, and
+//! identical RNG stream position after every interval. Two layers:
+//!
+//! * a proptest sweeping link counts, swap-pair counts, deadlines,
+//!   payloads, channel reliabilities and arrival patterns;
+//! * a golden test pinning a fingerprint of 300 traced intervals at the
+//!   benchmark seed 2018, so a silent semantic change in *either* engine
+//!   breaks loudly even if both change in the same way the proptest
+//!   cannot distinguish.
+
+use proptest::prelude::*;
+use rand::Rng;
+use rtmac_mac::{BatchedDpEngine, DpConfig, DpEngine, MacTiming};
+use rtmac_phy::channel::Bernoulli;
+use rtmac_phy::PhyProfile;
+use rtmac_sim::{Nanos, SeedStream};
+
+/// FNV-1a over a byte stream; stable across platforms.
+fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
+    let mut h = hash;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+
+/// Drives both engines over `intervals` with identical inputs; panics on
+/// the first divergence and returns a fingerprint of every report.
+fn drive_pair(
+    config: &DpConfig,
+    n: usize,
+    seed: u64,
+    intervals: usize,
+    success: f64,
+    max_arrivals: u32,
+) -> u64 {
+    let mut fast = BatchedDpEngine::new(config.clone(), n);
+    let mut slow = DpEngine::new(config.clone(), n);
+    let mut ch_fast = Bernoulli::new(vec![success; n]).unwrap();
+    let mut ch_slow = Bernoulli::new(vec![success; n]).unwrap();
+    let seeds = SeedStream::new(seed);
+    let mut rng_fast = seeds.rng(0);
+    let mut rng_slow = seeds.rng(0);
+    let mut arrival_rng = seeds.rng(1);
+    let mut mu_rng = seeds.rng(2);
+    let mut arrivals = vec![0u32; n];
+    let mut mu = vec![0.5f64; n];
+    let mut hash = FNV_OFFSET;
+    for k in 0..intervals {
+        for a in arrivals.iter_mut() {
+            *a = arrival_rng.random_range(0..=max_arrivals);
+        }
+        for m in mu.iter_mut() {
+            *m = mu_rng.random_range(0.05..0.95);
+        }
+        let fast_report = fast
+            .step(&arrivals, &mu, &mut ch_fast, &mut rng_fast)
+            .clone();
+        let slow_report = slow.run_interval(&arrivals, &mu, &mut ch_slow, &mut rng_slow);
+        assert_eq!(
+            fast_report, slow_report,
+            "batched vs timeline diverged at interval {k} (n = {n}, seed = {seed})"
+        );
+        assert_eq!(
+            fast.sigma(),
+            slow.sigma(),
+            "sigma diverged at interval {k} (n = {n}, seed = {seed})"
+        );
+        hash = fnv1a(hash, format!("{slow_report:?}").as_bytes());
+        hash = fnv1a(hash, format!("{}", slow.sigma()).as_bytes());
+    }
+    hash
+}
+
+/// The golden trace: 20 video links (the fig. 3 shape), traced, at the
+/// benchmark seed. The constant pins the *decision trace itself*, not just
+/// batched-vs-timeline agreement, so both engines are anchored to the
+/// behaviour the committed bench_results figures were produced with.
+#[test]
+fn golden_trace_fingerprint_at_seed_2018() {
+    let timing = MacTiming::new(PhyProfile::ieee80211a(), Nanos::from_millis(20), 1500);
+    let config = DpConfig::new(timing).with_trace(true);
+    let hash = drive_pair(&config, 20, 2018, 300, 0.9, 3);
+    assert_eq!(
+        hash, 0x9A17_F84D_1E38_09CB,
+        "DP decision trace changed: if intentional, re-pin this fingerprint \
+         and regenerate the bench_results goldens"
+    );
+}
+
+/// Control-loop shape: short 2 ms deadline, 100 B payloads, two pairs.
+#[test]
+fn golden_control_shape_matches() {
+    let timing = MacTiming::new(PhyProfile::ieee80211a(), Nanos::from_millis(2), 100);
+    let config = DpConfig::new(timing).with_swap_pairs(2).with_trace(true);
+    drive_pair(&config, 10, 2018, 300, 0.7, 2);
+}
+
+/// Deadline so tight that data frames never fit: the Remark-4 concede
+/// path and empty-claim frames dominate.
+#[test]
+fn golden_concede_pressure_matches() {
+    let timing = MacTiming::new(PhyProfile::ieee80211a(), Nanos::from_micros(200), 1500);
+    let config = DpConfig::new(timing).with_trace(true);
+    drive_pair(&config, 6, 2018, 400, 0.9, 1);
+}
+
+/// Saturated large-ish N: the batched walk stops at the deadline long
+/// before exhausting claimants, exercising the idle-gap stop arithmetic.
+#[test]
+fn golden_saturated_n200_matches() {
+    let timing = MacTiming::new(PhyProfile::ieee80211a(), Nanos::from_millis(20), 1500);
+    let config = DpConfig::new(timing);
+    drive_pair(&config, 200, 2018, 30, 0.8, 4);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Bit-for-bit equivalence across the configuration space.
+    #[test]
+    fn prop_batched_matches_timeline(
+        n in 2usize..14,
+        swap_pairs in 0usize..4,
+        deadline_idx in 0usize..4,
+        payload_idx in 0usize..3,
+        success in 0.3f64..1.0,
+        trace in 0u8..2,
+        seed in 0u64..1_000_000,
+        max_arrivals in 0u32..4,
+    ) {
+        let deadline_us = [200u64, 500, 2_000, 20_000][deadline_idx];
+        let payload = [100u32, 500, 1500][payload_idx];
+        let timing = MacTiming::new(
+            PhyProfile::ieee80211a(),
+            Nanos::from_micros(deadline_us),
+            payload,
+        );
+        let config = DpConfig::new(timing)
+            .with_swap_pairs(swap_pairs)
+            .with_trace(trace == 1);
+        drive_pair(&config, n, seed, 12, success, max_arrivals);
+    }
+}

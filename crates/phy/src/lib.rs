@@ -21,6 +21,9 @@
 //!   false-idle carrier-sensing errors ([`fault::FaultModel`]) and scripted
 //!   link crash/revive churn ([`fault::ChurnSchedule`]) for the degraded-mode
 //!   DP experiments.
+//! * [`SenseBoard`] — a bit-per-slot-boundary claim board that lets the
+//!   batched interval kernel resolve carrier-sense checks as O(1) lookups
+//!   instead of per-link timeline walks.
 //!
 //! # Example
 //!
@@ -38,6 +41,8 @@ pub mod channel;
 pub mod fault;
 mod medium;
 mod profile;
+mod sense;
 
 pub use medium::{Medium, MediumStats, TransmitOutcome};
 pub use profile::PhyProfile;
+pub use sense::SenseBoard;

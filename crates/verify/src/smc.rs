@@ -269,9 +269,11 @@ impl BatchOut {
 ///
 /// `make_subject` builds one fresh subject per worker batch (subjects
 /// need not be `Send`; each lives entirely inside its batch). The result
-/// is bit-identical for any worker count and any batch split: all
-/// randomness keys off the sample index, and the reported counterexample
-/// is always the lowest-index violating sample's.
+/// is bit-identical for any worker count: all randomness keys off the
+/// sample index, the reported counterexample is always the lowest-index
+/// violating sample's, and the batch geometry itself is a fixed function
+/// of the sample budget — the batches are only *scheduled* onto the
+/// runner's work-stealing pool, never shaped by it.
 ///
 /// ```
 /// use rtmac::runner::Runner;
@@ -296,11 +298,14 @@ where
 {
     let check_cfg = cfg.check_config();
     let timing = check_cfg.timing();
-    // Batch geometry only shapes scheduling; results are sample-indexed.
-    let batch = cfg
-        .samples
-        .div_ceil((runner.workers() as u64).saturating_mul(8).max(1))
-        .clamp(1, 4096);
+    // Fixed batch geometry, independent of the runner's worker count:
+    // carve the sample budget into at most `TARGET_BATCHES` equal slices
+    // (capped at 4096 samples each) and let the work-stealing runner
+    // balance them. Keeping the split a pure function of `cfg.samples`
+    // means the identical batches — and the identical merged report —
+    // fall out of every pool size.
+    const TARGET_BATCHES: u64 = 64;
+    let batch = cfg.samples.div_ceil(TARGET_BATCHES).clamp(1, 4096);
     let mut ranges = Vec::new();
     let mut start = 0u64;
     while start < cfg.samples {

@@ -60,6 +60,11 @@ fn smc_is_worker_count_independent() {
     assert_eq!(one.intervals, eight.intervals);
     assert_eq!(one.liveness, eight.liveness);
     assert_eq!(one.counterexample.is_none(), eight.counterexample.is_none());
+    // The batch geometry is a pure function of the sample budget, so the
+    // whole report — not just each field — is identical across pool sizes.
+    let three = run(3);
+    assert_eq!(format!("{one:?}"), format!("{eight:?}"));
+    assert_eq!(format!("{one:?}"), format!("{three:?}"));
 }
 
 #[test]

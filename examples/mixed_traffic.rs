@@ -11,7 +11,7 @@
 //! cargo run --release --example mixed_traffic
 //! ```
 
-use rtmac::scenario::{Param, TrafficSpec};
+use rtmac::scenario::{EngineSpec, Param, TrafficSpec};
 use rtmac::{PolicySpec, Scenario};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -41,6 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         replications: 1,
         track: None,
         fault: None,
+        engine: EngineSpec::Timeline,
     };
 
     // Per-link payload sizes are the one knob the declarative scenario

@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use rtmac::scenario::{Param, TrafficSpec};
+use rtmac::scenario::{EngineSpec, Param, TrafficSpec};
 use rtmac::{PolicySpec, Scenario};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -31,6 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         replications: 1,
         track: None,
         fault: None,
+        engine: EngineSpec::Timeline,
     };
     let mut network = scenario.network()?;
 

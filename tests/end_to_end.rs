@@ -104,6 +104,41 @@ fn runs_are_reproducible() {
     assert_eq!(run(), run());
 }
 
+/// The batched interval kernel is a drop-in replacement for the timeline
+/// engine: the same DB-DP scenario produces a byte-identical [`RunReport`]
+/// (including the policy name, so downstream figures cannot tell them
+/// apart), and the kernel refuses configurations it cannot honour.
+#[test]
+fn batched_engine_report_is_identical_to_timeline() {
+    use rtmac::scenario::EngineSpec;
+
+    for (links, seed) in [(4usize, 11u64), (12, 23), (20, 99)] {
+        let base = scenarios::video(links, 0.5, 0.9, seed).with_policy(PolicySpec::db_dp());
+        let timeline = run(base.clone(), 400);
+        let batched = run(base.with_engine(EngineSpec::Batched), 400);
+        assert_eq!(
+            format!("{timeline:?}"),
+            format!("{batched:?}"),
+            "engines diverged at links = {links}, seed = {seed}"
+        );
+    }
+
+    // The batched kernel only drives DB-DP...
+    let ldf = scenarios::video(4, 0.5, 0.9, 1)
+        .with_policy(PolicySpec::Ldf)
+        .with_engine(EngineSpec::Batched);
+    assert!(ldf.network().is_err());
+    // ...and does not model fault injection.
+    let faulty = scenarios::video(4, 0.5, 0.9, 1)
+        .with_policy(PolicySpec::db_dp())
+        .with_engine(EngineSpec::Batched);
+    let faulty = Scenario {
+        fault: Some(rtmac::scenario::FaultSpec::sensing(0.05)),
+        ..faulty
+    };
+    assert!(faulty.network().is_err());
+}
+
 /// The DP protocol family never collides, even across long mixed runs.
 #[test]
 fn dp_family_is_collision_free_end_to_end() {

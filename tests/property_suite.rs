@@ -3,7 +3,7 @@
 //! *any* configuration. Every network is described as a [`Scenario`] first.
 
 use proptest::prelude::*;
-use rtmac::scenario::{Param, TrafficSpec};
+use rtmac::scenario::{EngineSpec, Param, TrafficSpec};
 use rtmac::{PolicySpec, Scenario};
 use rtmac_traffic::{ArrivalProcess, BurstUniform};
 
@@ -53,6 +53,7 @@ proptest! {
             replications: 1,
             track: None,
             fault: None,
+            engine: EngineSpec::Timeline,
         };
         let mut net = sc.network().unwrap();
         let report = net.run(intervals);

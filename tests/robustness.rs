@@ -5,7 +5,7 @@
 //! [`Scenario::to_builder`] escape hatch.
 
 use rtmac::phy::channel::{GilbertElliott, GilbertElliottParams, Scripted};
-use rtmac::scenario::{Param, TrafficSpec};
+use rtmac::scenario::{EngineSpec, Param, TrafficSpec};
 use rtmac::{PolicySpec, Scenario};
 use rtmac_suite::scenarios;
 use rtmac_traffic::MarkovModulated;
@@ -132,6 +132,7 @@ fn extreme_parameters_smoke() {
         replications: 1,
         track: None,
         fault: None,
+        engine: EngineSpec::Timeline,
     }
     .run()
     .unwrap();

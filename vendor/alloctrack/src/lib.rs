@@ -1,0 +1,77 @@
+//! A counting global allocator for alloc-regression tests.
+//!
+//! The workspace forbids `unsafe_code` in its own crates, so the
+//! `GlobalAlloc` shim lives here as a vendored test-only dependency. Install
+//! [`CountingAllocator`] as the `#[global_allocator]` of a test binary, then
+//! snapshot [`allocations`] around the code under test: a hot loop that is
+//! supposed to be allocation-free must leave the counter unchanged.
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: alloctrack::CountingAllocator = alloctrack::CountingAllocator::new();
+//!
+//! let before = alloctrack::allocations();
+//! hot_loop();
+//! assert_eq!(alloctrack::allocations() - before, 0);
+//! ```
+//!
+//! Counters are process-global atomics; keep one measuring test per binary
+//! (or serialize tests) so concurrent tests do not perturb the counts.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static DEALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static BYTES_ALLOCATED: AtomicU64 = AtomicU64::new(0);
+
+/// A [`System`]-backed allocator that counts every allocation.
+#[derive(Debug, Default)]
+pub struct CountingAllocator;
+
+impl CountingAllocator {
+    /// A new counting allocator (const so it can be a `static`).
+    #[must_use]
+    pub const fn new() -> Self {
+        CountingAllocator
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES_ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        DEALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A realloc that moves or grows is an allocation event for the
+        // purposes of "the hot loop must not touch the allocator".
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES_ALLOCATED.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Total allocation events (alloc + realloc) since process start.
+#[must_use]
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Total deallocation events since process start.
+#[must_use]
+pub fn deallocations() -> u64 {
+    DEALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Total bytes requested from the allocator since process start.
+#[must_use]
+pub fn bytes_allocated() -> u64 {
+    BYTES_ALLOCATED.load(Ordering::Relaxed)
+}

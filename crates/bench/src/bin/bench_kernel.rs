@@ -1,19 +1,22 @@
 //! Tracked kernel benchmark: measures batched vs timeline interval
-//! throughput over an N-grid plus Runner job throughput, and writes the
-//! machine-readable `bench_results/BENCH_kernel.json`.
+//! throughput over an N-grid plus Runner job throughput, and *appends*
+//! the run to the machine-readable `bench_results/BENCH_kernel.json`
+//! history (one entry per recorded run, oldest first).
 //!
 //! ```sh
 //! # headline run: N = 10,000 links x 1,000,000 intervals (minutes)
 //! cargo run --release -p rtmac-bench --bin bench_kernel
 //! # CI smoke: same shape, tiny interval counts (seconds)
 //! cargo run --release -p rtmac-bench --bin bench_kernel -- --quick
-//! # schema check of an emitted file (exit 1 on malformed output)
+//! # whole-history schema check (exit 1 on any malformed entry)
 //! cargo run --release -p rtmac-bench --bin bench_kernel -- --check bench_results/BENCH_kernel.json
+//! # one-shot migration of a legacy v1 single-run file into history[0]
+//! cargo run --release -p rtmac-bench --bin bench_kernel -- --migrate bench_results/BENCH_kernel.json
 //! ```
 
 use rtmac_bench::kernel::{
-    measure_batched, measure_runner, measure_timeline, render_json, validate_bench_json,
-    KernelPoint,
+    append_history, measure_batched, measure_runner, measure_timeline, migrate_history,
+    render_entry, validate_bench_json, KernelPoint,
 };
 
 const SEED: u64 = 2018;
@@ -34,11 +37,38 @@ fn main() {
         };
         match validate_bench_json(&text) {
             Ok(()) => {
-                println!("{path}: valid rtmac-bench-kernel/1 document");
+                println!("{path}: valid rtmac-bench-kernel/2 history");
                 return;
             }
             Err(e) => {
                 eprintln!("{path}: INVALID — {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--migrate") {
+        let Some(path) = args.get(pos + 1) else {
+            eprintln!("--migrate requires a file path");
+            std::process::exit(2);
+        };
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match migrate_history(&text) {
+            Ok(doc) => {
+                if let Err(e) = std::fs::write(path, &doc) {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(1);
+                }
+                println!("{path}: rewritten as rtmac-bench-kernel/2 history");
+                return;
+            }
+            Err(e) => {
+                eprintln!("{path}: cannot migrate — {e}");
                 std::process::exit(1);
             }
         }
@@ -88,16 +118,24 @@ fn main() {
     eprintln!("runner: {jobs} jobs x {work} timeline intervals...");
     let runner = measure_runner(jobs, work);
 
-    let doc = render_json(mode, SEED, &headline, &grid, &runner);
+    let entry = render_entry(mode, SEED, &headline, &grid, &runner);
+    let path = "bench_results/BENCH_kernel.json";
+    let existing = std::fs::read_to_string(path).ok();
+    let (doc, entries) = match append_history(existing.as_deref(), &entry) {
+        Ok(appended) => appended,
+        Err(e) => {
+            eprintln!("cannot append to {path}: {e}");
+            std::process::exit(1);
+        }
+    };
     if let Err(e) = validate_bench_json(&doc) {
-        eprintln!("emitted document failed self-check: {e}\n{doc}");
+        eprintln!("appended document failed self-check: {e}\n{doc}");
         std::process::exit(1);
     }
-    let path = "bench_results/BENCH_kernel.json";
     if let Err(e) = std::fs::write(path, &doc) {
         eprintln!("cannot write {path}: {e}");
         std::process::exit(1);
     }
-    print!("{doc}");
-    eprintln!("wrote {path}");
+    print!("{entry}");
+    eprintln!("appended history entry #{entries} to {path}");
 }

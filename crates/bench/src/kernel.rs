@@ -3,11 +3,16 @@
 //! [`rtmac::Runner`]'s job throughput.
 //!
 //! The `bench_kernel` binary drives [`measure_batched`], [`measure_timeline`]
-//! and [`measure_runner`] over an N-grid and writes the machine-readable
-//! `bench_results/BENCH_kernel.json` described in `bench_results/README.md`.
-//! [`validate_bench_json`] re-parses an emitted file and checks the schema —
-//! CI runs it against the quick-mode output so a malformed emitter fails the
-//! build rather than silently archiving garbage.
+//! and [`measure_runner`] over an N-grid and *appends* the run to the
+//! machine-readable `bench_results/BENCH_kernel.json` described in
+//! `bench_results/README.md`: a `rtmac-bench-kernel/2` document whose
+//! `history` array holds one entry per recorded run, oldest first, so the
+//! tracked file accumulates a per-PR performance trail instead of
+//! overwriting it. [`append_history`] performs the append (migrating a v1
+//! single-run document into `history[0]` on the way); [`validate_bench_json`]
+//! re-parses an emitted file and checks every history entry — CI runs it
+//! against the appended output so a malformed emitter fails the build rather
+//! than silently archiving garbage.
 //!
 //! Timing here is wall-clock by necessity (it *is* the measurement); every
 //! `Instant` use carries a lint waiver. Nothing measured feeds back into
@@ -146,12 +151,13 @@ fn write_point(out: &mut String, p: &KernelPoint) {
     );
 }
 
-/// Renders the `BENCH_kernel.json` document (schema in
-/// `bench_results/README.md`). `headline` is the flagship batched run;
-/// `grid` carries every (engine, N) point; `speedup` pairs batched over
-/// timeline throughput at each N present for both engines.
+/// Renders one history entry (schema in `bench_results/README.md`).
+/// `headline` is the flagship batched run; `grid` carries every
+/// (engine, N) point; `speedup` pairs batched over timeline throughput at
+/// each N present for both engines. Feed the result to [`append_history`]
+/// to produce the tracked `BENCH_kernel.json` document.
 #[must_use]
-pub fn render_json(
+pub fn render_entry(
     mode: &str,
     seed: u64,
     headline: &KernelPoint,
@@ -160,8 +166,6 @@ pub fn render_json(
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": \"rtmac-bench-kernel/1\",");
-    let _ = writeln!(out, "  \"label\": \"kernel\",");
     let _ = writeln!(out, "  \"mode\": \"{mode}\",");
     let _ = writeln!(out, "  \"seed\": {seed},");
     out.push_str("  \"headline\": ");
@@ -229,6 +233,176 @@ impl Json {
             _ => None,
         }
     }
+    fn is_scalar(&self) -> bool {
+        !matches!(self, Json::Arr(_) | Json::Obj(_))
+    }
+    /// Canonical pretty-printer: scalar-only objects stay on one line
+    /// (grid points, speedup rows, the runner block); arrays and nested
+    /// objects break across lines at two-space indents. Appends therefore
+    /// rewrite prior entries byte-identically.
+    fn render_into(&self, indent: usize, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(x) => {
+                let _ = write!(out, "{x}");
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        other => out.push(other),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    for _ in 0..indent + 2 {
+                        out.push(' ');
+                    }
+                    item.render_into(indent + 2, out);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                for _ in 0..indent {
+                    out.push(' ');
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.iter().all(|(_, v)| v.is_scalar()) {
+                    out.push('{');
+                    for (i, (k, v)) in fields.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        let _ = write!(out, "\"{k}\": ");
+                        v.render_into(indent, out);
+                    }
+                    out.push('}');
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    for _ in 0..indent + 2 {
+                        out.push(' ');
+                    }
+                    let _ = write!(out, "\"{k}\": ");
+                    v.render_into(indent + 2, out);
+                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+                }
+                for _ in 0..indent {
+                    out.push(' ');
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------------- history
+
+/// Parses a tracked `BENCH_kernel.json` into its run entries, oldest
+/// first. A `rtmac-bench-kernel/2` document yields its `history` array; a
+/// legacy single-run `rtmac-bench-kernel/1` document is migrated into a
+/// one-entry history (its `schema`/`label` framing keys dropped); `None`
+/// or blank text yields an empty history.
+fn parse_history(existing: Option<&str>) -> Result<Vec<Json>, String> {
+    let text = match existing {
+        Some(t) if !t.trim().is_empty() => t,
+        _ => return Ok(Vec::new()),
+    };
+    let doc = Parser::new(text).parse()?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::str_val)
+        .ok_or("existing file: missing \"schema\"")?;
+    match schema {
+        "rtmac-bench-kernel/2" => match doc {
+            Json::Obj(fields) => {
+                for (k, v) in fields {
+                    if k == "history" {
+                        let Json::Arr(entries) = v else {
+                            return Err("existing file: \"history\" is not an array".into());
+                        };
+                        return Ok(entries);
+                    }
+                }
+                Err("existing file: missing \"history\" array".into())
+            }
+            _ => Err("existing file: not an object".into()),
+        },
+        "rtmac-bench-kernel/1" => match doc {
+            Json::Obj(fields) => {
+                let body: Vec<(String, Json)> = fields
+                    .into_iter()
+                    .filter(|(k, _)| k != "schema" && k != "label")
+                    .collect();
+                Ok(vec![Json::Obj(body)])
+            }
+            _ => Err("existing file: not an object".into()),
+        },
+        other => Err(format!("existing file: unknown schema \"{other}\"")),
+    }
+}
+
+/// Renders the `rtmac-bench-kernel/2` framing document around `entries`.
+fn render_history(entries: Vec<Json>) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"rtmac-bench-kernel/2\",\n  \"label\": \"kernel\",\n");
+    out.push_str("  \"history\": ");
+    Json::Arr(entries).render_into(2, &mut out);
+    out.push_str("\n}\n");
+    out
+}
+
+/// Appends one run entry (the output of [`render_entry`]) to the tracked
+/// history document and returns `(document, entry_count)`.
+///
+/// `existing` is the current `BENCH_kernel.json` text, if any: a v2
+/// document grows by one entry, a legacy v1 single-run document is
+/// migrated into `history[0]` first, and `None` starts a fresh history.
+/// Prior entries are never modified — only re-rendered through the
+/// canonical printer — so the history is append-only by construction.
+///
+/// # Errors
+///
+/// Returns a description of the first problem: unparseable existing text,
+/// an unknown schema, or an unparseable new entry.
+pub fn append_history(existing: Option<&str>, entry: &str) -> Result<(String, usize), String> {
+    let mut entries = parse_history(existing)?;
+    let parsed = Parser::new(entry)
+        .parse()
+        .map_err(|e| format!("new entry: {e}"))?;
+    entries.push(parsed);
+    let count = entries.len();
+    Ok((render_history(entries), count))
+}
+
+/// Rewrites a tracked document in canonical v2 form without appending:
+/// the one-shot migration path for a legacy v1 file (`bench_kernel
+/// --migrate`).
+///
+/// # Errors
+///
+/// Returns a description of the parse or schema problem, or an error for
+/// an empty input (nothing to migrate).
+pub fn migrate_history(existing: &str) -> Result<String, String> {
+    let entries = parse_history(Some(existing))?;
+    if entries.is_empty() {
+        return Err("nothing to migrate: empty document".into());
+    }
+    Ok(render_history(entries))
 }
 
 struct Parser<'a> {
@@ -400,67 +574,100 @@ fn check_point(p: &Json, ctx: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// Validates an emitted `BENCH_kernel.json` document: well-formed JSON,
-/// the `rtmac-bench-kernel/1` schema tag, a positive-throughput headline
-/// and grid, a non-empty speedup table, and a sane runner block.
-///
-/// # Errors
-///
-/// Returns a human-readable description of the first schema violation.
-pub fn validate_bench_json(text: &str) -> Result<(), String> {
-    let doc = Parser::new(text).parse()?;
-    let schema = doc
-        .get("schema")
-        .and_then(Json::str_val)
-        .ok_or("missing \"schema\"")?;
-    if schema != "rtmac-bench-kernel/1" {
-        return Err(format!("unknown schema \"{schema}\""));
-    }
+/// Validates one history entry: mode, seed, a positive-throughput batched
+/// headline and grid, a non-empty speedup table, and a sane runner block.
+fn check_entry(doc: &Json, ctx: &str) -> Result<(), String> {
     let mode = doc
         .get("mode")
         .and_then(Json::str_val)
-        .ok_or("missing \"mode\"")?;
+        .ok_or(format!("{ctx}: missing \"mode\""))?;
     if mode != "full" && mode != "quick" {
-        return Err(format!("unknown mode \"{mode}\""));
+        return Err(format!("{ctx}: unknown mode \"{mode}\""));
     }
     doc.get("seed")
         .and_then(Json::num)
-        .ok_or("missing numeric \"seed\"")?;
-    let headline = doc.get("headline").ok_or("missing \"headline\"")?;
-    check_point(headline, "headline")?;
+        .ok_or(format!("{ctx}: missing numeric \"seed\""))?;
+    let headline = doc
+        .get("headline")
+        .ok_or(format!("{ctx}: missing \"headline\""))?;
+    check_point(headline, &format!("{ctx}: headline"))?;
     if headline.get("engine").and_then(Json::str_val) != Some("batched") {
-        return Err("headline must be a batched-engine run".into());
+        return Err(format!("{ctx}: headline must be a batched-engine run"));
     }
     let Some(Json::Arr(grid)) = doc.get("grid") else {
-        return Err("missing \"grid\" array".into());
+        return Err(format!("{ctx}: missing \"grid\" array"));
     };
     if grid.is_empty() {
-        return Err("empty \"grid\"".into());
+        return Err(format!("{ctx}: empty \"grid\""));
     }
     for (i, p) in grid.iter().enumerate() {
-        check_point(p, &format!("grid[{i}]"))?;
+        check_point(p, &format!("{ctx}: grid[{i}]"))?;
     }
     let Some(Json::Arr(speedup)) = doc.get("speedup") else {
-        return Err("missing \"speedup\" array".into());
+        return Err(format!("{ctx}: missing \"speedup\" array"));
     };
     if speedup.is_empty() {
-        return Err("empty \"speedup\" — no N measured on both engines".into());
+        return Err(format!(
+            "{ctx}: empty \"speedup\" — no N measured on both engines"
+        ));
     }
     for (i, row) in speedup.iter().enumerate() {
         for key in ["n_links", "batched_over_timeline"] {
             row.get(key)
                 .and_then(Json::num)
                 .filter(|x| *x > 0.0)
-                .ok_or(format!("speedup[{i}]: missing positive \"{key}\""))?;
+                .ok_or(format!("{ctx}: speedup[{i}]: missing positive \"{key}\""))?;
         }
     }
-    let runner = doc.get("runner").ok_or("missing \"runner\"")?;
+    let runner = doc
+        .get("runner")
+        .ok_or(format!("{ctx}: missing \"runner\""))?;
     for key in ["workers", "jobs", "elapsed_s", "jobs_per_sec"] {
         runner
             .get(key)
             .and_then(Json::num)
             .filter(|x| *x > 0.0)
-            .ok_or(format!("runner: missing positive \"{key}\""))?;
+            .ok_or(format!("{ctx}: runner: missing positive \"{key}\""))?;
+    }
+    Ok(())
+}
+
+/// Validates a tracked `BENCH_kernel.json` document: well-formed JSON,
+/// the `rtmac-bench-kernel/2` schema tag, and a non-empty `history` in
+/// which *every* entry passes the per-entry checks — the whole trail is
+/// re-validated on each append, so a corrupted old entry fails the gate
+/// even if the new run is fine.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first schema violation.
+/// Legacy `rtmac-bench-kernel/1` documents are rejected with a pointer at
+/// the `--migrate` path.
+pub fn validate_bench_json(text: &str) -> Result<(), String> {
+    let doc = Parser::new(text).parse()?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::str_val)
+        .ok_or("missing \"schema\"")?;
+    if schema == "rtmac-bench-kernel/1" {
+        return Err("legacy single-run schema rtmac-bench-kernel/1 — run \
+                    `bench_kernel --migrate <path>` to wrap it as history[0]"
+            .into());
+    }
+    if schema != "rtmac-bench-kernel/2" {
+        return Err(format!("unknown schema \"{schema}\""));
+    }
+    if doc.get("label").and_then(Json::str_val) != Some("kernel") {
+        return Err("missing or wrong \"label\" (expected \"kernel\")".into());
+    }
+    let Some(Json::Arr(history)) = doc.get("history") else {
+        return Err("missing \"history\" array".into());
+    };
+    if history.is_empty() {
+        return Err("empty \"history\" — no runs recorded".into());
+    }
+    for (i, entry) in history.iter().enumerate() {
+        check_entry(entry, &format!("history[{i}]"))?;
     }
     Ok(())
 }
@@ -469,28 +676,63 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
 mod tests {
     use super::*;
 
-    fn sample_doc() -> String {
+    fn sample_entry() -> String {
         let headline = measure_batched(16, 40, 2018);
         let grid = vec![measure_batched(8, 40, 2018), measure_timeline(8, 10, 2018)];
         let runner = measure_runner(4, 5);
-        render_json("quick", 2018, &headline, &grid, &runner)
+        render_entry("quick", 2018, &headline, &grid, &runner)
     }
 
     #[test]
-    fn emitted_document_validates() {
-        let doc = sample_doc();
-        assert_eq!(validate_bench_json(&doc), Ok(()), "{doc}");
+    fn appended_documents_validate_and_preserve_prior_entries() {
+        let entry = sample_entry();
+        let (one, n1) = append_history(None, &entry).expect("fresh append");
+        assert_eq!(n1, 1);
+        assert_eq!(validate_bench_json(&one), Ok(()), "{one}");
+        let (two, n2) = append_history(Some(&one), &entry).expect("second append");
+        assert_eq!(n2, 2);
+        assert_eq!(validate_bench_json(&two), Ok(()), "{two}");
+        // Append-only: everything before the closing framing of the
+        // one-entry document survives byte-identically.
+        let stable = one.trim_end_matches("\n  ]\n}\n");
+        assert!(two.starts_with(stable), "prior entry rewritten:\n{two}");
+        // A corrupted *old* entry fails the whole-history gate.
+        let corrupt = two.replacen("\"mode\": \"quick\"", "\"mode\": \"weird\"", 1);
+        assert!(validate_bench_json(&corrupt).is_err_and(|e| e.contains("history[0]")));
+    }
+
+    #[test]
+    fn v1_documents_migrate_into_history_zero() {
+        let entry = sample_entry();
+        // A legacy v1 document is the entry body plus schema/label framing.
+        let v1 = format!(
+            "{{\n  \"schema\": \"rtmac-bench-kernel/1\",\n  \"label\": \"kernel\",\n{}",
+            &entry[2..]
+        );
+        // Rejected by the validator, with a pointer at the migration path.
+        assert!(validate_bench_json(&v1).is_err_and(|e| e.contains("--migrate")));
+        let migrated = migrate_history(&v1).expect("v1 migrates");
+        assert_eq!(validate_bench_json(&migrated), Ok(()), "{migrated}");
+        // Appending straight onto a v1 file migrates it on the way.
+        let (two, n) = append_history(Some(&v1), &entry).expect("append migrates");
+        assert_eq!(n, 2);
+        assert_eq!(validate_bench_json(&two), Ok(()), "{two}");
     }
 
     #[test]
     fn validator_rejects_malformed_documents() {
-        let doc = sample_doc();
-        // Truncation, schema drift, and a non-numeric throughput all fail.
+        let (doc, _) = append_history(None, &sample_entry()).expect("append");
+        // Truncation, schema drift, and a missing runner field all fail.
         assert!(validate_bench_json(&doc[..doc.len() / 2]).is_err());
-        assert!(validate_bench_json(&doc.replace("rtmac-bench-kernel/1", "v2")).is_err());
+        assert!(validate_bench_json(&doc.replace("rtmac-bench-kernel/2", "v9")).is_err());
         assert!(validate_bench_json(&doc.replace("\"jobs\"", "\"sobs\"")).is_err());
+        // So do an empty history and non-JSON text.
+        let empty = "{\"schema\": \"rtmac-bench-kernel/2\", \
+                     \"label\": \"kernel\", \"history\": []}";
+        assert!(validate_bench_json(empty).is_err());
         assert!(validate_bench_json("{}").is_err());
         assert!(validate_bench_json("not json").is_err());
+        assert!(migrate_history("").is_err());
     }
 
     #[test]

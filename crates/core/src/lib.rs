@@ -53,6 +53,7 @@ mod policy;
 mod report;
 pub mod runner;
 pub mod scenario;
+pub mod sync;
 
 pub use network::{Network, NetworkBuilder};
 pub use policy::{

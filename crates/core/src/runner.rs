@@ -17,6 +17,15 @@
 //!   its input slot, so the output is bit-identical whether the pool has 1
 //!   worker or 64, and no matter which worker stole which range.
 //!
+//! All shared state goes through the [`crate::sync`] facade rather than
+//! `std::sync` directly: in production the facade is a thin passthrough,
+//! and under `rtmac-verify sched` the same code runs on a cooperative
+//! model scheduler that exhaustively explores worker interleavings
+//! (deadlock-freedom, exactly-once retirement, slot write-once and
+//! worker-count-independent output are model-checked per interleaving).
+//! The [`SchedProbe`] hooks exist for that checker: they observe claim /
+//! steal / slot events without perturbing the schedule.
+//!
 //! Replication seeds derive deterministically from the scenario's base
 //! seed: replication 0 *is* the base seed (so a 1-replication run
 //! reproduces the historical single-run results exactly), and replication
@@ -37,13 +46,11 @@
 //! # Ok::<(), rtmac_model::ConfigError>(())
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
-
 use rtmac_model::ConfigError;
 use rtmac_sim::SeedStream;
 
 use crate::scenario::{Scenario, Sweep};
+use crate::sync::{run_threads, AtomicUsize, Mutex, Ordering};
 use crate::RunReport;
 
 /// Mean/min/max of one metric across a scenario's replications.
@@ -98,12 +105,40 @@ pub fn replication_seeds(scenario: &Scenario) -> Vec<u64> {
         .collect()
 }
 
-/// Locks a mutex, treating poisoning as benign: a poisoned lock only means
-/// another worker panicked, and `thread::scope` re-raises that panic at
-/// join, so the data behind the lock is still coherent for our purposes.
-fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
-    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+/// Observer hooks for the interleaving checker (`rtmac-verify sched`).
+///
+/// [`Runner::map_probed`] reports scheduling-relevant events through this
+/// trait so the model checker can assert exactly-once claims and
+/// write-once slots per explored interleaving. Implementations must not
+/// touch [`crate::sync`] primitives: probe state is deliberately invisible
+/// to the model scheduler so observing an execution does not change the
+/// set of interleavings being explored.
+///
+/// Every method has a no-op default, so production callers pay nothing.
+pub trait SchedProbe: Sync {
+    /// Worker `worker` claimed job index `index`.
+    fn claimed(&self, worker: usize, index: usize) {
+        let _ = (worker, index);
+    }
+    /// Worker `worker` wrote the result slot for job `index`.
+    fn slot_written(&self, worker: usize, index: usize) {
+        let _ = (worker, index);
+    }
+    /// Worker `thief` stole range `lo..hi` from `victim`.
+    fn stole(&self, thief: usize, victim: usize, lo: usize, hi: usize) {
+        let _ = (thief, victim, lo, hi);
+    }
+    /// Worker `worker` found every range empty and retired.
+    fn retired(&self, worker: usize) {
+        let _ = worker;
+    }
 }
+
+/// The probe used by the plain [`Runner::map`] path: observes nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoProbe;
+
+impl SchedProbe for NoProbe {}
 
 /// A bounded work-stealing executor for scenario batches.
 #[derive(Debug, Clone, Copy)]
@@ -140,14 +175,19 @@ impl Runner {
     ///
     /// # Panics
     ///
-    /// Propagates a panic from `f`.
+    /// Propagates the first panic from `f`, after every worker has been
+    /// joined. A panicking worker does not strand the rest of the batch:
+    /// its remaining range is stolen and finished by the surviving
+    /// workers before the panic re-raises on the caller, and it cannot
+    /// deadlock the pool (range locks are released by unwinding). Only
+    /// the panicking job's own result is lost.
     pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
     where
         T: Send,
         R: Send,
         F: Fn(T) -> R + Sync,
     {
-        self.map_with_progress(items, f, |_, _| {})
+        self.map_core(items, f, |_, _| {}, &NoProbe)
     }
 
     /// [`Runner::map`] with a live progress callback.
@@ -164,7 +204,8 @@ impl Runner {
     ///
     /// # Panics
     ///
-    /// Propagates a panic from `f` or `on_progress`.
+    /// Propagates a panic from `f` or `on_progress`, under the same
+    /// join-first contract as [`Runner::map`].
     pub fn map_with_progress<T, R, F, P>(&self, items: Vec<T>, f: F, on_progress: P) -> Vec<R>
     where
         T: Send,
@@ -172,14 +213,54 @@ impl Runner {
         F: Fn(T) -> R + Sync,
         P: Fn(usize, usize) + Sync,
     {
+        self.map_core(items, f, on_progress, &NoProbe)
+    }
+
+    /// [`Runner::map_with_progress`] with a [`SchedProbe`] observing the
+    /// pool's claim/steal/slot events — the entry point the
+    /// `rtmac-verify sched` interleaving checker drives. Results are
+    /// identical to [`Runner::map`].
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from `f` or `on_progress`, under the same
+    /// join-first contract as [`Runner::map`].
+    pub fn map_probed<T, R, F, P, Pb>(
+        &self,
+        items: Vec<T>,
+        f: F,
+        on_progress: P,
+        probe: &Pb,
+    ) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        P: Fn(usize, usize) + Sync,
+        Pb: SchedProbe + ?Sized,
+    {
+        self.map_core(items, f, on_progress, probe)
+    }
+
+    fn map_core<T, R, F, P, Pb>(&self, items: Vec<T>, f: F, on_progress: P, probe: &Pb) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        P: Fn(usize, usize) + Sync,
+        Pb: SchedProbe + ?Sized,
+    {
         let n = items.len();
         let workers = self.workers.min(n);
         if workers <= 1 {
             let mut out = Vec::with_capacity(n);
             for (done, item) in items.into_iter().enumerate() {
+                probe.claimed(0, done);
                 out.push(f(item));
+                probe.slot_written(0, done);
                 on_progress(done + 1, n);
             }
+            probe.retired(0);
             return out;
         }
         // Deal each worker a contiguous index range. Jobs and results live
@@ -192,71 +273,76 @@ impl Runner {
             .map(|w| Mutex::new((w * n / workers, (w + 1) * n / workers)))
             .collect();
         let completed = AtomicUsize::new(0);
-        let f = &f;
-        let on_progress = &on_progress;
-        let ranges = &ranges;
-        std::thread::scope(|scope| {
-            for w in 0..workers {
-                let jobs = &jobs;
-                let slots = &slots;
-                let completed = &completed;
-                scope.spawn(move || loop {
-                    // Pop the front of our own range; once it drains, steal
-                    // the upper half of the first non-empty victim (scanning
-                    // w+1, w+2, … so contention spreads) and adopt it.
-                    let mut claimed = {
-                        let mut own = lock(&ranges[w]);
-                        (own.0 < own.1).then(|| {
-                            let i = own.0;
-                            own.0 += 1;
-                            i
+        run_threads(workers, |w| loop {
+            // Pop the front of our own range; once it drains, steal
+            // the upper half of the first non-empty victim (scanning
+            // w+1, w+2, … so contention spreads) and adopt it. The own
+            // range guard drops at the end of this block, *before* any
+            // victim lock is taken: holding it across the steal scan is
+            // the lock-in-loop-hold deadlock shape.
+            let mut claimed = {
+                let mut own = ranges[w].lock();
+                (own.0 < own.1).then(|| {
+                    let i = own.0;
+                    own.0 += 1;
+                    i
+                })
+            };
+            if claimed.is_none() {
+                for offset in 1..workers {
+                    let victim = (w + offset) % workers;
+                    let stolen = {
+                        let mut other = ranges[victim].lock();
+                        (other.0 < other.1).then(|| {
+                            // Floor midpoint: a 1-job range is stolen
+                            // whole rather than left to ping-pong.
+                            let mid = (other.0 + other.1) / 2;
+                            let stolen = (mid, other.1);
+                            other.1 = mid;
+                            stolen
                         })
                     };
-                    if claimed.is_none() {
-                        for offset in 1..workers {
-                            let victim = (w + offset) % workers;
-                            let stolen = {
-                                let mut other = lock(&ranges[victim]);
-                                (other.0 < other.1).then(|| {
-                                    // Floor midpoint: a 1-job range is stolen
-                                    // whole rather than left to ping-pong.
-                                    let mid = (other.0 + other.1) / 2;
-                                    let stolen = (mid, other.1);
-                                    other.1 = mid;
-                                    stolen
-                                })
-                            };
-                            if let Some((lo, hi)) = stolen {
-                                *lock(&ranges[w]) = (lo + 1, hi);
-                                claimed = Some(lo);
-                                break;
-                            }
-                        }
+                    if let Some((lo, hi)) = stolen {
+                        probe.stole(w, victim, lo, hi);
+                        *ranges[w].lock() = (lo + 1, hi);
+                        claimed = Some(lo);
+                        break;
                     }
-                    // No job of our own and every victim looked empty: any
-                    // remaining jobs belong to live ranges whose owners will
-                    // finish them, so this worker can retire.
-                    let Some(i) = claimed else { break };
-                    let item = lock(&jobs[i])
-                        .take()
-                        // lint: allow(panic-expect) — range bookkeeping hands
-                        // out each index exactly once; a second claim means
-                        // memory corruption, so fail loudly rather than skip
-                        // a job and silently corrupt batch output.
-                        .expect("job claimed twice");
-                    let result = f(item);
-                    *lock(&slots[i]) = Some(result);
-                    let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
-                    on_progress(done, n);
-                });
+                }
             }
+            // No job of our own and every victim looked empty: any
+            // remaining jobs belong to live ranges whose owners will
+            // finish them, so this worker can retire.
+            let Some(i) = claimed else {
+                probe.retired(w);
+                break;
+            };
+            probe.claimed(w, i);
+            let item = jobs[i]
+                .lock()
+                .take()
+                // lint: allow(panic-expect) — range bookkeeping hands
+                // out each index exactly once; a second claim means
+                // memory corruption, so fail loudly rather than skip
+                // a job and silently corrupt batch output.
+                .expect("job claimed twice");
+            let result = f(item);
+            *slots[i].lock() = Some(result);
+            probe.slot_written(w, i);
+            // lint: allow(relaxed-ordering-audit) — `completed` is the
+            // progress counter and nothing else: fetch_add's atomicity
+            // alone guarantees unique, monotone `done` values, and result
+            // visibility is ordered by the per-index slot mutexes plus the
+            // run_threads join, so the counter needs no ordering of its
+            // own.
+            let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+            on_progress(done, n);
         });
         slots
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    // lint: allow(panic-expect) — thread::scope joined every
+                    // lint: allow(panic-expect) — run_threads joined every
                     // worker (propagating any panic), and a worker only
                     // retires when every range is drained, so each slot was
                     // filled; an empty slot would silently misalign results
@@ -362,6 +448,66 @@ mod tests {
             x * 3
         });
         assert_eq!(out, (0..40).map(|x| x * 3).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn map_propagates_worker_panic_after_finishing_other_jobs() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // The documented contract on Runner::map: a panicking job
+        // surfaces its payload on the caller, the pool neither deadlocks
+        // nor strands work, and every *other* job still executes (the
+        // panicking worker's remaining range is stolen by survivors).
+        let executed = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Runner::new(3).map((0..24).collect::<Vec<usize>>(), |x| {
+                executed.fetch_add(1, Ordering::SeqCst);
+                assert!(x != 11, "job 11 exploded");
+                x
+            });
+        }));
+        let payload = result.expect_err("the job panic must propagate to the caller");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .expect("assert! with a literal message panics with a &str payload");
+        assert!(msg.contains("job 11 exploded"), "got: {msg}");
+        // All 24 jobs entered `f` (the panicking one counts itself
+        // before unwinding): no job was silently dropped.
+        assert_eq!(executed.load(Ordering::SeqCst), 24);
+    }
+
+    #[test]
+    fn map_probed_reports_claims_and_slots() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        struct Counting {
+            claims: Vec<AtomicUsize>,
+            writes: Vec<AtomicUsize>,
+            retired: AtomicUsize,
+        }
+        impl SchedProbe for Counting {
+            fn claimed(&self, _worker: usize, index: usize) {
+                self.claims[index].fetch_add(1, Ordering::SeqCst);
+            }
+            fn slot_written(&self, _worker: usize, index: usize) {
+                self.writes[index].fetch_add(1, Ordering::SeqCst);
+            }
+            fn retired(&self, _worker: usize) {
+                self.retired.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let n = 23;
+        let probe = Counting {
+            claims: (0..n).map(|_| AtomicUsize::new(0)).collect(),
+            writes: (0..n).map(|_| AtomicUsize::new(0)).collect(),
+            retired: AtomicUsize::new(0),
+        };
+        let out =
+            Runner::new(4).map_probed((0..n).collect::<Vec<usize>>(), |x| x + 1, |_, _| {}, &probe);
+        assert_eq!(out, (1..=n).collect::<Vec<usize>>());
+        for i in 0..n {
+            assert_eq!(probe.claims[i].load(Ordering::SeqCst), 1, "claim {i}");
+            assert_eq!(probe.writes[i].load(Ordering::SeqCst), 1, "write {i}");
+        }
+        assert_eq!(probe.retired.load(Ordering::SeqCst), 4);
     }
 
     #[test]

@@ -195,6 +195,9 @@ impl Engine {
                     | RuleKind::NanosArith
                     | RuleKind::FloatAccum
                     | RuleKind::PathCall
+                    | RuleKind::SyncPath
+                    | RuleKind::RelaxedOrdering
+                    | RuleKind::LockLoop
             ) {
                 continue;
             }

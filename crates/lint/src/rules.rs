@@ -42,6 +42,15 @@ pub enum RuleKind {
     /// Syntactic: `Type::method(` path calls (API-boundary enforcement),
     /// matched across line breaks.
     PathCall,
+    /// Syntactic: `seg::seg::…` module-path mentions (e.g. `std::sync`),
+    /// matched across line breaks.
+    SyncPath,
+    /// Syntactic: `Ordering::Relaxed` (or other configured memory
+    /// orderings) on atomic operations.
+    RelaxedOrdering,
+    /// Syntactic: a `let`-bound indexed `.lock()` guard still live across
+    /// a loop whose body locks another indexed element.
+    LockLoop,
     /// Crate-root hygiene attributes; evaluated at workspace level, not
     /// per line.
     CrateAttrs,
@@ -284,6 +293,67 @@ pub const RULES: &[Rule] = &[
                   use `to_builder()` when you genuinely need the escape hatch; only \
                   crates/core/src (the layer's own implementation and tests) may \
                   name the builder directly.",
+    },
+    Rule {
+        id: "raw-sync-primitive",
+        kind: RuleKind::SyncPath,
+        default_severity: Severity::Deny,
+        exempt_tests: true,
+        default_tokens: &["std::sync", "std::thread::spawn", "std::thread::scope"],
+        summary: "concurrency primitives go through the rtmac::sync facade",
+        explain: "The work-stealing Runner's shared state flows through the \
+                  rtmac::sync facade (Mutex, AtomicUsize, run_threads), which is \
+                  what lets `rtmac-verify sched` run the *same* code on a \
+                  cooperative model scheduler and exhaustively check its \
+                  interleavings. A raw std::sync::Mutex, std::sync::atomic, \
+                  std::thread::spawn, or std::thread::scope in library code is \
+                  invisible to that checker: its interleavings are never explored \
+                  and its deadlocks never convicted. Route concurrency through \
+                  crate::sync (crates/core/src/sync itself and crates/sim are the \
+                  audited implementations). Checker instrumentation that must \
+                  stay invisible to the model scheduler may waive with \
+                  `// lint: allow(raw-sync-primitive) — <why it must not be \
+                  modeled>`. Test code is exempt.",
+    },
+    Rule {
+        id: "relaxed-ordering-audit",
+        kind: RuleKind::RelaxedOrdering,
+        default_severity: Severity::Deny,
+        exempt_tests: true,
+        default_tokens: &["Relaxed"],
+        summary: "Ordering::Relaxed only with an audited waiver naming the counter",
+        explain: "Relaxed atomics order nothing: a Relaxed store is allowed to \
+                  become visible after operations that follow it in program \
+                  order, which is exactly the class of bug the interleaving \
+                  checker cannot see (the model scheduler is sequentially \
+                  consistent — DESIGN.md §12). Default to SeqCst; the cost is \
+                  negligible off the hot path. Where Relaxed is genuinely \
+                  sufficient — a counter whose atomicity alone carries the \
+                  invariant and whose value orders nothing else — keep it and \
+                  write `// lint: allow(relaxed-ordering-audit) — <which counter \
+                  and why no ordering is needed>` so the audit trail names the \
+                  proof obligation. Test code is exempt.",
+    },
+    Rule {
+        id: "lock-in-loop-hold",
+        kind: RuleKind::LockLoop,
+        default_severity: Severity::Deny,
+        exempt_tests: true,
+        default_tokens: &[],
+        summary: "no indexed lock guard held across a loop that locks siblings",
+        explain: "Binding `let guard = locks[i].lock()` and then entering a \
+                  for/while/loop body that locks *another* element of a lock \
+                  array is the symmetric-deadlock shape: two workers each hold \
+                  their own element while waiting for the other's. The runner's \
+                  steal scan is the canonical instance — the own-range guard \
+                  must drop before the victim scan starts (scope the pop in a \
+                  block). The rule fires on the inner indexed `.lock()` when an \
+                  earlier `let`-bound indexed guard from the same enclosing \
+                  block is still live at the loop, and stays quiet when the \
+                  guard is scoped out or explicitly dropped first. A \
+                  deliberately ordered acquisition (e.g. always ascending index) \
+                  can waive with `// lint: allow(lock-in-loop-hold) — <the lock \
+                  order that excludes the cycle>`. Test code is exempt.",
     },
     Rule {
         id: "missing-crate-attrs",
@@ -636,9 +706,182 @@ pub fn scan(rule: &Rule, file: &SourceFile, syntax: &Syntax, tokens: &[String]) 
                 }
             }
         }
+        RuleKind::SyncPath => {
+            for pat in tokens {
+                let segs: Vec<&str> = pat.split("::").collect();
+                let Some(first) = segs.first() else { continue };
+                'occurrence: for (i, t) in syntax.tokens.iter().enumerate() {
+                    if t.kind != TokKind::Ident || &t.text != first {
+                        continue;
+                    }
+                    if rule.exempt_tests && t.in_test {
+                        continue;
+                    }
+                    // The match must start a path: `foo::std::sync` is not
+                    // the std crate.
+                    if i.checked_sub(1)
+                        .and_then(|p| syntax.tokens.get(p))
+                        .is_some_and(|p| p.text == "::" || p.text == ".")
+                    {
+                        continue;
+                    }
+                    for (s, seg) in segs.iter().enumerate().skip(1) {
+                        let link = syntax.tokens.get(i + 2 * s - 1);
+                        let name = syntax.tokens.get(i + 2 * s);
+                        if link.map(|t| t.text.as_str()) != Some("::")
+                            || name.map(|t| t.text.as_str()) != Some(*seg)
+                        {
+                            continue 'occurrence;
+                        }
+                    }
+                    findings.push(RawFinding {
+                        line: t.line,
+                        col: t.col,
+                        rule: rule.id,
+                        message: format!(
+                            "`{pat}` bypasses the rtmac::sync facade; the \
+                             interleaving checker cannot model it — route \
+                             concurrency through crate::sync"
+                        ),
+                    });
+                }
+            }
+        }
+        RuleKind::RelaxedOrdering => {
+            for (i, t) in syntax.tokens.iter().enumerate() {
+                if t.kind != TokKind::Ident || !tokens.iter().any(|g| g == &t.text) {
+                    continue;
+                }
+                if rule.exempt_tests && t.in_test {
+                    continue;
+                }
+                let prev = |k: usize| {
+                    i.checked_sub(k)
+                        .and_then(|j| syntax.tokens.get(j))
+                        .map(|t| t.text.as_str())
+                };
+                if prev(1) == Some("::") && prev(2) == Some("Ordering") {
+                    findings.push(RawFinding {
+                        line: t.line,
+                        col: t.col,
+                        rule: rule.id,
+                        message: format!(
+                            "`Ordering::{}` without an audited waiver; default \
+                             to SeqCst or name the counter and why it needs no \
+                             ordering",
+                            t.text
+                        ),
+                    });
+                }
+            }
+        }
+        RuleKind::LockLoop => {
+            scan_lock_loop(rule, syntax, &mut findings);
+        }
         RuleKind::CrateAttrs | RuleKind::Meta => {}
     }
     findings
+}
+
+/// The `lock-in-loop-hold` scanner: fires on an indexed `.lock()` inside
+/// a loop body when an earlier `let`-bound indexed guard from the same
+/// enclosing block is still live at the loop.
+fn scan_lock_loop(rule: &Rule, syntax: &Syntax, findings: &mut Vec<RawFinding>) {
+    // Enclosing `{` token index for every token (usize::MAX = file level).
+    let mut stack: Vec<usize> = Vec::new();
+    let mut encl = vec![usize::MAX; syntax.tokens.len()];
+    for (i, t) in syntax.tokens.iter().enumerate() {
+        if t.kind == TokKind::Close && t.text == "}" {
+            stack.pop();
+        }
+        encl[i] = stack.last().copied().unwrap_or(usize::MAX);
+        if t.kind == TokKind::Open && t.text == "{" {
+            stack.push(i);
+        }
+    }
+    // An indexed lock call: `…]​.lock(` — the receiver is an element of a
+    // lock array, the deadlock-prone shape (a single named mutex cannot
+    // form the symmetric cycle this rule hunts).
+    let is_indexed_lock = |i: usize| {
+        let t = &syntax.tokens[i];
+        t.kind == TokKind::Ident
+            && t.text == "lock"
+            && i >= 2
+            && syntax.tokens[i - 1].text == "."
+            && syntax.tokens[i - 2].text == "]"
+            && syntax.tokens.get(i + 1).is_some_and(|t| t.text == "(")
+    };
+    // Whether the statement containing token `i` starts with `let` (the
+    // guard outlives the expression instead of dropping at the `;`).
+    let is_let_bound = |i: usize| {
+        let mut j = i;
+        while j > 0 {
+            j -= 1;
+            let t = &syntax.tokens[j];
+            if matches!(t.text.as_str(), ";" | "{" | "}") {
+                return false;
+            }
+            if t.kind == TokKind::Ident && t.text == "let" {
+                return true;
+            }
+        }
+        false
+    };
+    for i in 0..syntax.tokens.len() {
+        if !is_indexed_lock(i) || !is_let_bound(i) {
+            continue;
+        }
+        if rule.exempt_tests && syntax.tokens[i].in_test {
+            continue;
+        }
+        let block = encl[i];
+        let block_end = if block == usize::MAX {
+            syntax.tokens.len()
+        } else {
+            syntax.partner(block).unwrap_or(syntax.tokens.len())
+        };
+        // The guard lives to the end of its block; scan the rest of the
+        // block for a loop whose body locks another indexed element. An
+        // explicit `drop` before the loop releases the guard — stop.
+        let mut k = i + 1;
+        while k < block_end {
+            let t = &syntax.tokens[k];
+            if t.kind == TokKind::Ident && t.text == "drop" && encl[k] == block {
+                break;
+            }
+            if t.kind == TokKind::Ident
+                && matches!(t.text.as_str(), "for" | "while" | "loop")
+                && encl[k] == block
+            {
+                // The loop body is the first `{` after the keyword at the
+                // same nesting level.
+                let body =
+                    (k + 1..block_end).find(|&b| syntax.tokens[b].text == "{" && encl[b] == block);
+                if let Some(body) = body {
+                    let body_end = syntax.partner(body).unwrap_or(block_end);
+                    if let Some(inner) = (body + 1..body_end).find(|&c| is_indexed_lock(c)) {
+                        let it = &syntax.tokens[inner];
+                        findings.push(RawFinding {
+                            line: it.line,
+                            col: it.col,
+                            rule: rule.id,
+                            message: format!(
+                                "indexed `.lock()` inside a `{}` body while the \
+                                 indexed guard bound on line {} is still live; \
+                                 drop or scope the first guard before the loop \
+                                 (symmetric-deadlock shape)",
+                                t.text, syntax.tokens[i].line
+                            ),
+                        });
+                        break;
+                    }
+                    k = body_end;
+                    continue;
+                }
+            }
+            k += 1;
+        }
+    }
 }
 
 /// The last method/field segment of the operand expression *starting* at
@@ -947,6 +1190,92 @@ mod tests {
         )
         .is_empty());
         assert!(run("scenario-boundary", "let b = scenario.to_builder();\n").is_empty());
+    }
+
+    #[test]
+    fn sync_path_flags_raw_primitives_only_at_path_starts() {
+        assert_eq!(
+            run("raw-sync-primitive", "use std::sync::Mutex;\n").len(),
+            1
+        );
+        assert_eq!(
+            run("raw-sync-primitive", "let h = std::thread::spawn(f);\n").len(),
+            1
+        );
+        // Paths match across line breaks, like other syntactic rules.
+        assert_eq!(
+            run(
+                "raw-sync-primitive",
+                "let a = std ::\n    sync::atomic::AtomicUsize::new(0);\n"
+            )
+            .len(),
+            1
+        );
+        // `foo::std::sync` is not the std crate, and unlisted std::thread
+        // items (sleep, available_parallelism) stay silent.
+        assert!(run("raw-sync-primitive", "foo::std::sync::x();\n").is_empty());
+        assert!(run("raw-sync-primitive", "std::thread::sleep(d);\n").is_empty());
+        // Docs and test code are exempt.
+        assert!(run(
+            "raw-sync-primitive",
+            "/// Uses std::sync::Mutex.\nfn f() {}\n"
+        )
+        .is_empty());
+        assert!(run(
+            "raw-sync-primitive",
+            "#[cfg(test)]\nmod tests {\n    use std::sync::Mutex;\n}\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn relaxed_ordering_needs_the_ordering_path() {
+        let hits = run(
+            "relaxed-ordering-audit",
+            "x.fetch_add(1, Ordering::Relaxed);\n",
+        );
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("Relaxed"));
+        assert!(run("relaxed-ordering-audit", "x.load(Ordering::SeqCst);\n").is_empty());
+        // A bare `Relaxed` identifier is not an atomic ordering.
+        assert!(run("relaxed-ordering-audit", "let mode = Relaxed;\n").is_empty());
+        assert!(run(
+            "relaxed-ordering-audit",
+            "#[cfg(test)]\nmod tests {\n    fn f() { x.load(Ordering::Relaxed); }\n}\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn lock_loop_fires_on_a_guard_held_across_sibling_locks() {
+        let bad = "fn f() {\n    let mut own = ranges[w].lock();\n    \
+                   for v in 0..n {\n        let other = ranges[v].lock();\n    }\n}\n";
+        let hits = run("lock-in-loop-hold", bad);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].line, 4);
+        assert!(hits[0].message.contains("line 2"));
+    }
+
+    #[test]
+    fn lock_loop_allows_scoped_dropped_and_expression_guards() {
+        // Guard scoped out in a block before the loop.
+        let scoped = "fn f() {\n    let i = {\n        let mut own = ranges[w].lock();\n        \
+                      own.pop()\n    };\n    for v in 0..n {\n        \
+                      let other = ranges[v].lock();\n    }\n}\n";
+        assert!(run("lock-in-loop-hold", scoped).is_empty());
+        // Explicit drop before the loop.
+        let dropped = "fn f() {\n    let own = ranges[w].lock();\n    drop(own);\n    \
+                       for v in 0..n {\n        let o = ranges[v].lock();\n    }\n}\n";
+        assert!(run("lock-in-loop-hold", dropped).is_empty());
+        // Temporary guard (no binding) drops at the semicolon.
+        let expr = "fn f() {\n    ranges[w].lock().pop();\n    \
+                    for v in 0..n {\n        let o = ranges[v].lock();\n    }\n}\n";
+        assert!(run("lock-in-loop-hold", expr).is_empty());
+        // Un-indexed locks never fire: a single shared mutex cannot form
+        // the symmetric cycle.
+        let plain = "fn f() {\n    let g = state.lock();\n    \
+                     for v in 0..n {\n        let o = state.lock();\n    }\n}\n";
+        assert!(run("lock-in-loop-hold", plain).is_empty());
     }
 
     #[test]

@@ -1,0 +1,16 @@
+//! Fixture: the raw-sync-primitive rule.
+
+use std::sync::atomic::AtomicUsize;
+
+/// Locks and spawns against std directly instead of the rtmac::sync facade.
+pub fn raw_primitives(shared: AtomicUsize) {
+    let gate = std::sync::Mutex::new(shared);
+    let h = std::thread::spawn(move || drop(gate));
+    let _joined = h.join();
+}
+
+/// Unlisted std::thread items (sleep) and non-std `sync` paths stay silent.
+pub fn quiet(pool: &rtmac::sync::Mutex<u64>, d: core::time::Duration) {
+    std::thread::sleep(d);
+    let _guard = pool.lock();
+}

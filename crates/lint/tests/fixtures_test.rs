@@ -49,6 +49,7 @@ fn fixture_violations_are_found_exactly() {
         ("src/float_accum.rs", 17, "nondeterministic-iter"),
         ("src/float_accum.rs", 18, "nondeterministic-iter"),
         ("src/float_accum.rs", 22, "nondeterministic-iter"),
+        ("src/lock_loop.rs", 10, "lock-in-loop-hold"),
         ("src/nanos_arith.rs", 13, "nanos-raw-arith"),
         ("src/nanos_arith.rs", 14, "nanos-raw-arith"),
         ("src/nanos_arith.rs", 15, "nanos-raw-arith"),
@@ -60,6 +61,10 @@ fn fixture_violations_are_found_exactly() {
         ("src/panics.rs", 5, "panic-unwrap"),
         ("src/panics.rs", 6, "panic-expect"),
         ("src/panics.rs", 8, "panic-macro"),
+        ("src/raw_sync.rs", 3, "raw-sync-primitive"),
+        ("src/raw_sync.rs", 7, "raw-sync-primitive"),
+        ("src/raw_sync.rs", 8, "raw-sync-primitive"),
+        ("src/relaxed_ordering.rs", 7, "relaxed-ordering-audit"),
         ("src/scenario_boundary.rs", 16, "scenario-boundary"),
         ("src/scenario_boundary.rs", 20, "scenario-boundary"),
         ("src/scenario_boundary.rs", 25, "scenario-boundary"),
@@ -159,6 +164,17 @@ fn syntactic_rule_columns_point_at_tokens() {
         at("src/nanos_arith.rs", "nanos-raw-arith"),
         [(13, 38), (14, 22), (15, 12)]
     );
+    // The concurrency rules anchor the path head, the `Relaxed` ident, and
+    // the inner `.lock()` of the deadlock shape respectively.
+    assert_eq!(
+        at("src/raw_sync.rs", "raw-sync-primitive"),
+        [(3, 5), (7, 16), (8, 13)]
+    );
+    assert_eq!(
+        at("src/relaxed_ordering.rs", "relaxed-ordering-audit"),
+        [(7, 36)]
+    );
+    assert_eq!(at("src/lock_loop.rs", "lock-in-loop-hold"), [(10, 31)]);
 }
 
 fn run_binary(args: &[&str]) -> std::process::Output {
@@ -190,6 +206,9 @@ fn binary_reports_fixture_violations_with_exit_one() {
         "src/nanos_arith.rs:13:38: nanos-raw-arith: raw `-` on the output of `.as_nanos()`",
         "src/float_accum.rs:8:16: float-accum-unordered: float accumulation `.sum(..)`",
         "src/scenario_boundary.rs:16:5: scenario-boundary: `Network::builder()` bypasses",
+        "src/raw_sync.rs:8:13: raw-sync-primitive: `std::thread::spawn` bypasses the rtmac::sync facade",
+        "src/relaxed_ordering.rs:7:36: relaxed-ordering-audit: `Ordering::Relaxed` without an audited waiver",
+        "src/lock_loop.rs:10:31: lock-in-loop-hold: indexed `.lock()` inside a `for` body while the indexed guard bound on line 8 is still live",
     ] {
         assert!(
             stdout.contains(needle),
@@ -198,7 +217,7 @@ fn binary_reports_fixture_violations_with_exit_one() {
     }
     let stderr = String::from_utf8(out.stderr).expect("utf-8 stderr");
     assert!(
-        stderr.contains("36 error(s), 1 warning(s)"),
+        stderr.contains("41 error(s), 1 warning(s)"),
         "summary line: {stderr}"
     );
 }
@@ -236,8 +255,8 @@ fn binary_json_format_reports_findings() {
         !stdout.contains("src/panics.rs:5:15:"),
         "text output leaked into JSON mode:\n{stdout}"
     );
-    // Every finding made it across (36 errors + 1 warning).
-    assert_eq!(stdout.matches("\"path\"").count(), 37);
+    // Every finding made it across (41 errors + 1 warning).
+    assert_eq!(stdout.matches("\"path\"").count(), 42);
 }
 
 /// The real workspace is lint-clean: the binary exits 0 from the repo

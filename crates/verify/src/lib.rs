@@ -42,13 +42,22 @@
 //!   confidence bounds ([`clopper_pearson`]) per property, with the same
 //!   replayable counterexample traces on violation.
 //!
+//! Beyond the protocol engine, the crate also model-checks the
+//! *infrastructure* the checkers run on: the [`sched`] module is a
+//! loom-style deterministic interleaving checker for the work-stealing
+//! [`rtmac::Runner`], exploring bounded-preemption schedules through the
+//! [`rtmac::sync`] facade and asserting deadlock-freedom, exactly-once
+//! job retirement, slot write-once, and output determinism on every
+//! interleaving (see `DESIGN.md` §12).
+//!
 //! The `rtmac-verify` binary wires this into CI (`--quick` gates every
 //! push next to `rtmac-lint`; an `smc` smoke run guards the statistical
-//! path).
+//! path; a `sched --quick` run gates the runner).
 
 pub mod channel;
 pub mod checker;
 pub mod counterexample;
+pub mod sched;
 pub mod smc;
 pub mod subject;
 pub mod symmetry;
@@ -56,6 +65,10 @@ pub mod symmetry;
 pub use channel::BitScript;
 pub use checker::{check, full_suite, quick_suite, CheckConfig, CheckStats, Property, SuiteEntry};
 pub use counterexample::{replay, Counterexample, Step};
+pub use sched::{
+    explore, explore_panic, explore_random, replay_schedule, RunnerSubject, SchedConfig,
+    SchedCounterexample, SchedProperty, SchedStats, SchedSubject,
+};
 pub use smc::{
     clopper_pearson, smc, LivenessProbe, PropertyBound, SmcConfig, SmcReport, LIVENESS_MIN_DRAWS,
 };

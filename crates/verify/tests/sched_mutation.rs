@@ -1,0 +1,281 @@
+//! Mutation testing of the interleaving checker: seeded concurrency
+//! faults in a mirror of the runner's work-stealing loop must be
+//! convicted, each under the property it actually breaks, while the
+//! faithful mirror and the real [`rtmac::Runner`] pass the identical
+//! exploration. This is the evidence that the checker's verdicts carry
+//! information — a checker that passes everything proves nothing.
+//!
+//! Every conviction also replays: the counterexample's decision schedule
+//! reproduces the violation on a fresh faulty pool.
+
+use rtmac::runner::SchedProbe;
+use rtmac::sync::{run_threads, Mutex, Ordering};
+use rtmac_verify::{
+    explore, replay_schedule, RunnerSubject, SchedConfig, SchedProperty, SchedSubject,
+};
+
+/// The seeded concurrency faults. Each is a small, realistic slip in the
+/// work-stealing loop — the kind a refactor could introduce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fault {
+    /// Faithful mirror of the runner's loop; must pass.
+    None,
+    /// Holds the worker's own range lock across the whole victim scan —
+    /// the `lock-in-loop-hold` lint shape. Two workers stealing from
+    /// each other deadlock.
+    HoldOwnWhileStealing,
+    /// Reads the own-range bounds under the lock, drops the guard, then
+    /// re-locks and writes the popped front back. A steal between the
+    /// read and the write-back races the stale bounds: both workers
+    /// claim the same index.
+    DroppedRangeLock,
+    /// The thief takes the upper half but forgets to shrink the victim's
+    /// range. Stolen jobs re-execute, and a drained thief re-steals the
+    /// never-shrinking range forever — a livelock.
+    DoubleSteal,
+    /// Off-by-one on the steal boundary: the victim keeps up to
+    /// `mid + 1` while the thief takes `mid..hi`. The overlap
+    /// double-executes, and short ranges stop shrinking — a livelock.
+    OverlappingSteal,
+    /// Replaces the progress counter's `fetch_add` with a load/store
+    /// pair. Interleaved updates tear, so completions are lost.
+    TornProgressUpdate,
+    /// Routes the last job's result into its neighbour's slot: one slot
+    /// is written twice and one never.
+    MisroutedSlot,
+    /// Mixes the worker id into the result, leaking the steal schedule
+    /// into the output.
+    WorkerIdInResult,
+}
+
+impl Fault {
+    fn expected_property(self) -> SchedProperty {
+        match self {
+            Fault::None => unreachable!("the faithful mirror must pass"),
+            // The broken steals livelock before any double-claim is
+            // observable: the victim's range never shrinks, so a drained
+            // thief re-steals it forever.
+            Fault::HoldOwnWhileStealing | Fault::DoubleSteal | Fault::OverlappingSteal => {
+                SchedProperty::DeadlockFree
+            }
+            Fault::DroppedRangeLock | Fault::TornProgressUpdate => SchedProperty::ExactlyOnce,
+            Fault::MisroutedSlot => SchedProperty::SlotWriteOnce,
+            Fault::WorkerIdInResult => SchedProperty::OutputDeterminism,
+        }
+    }
+}
+
+/// A mirror of [`rtmac::Runner`]'s parallel `map` loop over the same
+/// `rtmac::sync` facade, with one seeded fault. Mirrors rather than
+/// wraps: faults must live inside the claim/steal/retire logic, which
+/// the real runner (correctly) does not expose.
+struct FaultyPool {
+    fault: Fault,
+}
+
+impl SchedSubject for FaultyPool {
+    fn run(
+        &self,
+        workers: usize,
+        jobs: usize,
+        f: &(dyn Fn(usize) -> usize + Sync),
+        on_progress: &(dyn Fn(usize, usize) + Sync),
+        probe: &dyn SchedProbe,
+    ) -> Vec<usize> {
+        assert!(
+            workers >= 2 && jobs >= workers,
+            "mirror covers the parallel path"
+        );
+        let n = jobs;
+        let job_cells: Vec<Mutex<Option<usize>>> = (0..n).map(|i| Mutex::new(Some(i))).collect();
+        let slots: Vec<Mutex<Option<usize>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let ranges: Vec<Mutex<(usize, usize)>> = (0..workers)
+            .map(|w| Mutex::new((w * n / workers, (w + 1) * n / workers)))
+            .collect();
+        let completed = rtmac::sync::AtomicUsize::new(0);
+        let fault = self.fault;
+        run_threads(workers, |w| loop {
+            let mut claimed = if fault == Fault::DroppedRangeLock {
+                // Read the bounds, drop the guard, write back later: the
+                // gap races concurrent steals.
+                let (lo, hi) = {
+                    let own = ranges[w].lock();
+                    (own.0, own.1)
+                };
+                (lo < hi).then(|| {
+                    ranges[w].lock().0 = lo + 1;
+                    lo
+                })
+            } else if fault == Fault::HoldOwnWhileStealing {
+                let mut own = ranges[w].lock();
+                let mut claimed = (own.0 < own.1).then(|| {
+                    let i = own.0;
+                    own.0 += 1;
+                    i
+                });
+                if claimed.is_none() {
+                    // Victim scan while still holding `own` — the
+                    // deadlock the lock-in-loop-hold lint exists for.
+                    for offset in 1..workers {
+                        let victim = (w + offset) % workers;
+                        let mut other = ranges[victim].lock();
+                        if other.0 < other.1 {
+                            let mid = (other.0 + other.1) / 2;
+                            let (lo, hi) = (mid, other.1);
+                            other.1 = mid;
+                            probe.stole(w, victim, lo, hi);
+                            *own = (lo + 1, hi);
+                            claimed = Some(lo);
+                            break;
+                        }
+                    }
+                }
+                claimed
+            } else {
+                let mut own = ranges[w].lock();
+                (own.0 < own.1).then(|| {
+                    let i = own.0;
+                    own.0 += 1;
+                    i
+                })
+            };
+            if claimed.is_none() && fault != Fault::HoldOwnWhileStealing {
+                for offset in 1..workers {
+                    let victim = (w + offset) % workers;
+                    let stolen = {
+                        let mut other = ranges[victim].lock();
+                        (other.0 < other.1).then(|| {
+                            let mid = (other.0 + other.1) / 2;
+                            let stolen = (mid, other.1);
+                            match fault {
+                                // Forgets to shrink the victim at all.
+                                Fault::DoubleSteal => {}
+                                // Off-by-one: the victim keeps `mid`.
+                                Fault::OverlappingSteal => other.1 = (mid + 1).min(other.1),
+                                _ => other.1 = mid,
+                            }
+                            stolen
+                        })
+                    };
+                    if let Some((lo, hi)) = stolen {
+                        probe.stole(w, victim, lo, hi);
+                        *ranges[w].lock() = (lo + 1, hi);
+                        claimed = Some(lo);
+                        break;
+                    }
+                }
+            }
+            let Some(i) = claimed else {
+                probe.retired(w);
+                break;
+            };
+            probe.claimed(w, i);
+            // No `expect` here: a double-claim must surface as a checker
+            // conviction (claims != 1), not as a mirror panic.
+            let Some(item) = job_cells[i].lock().take() else {
+                continue;
+            };
+            let result = match fault {
+                Fault::WorkerIdInResult => f(item) + w,
+                _ => f(item),
+            };
+            let target = match fault {
+                Fault::MisroutedSlot if i == n - 1 => n - 2,
+                _ => i,
+            };
+            *slots[target].lock() = Some(result);
+            probe.slot_written(w, target);
+            let done = if fault == Fault::TornProgressUpdate {
+                // Torn read-modify-write: a concurrent completion between
+                // the load and the store is lost.
+                let d = completed.load(Ordering::SeqCst) + 1;
+                completed.store(d, Ordering::SeqCst);
+                d
+            } else {
+                completed.fetch_add(1, Ordering::SeqCst) + 1
+            };
+            on_progress(done, n);
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().unwrap_or(usize::MAX))
+            .collect()
+    }
+}
+
+fn cfg() -> SchedConfig {
+    SchedConfig::new(2, 4, 2)
+}
+
+/// The full conviction pipeline for one fault: the explorer catches it
+/// under the expected property, the recorded schedule replays to the
+/// same verdict on a fresh faulty pool, and the schedule is non-trivial.
+fn convict(fault: Fault) {
+    let cfg = cfg();
+    let ce =
+        explore(&FaultyPool { fault }, &cfg).expect_err(&format!("{fault:?} must be convicted"));
+    assert_eq!(
+        ce.property,
+        fault.expected_property(),
+        "{fault:?} convicted under the wrong property: {}",
+        ce.detail
+    );
+    assert!(
+        !ce.schedule.is_empty(),
+        "{fault:?}: a conviction needs a non-empty decision schedule"
+    );
+    let again = replay_schedule(&FaultyPool { fault }, &cfg, &ce.schedule)
+        .expect_err("the recorded schedule must reproduce the violation");
+    assert_eq!(
+        again.property, ce.property,
+        "{fault:?}: replay reached a different verdict"
+    );
+}
+
+#[test]
+fn the_faithful_mirror_passes_the_exploration() {
+    let stats =
+        explore(&FaultyPool { fault: Fault::None }, &cfg()).expect("the faithful mirror must pass");
+    assert!(stats.complete, "the bounded search must drain its frontier");
+}
+
+#[test]
+fn the_real_runner_passes_the_identical_exploration() {
+    let stats = explore(&RunnerSubject, &cfg()).expect("the real runner must pass");
+    assert!(stats.complete);
+}
+
+#[test]
+fn convicts_lock_held_across_the_steal_scan_as_deadlock() {
+    convict(Fault::HoldOwnWhileStealing);
+}
+
+#[test]
+fn convicts_a_dropped_range_lock_as_a_double_claim() {
+    convict(Fault::DroppedRangeLock);
+}
+
+#[test]
+fn convicts_a_double_steal_as_a_livelock() {
+    convict(Fault::DoubleSteal);
+}
+
+#[test]
+fn convicts_an_overlapping_steal_as_a_livelock() {
+    convict(Fault::OverlappingSteal);
+}
+
+#[test]
+fn convicts_a_torn_progress_update_as_a_lost_completion() {
+    convict(Fault::TornProgressUpdate);
+}
+
+#[test]
+fn convicts_a_misrouted_slot_write() {
+    convict(Fault::MisroutedSlot);
+}
+
+#[test]
+fn convicts_worker_identity_leaking_into_results() {
+    convict(Fault::WorkerIdInResult);
+}

@@ -3,7 +3,8 @@
 //! Also prints the gap of the *worst* fixed ordering, to show the ordering
 //! actually matters. Usage: `optimality [--intervals N]` (N = instances).
 
-use rand::{Rng, SeedableRng};
+use rand::Rng;
+use rtmac::sim::SeedStream;
 use rtmac_analysis::optimal::IntervalDp;
 use rtmac_bench::table::SeriesTable;
 use rtmac_model::{LinkId, Permutation};
@@ -11,7 +12,7 @@ use rtmac_model::{LinkId, Permutation};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let instances = rtmac_bench::intervals_from_args(&args, 2000);
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(2018);
+    let mut rng = SeedStream::new(2018).rng(0);
 
     let mut worst_eldf_gap = 0.0f64;
     let mut worst_order_gap = 0.0f64;

@@ -97,6 +97,12 @@ impl Network {
 
     /// Simulates one interval: samples arrivals, runs the policy, settles
     /// debts, and updates the metric streams. Returns the interval outcome.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from the configured policy engine — notably the
+    /// reference differential-test engine, which aborts on a diverged
+    /// handshake rather than continuing a corrupted comparison run.
     pub fn step(&mut self) -> IntervalOutcome {
         self.traffic
             .sample(&mut self.arrival_rng, &mut self.arrivals_buf);
@@ -128,6 +134,10 @@ impl Network {
     }
 
     /// Runs `intervals` more intervals and returns the cumulative report.
+    ///
+    /// # Panics
+    ///
+    /// Propagates policy-engine panics, as in [`Network::step`].
     pub fn run(&mut self, intervals: usize) -> RunReport {
         for _ in 0..intervals {
             self.step();

@@ -358,6 +358,13 @@ impl Runner {
     /// # Errors
     ///
     /// Returns the first [`ConfigError`] if the scenario is invalid.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from worker threads, and panics if a worker
+    /// retires without filling a claimed result slot — a runner invariant
+    /// violation that would otherwise silently misalign results with
+    /// replications.
     pub fn replications(&self, scenario: &Scenario) -> Result<Vec<RunReport>, ConfigError> {
         self.map(replication_seeds(scenario), |seed| {
             scenario
@@ -374,6 +381,12 @@ impl Runner {
     /// # Errors
     ///
     /// Returns the first [`ConfigError`] if a sweep point is invalid.
+    ///
+    /// # Panics
+    ///
+    /// As [`Runner::replications`]: propagates worker panics and fails
+    /// loudly on an unfilled result slot. Also panics if a sweep axis
+    /// mismatches the base scenario's traffic kind (see [`Sweep::at`]).
     pub fn series<F>(&self, sweep: &Sweep, metric: F) -> Result<Vec<SeriesStats>, ConfigError>
     where
         F: Fn(&RunReport) -> f64 + Sync,

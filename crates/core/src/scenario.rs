@@ -497,6 +497,10 @@ impl Scenario {
     /// # Errors
     ///
     /// Returns a [`ConfigError`] for inconsistent parameters.
+    ///
+    /// # Panics
+    ///
+    /// Propagates policy-engine panics, as in [`Network::step`].
     pub fn run(&self) -> Result<RunReport, ConfigError> {
         Ok(self.network()?.run(self.intervals))
     }
@@ -584,6 +588,11 @@ impl Sweep {
     }
 
     /// All sweep points as scenarios, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sweep axis mismatches the base scenario's traffic
+    /// kind, as in [`Sweep::at`].
     #[must_use]
     pub fn scenarios(&self) -> Vec<Scenario> {
         self.points.iter().map(|&x| self.at(x)).collect()

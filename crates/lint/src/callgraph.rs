@@ -1,0 +1,490 @@
+//! The workspace-wide call graph (DESIGN.md §13).
+//!
+//! Built on [`crate::items`]: every function item in every walked file
+//! becomes a node; edges come from a token-level scan of each body for
+//! call shapes (`free(`, `Type::assoc(`, `.method(`) and bare function
+//! references (fn pointers passed as values). Resolution is name-based
+//! and deliberately over-approximate — a `.step(` call edges to *every*
+//! workspace method named `step` (the trait-call approximation), and a
+//! bare mention of a known function name in value position counts as a
+//! reference — because the reachability rules built on top need soundness
+//! in one direction: a call path that exists in the program must exist in
+//! the graph. Calls into external crates (`std`, vendored deps) resolve
+//! to nothing; their allocation/panic behavior is covered by the direct
+//! token classes of the rules themselves.
+
+use crate::items::{self, FnItem};
+use crate::syntax::{Syntax, TokKind};
+use crate::tokenize::SourceFile;
+
+/// One lexed and token-scanned workspace source file.
+pub struct FileUnit {
+    /// Workspace-relative path with forward slashes.
+    pub rel: String,
+    /// The masked line view.
+    pub file: SourceFile,
+    /// The matched token stream.
+    pub syn: Syntax,
+}
+
+/// A call-graph node: one function item in one file.
+pub struct FnNode {
+    /// Index into the unit list.
+    pub file: usize,
+    /// The parsed item.
+    pub item: FnItem,
+}
+
+/// A resolved call or reference edge, anchored at its call site.
+#[derive(Debug, Clone, Copy)]
+pub struct Edge {
+    /// Callee node index.
+    pub to: usize,
+    /// 1-based line of the call site.
+    pub line: usize,
+    /// 1-based column of the call site.
+    pub col: usize,
+}
+
+/// The workspace call graph.
+pub struct Graph {
+    /// All function nodes, in (file, token) order.
+    pub nodes: Vec<FnNode>,
+    /// Out-edges per node.
+    pub edges: Vec<Vec<Edge>>,
+    /// Nodes referenced by name *outside* any function body (macro
+    /// invocations like `criterion_group!`, re-exports, const
+    /// initializers) — treated as externally reachable.
+    pub top_refs: Vec<bool>,
+    /// Per file: `(body_start, body_end, node)` sorted by start token.
+    bodies_by_file: Vec<Vec<(usize, usize, usize)>>,
+}
+
+/// Keywords that can never be call heads or function references.
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern",
+    "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "self", "Self", "static", "struct", "super", "trait", "true", "type",
+    "unsafe", "use", "where", "while",
+];
+
+/// Whether an identifier token is a Rust keyword (never a call head,
+/// function reference, or indexable expression tail).
+#[must_use]
+pub fn ident_is_keyword(text: &str) -> bool {
+    KEYWORDS.contains(&text)
+}
+
+/// Method names that collide with the std prelude (`Iterator`, `Option`,
+/// `Result`, `Vec`, integer intrinsics, `thread_local!`'s `with`). A
+/// `.map(` call is almost always `Iterator::map`, not a workspace method
+/// that happens to share the name — resolving it to every workspace
+/// `map` drags unrelated subsystems into every reachability query. For
+/// these names the broad fallback is disabled: only `self.name()` calls
+/// inside the owning impl and qualified `Type::name(` calls resolve.
+/// This is the documented precision/soundness trade of DESIGN.md §13 —
+/// a cross-type call to a workspace method with one of these names is
+/// invisible to the graph.
+const PRELUDE_METHODS: &[&str] = &[
+    "all",
+    "and_then",
+    "any",
+    "clear",
+    "clone",
+    "cmp",
+    "collect",
+    "contains",
+    "count",
+    "default",
+    "drain",
+    "eq",
+    "expect",
+    "extend",
+    "filter",
+    "find",
+    "first",
+    "fmt",
+    "fold",
+    "for_each",
+    "from",
+    "get",
+    "hash",
+    "insert",
+    "into",
+    "into_iter",
+    "is_empty",
+    "iter",
+    "last",
+    "len",
+    "map",
+    "max",
+    "min",
+    "next",
+    "or_else",
+    "parse",
+    "pop",
+    "position",
+    "push",
+    "remove",
+    "replace",
+    "retain",
+    "rev",
+    "skip",
+    "sum",
+    "swap",
+    "take",
+    "unwrap",
+    "unwrap_or",
+    "with",
+    "zip",
+];
+
+impl Graph {
+    /// Builds the call graph over every file unit.
+    #[must_use]
+    pub fn build(units: &[FileUnit]) -> Self {
+        let mut nodes = Vec::new();
+        let mut bodies_by_file = Vec::with_capacity(units.len());
+        for (fi, unit) in units.iter().enumerate() {
+            let mut bodies = Vec::new();
+            for item in items::parse(&unit.file, &unit.syn) {
+                if let Some((s, e)) = item.body {
+                    bodies.push((s, e, nodes.len()));
+                }
+                nodes.push(FnNode { file: fi, item });
+            }
+            bodies.sort_unstable();
+            bodies_by_file.push(bodies);
+        }
+        let mut graph = Graph {
+            edges: vec![Vec::new(); nodes.len()],
+            top_refs: vec![false; nodes.len()],
+            nodes,
+            bodies_by_file,
+        };
+        let tables = NameTables::build(&graph.nodes);
+        for n in 0..graph.nodes.len() {
+            graph.edges[n] = graph.extract_edges(units, &tables, n);
+        }
+        graph.mark_top_refs(units, &tables);
+        graph
+    }
+
+    /// Calls `f(k)` for every token index in node `n`'s body, excluding
+    /// the bodies of functions nested inside it (their tokens belong to
+    /// the nested item).
+    pub fn for_body_tokens(&self, n: usize, mut f: impl FnMut(usize)) {
+        let node = &self.nodes[n];
+        let Some((b0, b1)) = node.item.body else {
+            return;
+        };
+        let nested: Vec<(usize, usize)> = self.bodies_by_file[node.file]
+            .iter()
+            .filter(|&&(s, e, ni)| ni != n && s > b0 && e < b1)
+            .map(|&(s, e, _)| (s, e))
+            .collect();
+        let mut k = b0 + 1;
+        while k < b1 {
+            if let Some(&(_, e)) = nested.iter().find(|&&(s, _)| s == k) {
+                k = e + 1;
+                continue;
+            }
+            f(k);
+            k += 1;
+        }
+    }
+
+    /// The `Owner::name` label of node `n`.
+    #[must_use]
+    pub fn name_of(&self, n: usize) -> String {
+        self.nodes[n].item.qualified()
+    }
+
+    fn extract_edges(&self, units: &[FileUnit], tables: &NameTables, n: usize) -> Vec<Edge> {
+        let node = &self.nodes[n];
+        let toks = &units[node.file].syn.tokens;
+        let owner = node.item.owner.as_deref();
+        let mut edges: Vec<Edge> = Vec::new();
+        let push = |targets: &[usize], line: usize, col: usize, edges: &mut Vec<Edge>| {
+            for &to in targets {
+                if !edges.iter().any(|e| e.to == to) {
+                    edges.push(Edge { to, line, col });
+                }
+            }
+        };
+        self.for_body_tokens(n, |k| {
+            let t = &toks[k];
+            if t.kind != TokKind::Ident || ident_is_keyword(&t.text) {
+                return;
+            }
+            let name = t.text.as_str();
+            let prev = if k > 0 { toks[k - 1].text.as_str() } else { "" };
+            let next = toks.get(k + 1).map_or("", |t| t.text.as_str());
+            if next == "!" {
+                return; // macro invocation, not a function
+            }
+            if prev == "." {
+                if next == "(" {
+                    let recv_self = k >= 2 && toks[k - 2].text == "self";
+                    push(
+                        &tables.resolve_method(name, recv_self, owner),
+                        t.line,
+                        t.col,
+                        &mut edges,
+                    );
+                }
+                return; // field access otherwise
+            }
+            if prev == "::" {
+                // Only the final, invoked segment of a path resolves; a
+                // turbofish (`f::<T>(`) still counts as an invocation.
+                let invoked =
+                    next == "(" || (next == "::" && toks.get(k + 2).is_some_and(|t| t.text == "<"));
+                if !invoked {
+                    return;
+                }
+                let qual = (k >= 2).then(|| toks[k - 2].text.as_str());
+                match qual {
+                    Some(q) if q == "Self" || q.chars().next().is_some_and(char::is_uppercase) => {
+                        push(
+                            &tables.resolve_assoc(q, name, owner),
+                            t.line,
+                            t.col,
+                            &mut edges,
+                        );
+                    }
+                    _ => push(&tables.resolve_free(name), t.line, t.col, &mut edges),
+                }
+                return;
+            }
+            if next == "(" {
+                if prev != "fn" {
+                    push(&tables.resolve_free(name), t.line, t.col, &mut edges);
+                }
+                return;
+            }
+            // Bare reference in value position (fn pointer): a known free
+            // function name terminating an expression. A `'` prefix is a
+            // loop label or lifetime, never a reference.
+            if matches!(next, "," | ")" | ";" | "]" | "}") && prev != "fn" && prev != "'" {
+                push(&tables.resolve_free(name), t.line, t.col, &mut edges);
+            }
+        });
+        edges
+    }
+
+    /// Marks nodes whose name appears outside every function body — in
+    /// macro invocations, const initializers, or `use` re-exports.
+    fn mark_top_refs(&mut self, units: &[FileUnit], tables: &NameTables) {
+        for (fi, unit) in units.iter().enumerate() {
+            let bodies = &self.bodies_by_file[fi];
+            let toks = &unit.syn.tokens;
+            let mut k = 0;
+            while k < toks.len() {
+                if let Some(&(_, e, _)) = bodies.iter().find(|&&(s, _, _)| s == k) {
+                    k = e + 1;
+                    continue;
+                }
+                let t = &toks[k];
+                if t.kind == TokKind::Ident && !ident_is_keyword(&t.text) {
+                    let prev = if k > 0 { toks[k - 1].text.as_str() } else { "" };
+                    if prev != "fn" {
+                        for to in tables
+                            .resolve_free(&t.text)
+                            .iter()
+                            .chain(tables.resolve_method(&t.text, false, None).iter())
+                        {
+                            self.top_refs[*to] = true;
+                        }
+                    }
+                }
+                k += 1;
+            }
+        }
+    }
+}
+
+/// Deterministic name-to-node lookup tables.
+struct NameTables {
+    free: std::collections::BTreeMap<String, Vec<usize>>,
+    methods: std::collections::BTreeMap<String, Vec<usize>>,
+    assoc: std::collections::BTreeMap<(String, String), Vec<usize>>,
+}
+
+impl NameTables {
+    fn build(nodes: &[FnNode]) -> Self {
+        let mut free: std::collections::BTreeMap<String, Vec<usize>> = Default::default();
+        let mut methods: std::collections::BTreeMap<String, Vec<usize>> = Default::default();
+        let mut assoc: std::collections::BTreeMap<(String, String), Vec<usize>> =
+            Default::default();
+        for (i, node) in nodes.iter().enumerate() {
+            match &node.item.owner {
+                None => free.entry(node.item.name.clone()).or_default().push(i),
+                Some(owner) => {
+                    methods.entry(node.item.name.clone()).or_default().push(i);
+                    assoc
+                        .entry((owner.clone(), node.item.name.clone()))
+                        .or_default()
+                        .push(i);
+                }
+            }
+        }
+        NameTables {
+            free,
+            methods,
+            assoc,
+        }
+    }
+
+    fn resolve_free(&self, name: &str) -> Vec<usize> {
+        self.free.get(name).cloned().unwrap_or_default()
+    }
+
+    /// `.name(` method calls: every impl/trait fn with that name. A
+    /// `self.name(` call with a match in the current owner narrows to it;
+    /// [`PRELUDE_METHODS`] names resolve *only* through that narrowing.
+    fn resolve_method(&self, name: &str, recv_self: bool, owner: Option<&str>) -> Vec<usize> {
+        if recv_self {
+            if let Some(owner) = owner {
+                let key = (owner.to_string(), name.to_string());
+                if let Some(own) = self.assoc.get(&key) {
+                    return own.clone();
+                }
+            }
+        }
+        if PRELUDE_METHODS.contains(&name) {
+            return Vec::new();
+        }
+        self.methods.get(name).cloned().unwrap_or_default()
+    }
+
+    /// `Type::name(` associated calls; `Self::name(` resolves through the
+    /// current owner. Unknown types (e.g. `Vec::new`) resolve to nothing.
+    fn resolve_assoc(&self, qual: &str, name: &str, owner: Option<&str>) -> Vec<usize> {
+        let ty = if qual == "Self" {
+            match owner {
+                Some(o) => o,
+                None => return Vec::new(),
+            }
+        } else {
+            qual
+        };
+        self.assoc
+            .get(&(ty.to_string(), name.to_string()))
+            .cloned()
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::lex;
+
+    fn unit(rel: &str, src: &str) -> FileUnit {
+        let file = lex(src);
+        let syn = crate::syntax::scan(&file);
+        FileUnit {
+            rel: rel.to_string(),
+            file,
+            syn,
+        }
+    }
+
+    fn edge_names(g: &Graph, from: &str) -> Vec<String> {
+        let n = g
+            .nodes
+            .iter()
+            .position(|x| x.item.qualified() == from)
+            .expect("node exists");
+        g.edges[n].iter().map(|e| g.name_of(e.to)).collect()
+    }
+
+    #[test]
+    fn free_assoc_and_method_calls_resolve() {
+        let g = Graph::build(&[unit(
+            "a.rs",
+            "struct Engine;\n\
+             impl Engine {\n    \
+                 pub fn run(&mut self) {\n        self.step();\n        helper(3);\n        \
+                     Engine::reset(self);\n    }\n    \
+                 fn step(&mut self) {}\n    fn reset(&mut self) {}\n}\n\
+             fn helper(x: u32) -> u32 { x }\n",
+        )]);
+        assert_eq!(
+            edge_names(&g, "Engine::run"),
+            ["Engine::step", "helper", "Engine::reset"]
+        );
+    }
+
+    #[test]
+    fn cross_file_free_calls_and_module_qualifiers_resolve() {
+        let g = Graph::build(&[
+            unit("a.rs", "pub fn caller() { beta::fill(); }\n"),
+            unit("b.rs", "pub fn fill() { grow(); }\nfn grow() {}\n"),
+        ]);
+        assert_eq!(edge_names(&g, "caller"), ["fill"]);
+        assert_eq!(edge_names(&g, "fill"), ["grow"]);
+    }
+
+    #[test]
+    fn method_calls_over_unknown_receivers_use_the_trait_approximation() {
+        let g = Graph::build(&[unit(
+            "a.rs",
+            "trait Subject { fn step(&mut self); }\n\
+             struct A;\nimpl A { fn step(&mut self) {} }\n\
+             fn drive(s: &mut A) { s.step(); }\n",
+        )]);
+        // Both the trait signature (bodyless) and the impl are targets.
+        assert_eq!(edge_names(&g, "drive"), ["Subject::step", "A::step"]);
+    }
+
+    #[test]
+    fn bare_fn_references_count_as_edges() {
+        let g = Graph::build(&[unit(
+            "a.rs",
+            "fn hook() {}\nfn install() { register(hook); }\nfn register(_f: fn()) {}\n",
+        )]);
+        let names = edge_names(&g, "install");
+        assert!(names.contains(&"hook".to_string()), "{names:?}");
+        assert!(names.contains(&"register".to_string()), "{names:?}");
+    }
+
+    #[test]
+    fn external_calls_and_macros_produce_no_edges() {
+        let g = Graph::build(&[unit(
+            "a.rs",
+            "fn f() {\n    let v = Vec::new();\n    println(\"x\");\n    \
+             assert_ne!(1, 2);\n    v.push(1);\n}\nfn println(_s: &str) {}\n",
+        )]);
+        // `println` here is a *local* fn call (no `!`), so it edges; the
+        // macro and the std calls do not.
+        assert_eq!(edge_names(&g, "f"), ["println"]);
+    }
+
+    #[test]
+    fn nested_fn_bodies_are_not_attributed_to_the_outer_fn() {
+        let g = Graph::build(&[unit(
+            "a.rs",
+            "fn outer() {\n    fn inner() { target(); }\n    inner();\n}\nfn target() {}\n",
+        )]);
+        assert_eq!(edge_names(&g, "outer"), ["inner"]);
+        assert_eq!(edge_names(&g, "inner"), ["target"]);
+    }
+
+    #[test]
+    fn top_level_references_mark_nodes() {
+        let g = Graph::build(&[unit(
+            "a.rs",
+            "fn bench_kernel() {}\nfn unused() {}\ncriterion_group!(benches, bench_kernel);\n",
+        )]);
+        let idx = |name: &str| {
+            g.nodes
+                .iter()
+                .position(|x| x.item.name == name)
+                .expect("node")
+        };
+        assert!(g.top_refs[idx("bench_kernel")]);
+        assert!(!g.top_refs[idx("unused")]);
+    }
+}

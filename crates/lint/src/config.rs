@@ -5,7 +5,7 @@
 //!
 //! * `[lint]` — engine settings (`exclude = [...]`).
 //! * `[rules.<id>]` — per-rule overrides: `severity`, `paths`,
-//!   `allow_paths`, `tokens`.
+//!   `allow_paths`, `tokens`, `roots`.
 //! * `[[waiver]]` — audited path-level waivers with a mandatory reason.
 //! * values: double-quoted strings and (possibly multi-line) arrays of
 //!   double-quoted strings.
@@ -59,6 +59,9 @@ pub struct RuleOverride {
     pub allow_paths: Option<Vec<String>>,
     /// Token list override for token-based rules.
     pub tokens: Option<Vec<String>>,
+    /// Root-function override for reachability rules (`hot-path-alloc`):
+    /// `"Type::method"` or bare free-function names.
+    pub roots: Option<Vec<String>>,
 }
 
 /// An audited file- or directory-level waiver from `lint.toml`.
@@ -182,6 +185,7 @@ fn apply_key(
                 "paths" => entry.paths = Some(parse_array(value)?),
                 "allow_paths" => entry.allow_paths = Some(parse_array(value)?),
                 "tokens" => entry.tokens = Some(parse_array(value)?),
+                "roots" => entry.roots = Some(parse_array(value)?),
                 other => return Err(format!("unknown rule key {other}")),
             }
             Ok(())

@@ -1,0 +1,361 @@
+//! Item-level parsing: function items, their `impl`/`trait` owners,
+//! visibility, body extents, and doc-comment facts.
+//!
+//! This is the first layer of the semantic pass (DESIGN.md §13). It is
+//! still not a full parser — no generics resolution, no types — but it
+//! recovers exactly what the call graph needs from the matched token
+//! stream of [`crate::syntax`]: every `fn` item with its name, the type
+//! name of its enclosing `impl`/`trait` block, whether it is `pub`, the
+//! token range of its body, and whether the doc comment above it carries
+//! a `# Panics` section. Token positions are preserved so downstream
+//! rules can report exact `line:col` anchors.
+
+use crate::syntax::{Syntax, TokKind};
+use crate::tokenize::SourceFile;
+
+/// One function item recovered from a file's token stream.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function name.
+    pub name: String,
+    /// The `impl`/`trait` type name the function belongs to; `None` for
+    /// free functions.
+    pub owner: Option<String>,
+    /// Unrestricted `pub` (the crate's external API surface).
+    pub is_pub: bool,
+    /// Any `pub` form, including `pub(crate)`/`pub(super)`.
+    pub is_pub_any: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// 1-based column of the `fn` keyword.
+    pub col: usize,
+    /// First line of the item (its leading modifier tokens), used to
+    /// locate the doc comment above it.
+    pub start_line: usize,
+    /// Last line of the item: the closing brace, or the `;` of a
+    /// bodyless declaration.
+    pub end_line: usize,
+    /// Inclusive token-index range of the body braces; `None` for
+    /// bodyless declarations (trait method signatures, extern fns).
+    pub body: Option<(usize, usize)>,
+    /// Whether the item lies in `#[cfg(test)]` / `#[test]` code.
+    pub in_test: bool,
+    /// Whether the doc comment directly above the item contains a
+    /// `# Panics` section.
+    pub has_panics_doc: bool,
+}
+
+impl FnItem {
+    /// `Owner::name` for methods, bare `name` for free functions.
+    #[must_use]
+    pub fn qualified(&self) -> String {
+        match &self.owner {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// An `impl`/`trait` block: the owning type name and its body extent.
+struct OwnerRegion {
+    name: String,
+    open: usize,
+    close: usize,
+}
+
+/// Parses every function item in a file.
+#[must_use]
+pub fn parse(file: &SourceFile, syn: &Syntax) -> Vec<FnItem> {
+    let toks = &syn.tokens;
+    let regions = owner_regions(syn);
+    let mut items = Vec::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || t.text != "fn" {
+            continue;
+        }
+        // The name must follow directly; `fn(u32) -> u32` pointer types
+        // have `(` here and are skipped.
+        let Some(name_tok) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) else {
+            continue;
+        };
+        // Parameter list, skipping a generic parameter block.
+        let mut j = i + 2;
+        if toks.get(j).is_some_and(|t| t.text == "<") {
+            j = skip_angles(syn, j);
+        }
+        if toks.get(j).is_none_or(|t| t.text != "(") {
+            continue;
+        }
+        let Some(pend) = syn.partner(j) else { continue };
+        // Body `{` or signature-terminating `;`, jumping over bracketed
+        // groups in the return type (`-> [u8; 4]`) and where clauses.
+        let mut k = pend + 1;
+        let mut body = None;
+        let mut end_tok = pend;
+        while let Some(t) = toks.get(k) {
+            if t.text == "{" {
+                let close = syn.partner(k).unwrap_or(k);
+                body = Some((k, close));
+                end_tok = close;
+                break;
+            }
+            if t.text == ";" {
+                end_tok = k;
+                break;
+            }
+            if t.kind == TokKind::Open {
+                k = syn.partner(k).map_or(k + 1, |p| p + 1);
+                continue;
+            }
+            k += 1;
+        }
+        let (is_pub, is_pub_any, start) = visibility(syn, i);
+        let start_line = toks[start].line;
+        let owner = regions
+            .iter()
+            .filter(|r| r.open < i && i < r.close)
+            .max_by_key(|r| r.open)
+            .map(|r| r.name.clone());
+        items.push(FnItem {
+            name: name_tok.text.clone(),
+            owner,
+            is_pub,
+            is_pub_any,
+            line: t.line,
+            col: t.col,
+            start_line,
+            end_line: toks[end_tok].line,
+            body,
+            in_test: t.in_test,
+            has_panics_doc: has_panics_doc(file, start_line),
+        });
+    }
+    items
+}
+
+/// Collects `impl`/`trait` blocks with their owning type name. The name
+/// is the last top-level identifier before the body brace — after `for`
+/// when present (`impl Display for Finding` → `Finding`), ignoring
+/// everything inside `<…>` generics and after `where`.
+fn owner_regions(syn: &Syntax) -> Vec<OwnerRegion> {
+    let toks = &syn.tokens;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || (t.text != "impl" && t.text != "trait") {
+            continue;
+        }
+        // Item position only: `-> impl Trait` and `x: impl Fn()` are type
+        // uses. An item keyword follows a statement boundary, an
+        // attribute's `]`, or a modifier.
+        let prev = i.checked_sub(1).map(|p| toks[p].text.as_str());
+        if !matches!(
+            prev,
+            None | Some(";" | "{" | "}" | "]" | "unsafe" | "pub" | ")")
+        ) {
+            continue;
+        }
+        let mut depth = 0i32;
+        let mut name: Option<String> = None;
+        let mut frozen = false;
+        let mut open_idx = None;
+        let mut j = i + 1;
+        while j < toks.len() {
+            let tj = &toks[j];
+            match tj.text.as_str() {
+                "<" => depth += 1,
+                "<<" => depth += 2,
+                ">" => depth -= 1,
+                ">>" => depth -= 2,
+                "{" if depth <= 0 => {
+                    open_idx = Some(j);
+                    break;
+                }
+                ";" if depth <= 0 => break,
+                "for" if depth <= 0 => name = None,
+                "where" if depth <= 0 => frozen = true,
+                _ => {
+                    if !frozen && depth <= 0 && tj.kind == TokKind::Ident && tj.text != "dyn" {
+                        name = Some(tj.text.clone());
+                    }
+                }
+            }
+            j += 1;
+        }
+        if let (Some(name), Some(open)) = (name, open_idx) {
+            if let Some(close) = syn.partner(open) {
+                out.push(OwnerRegion { name, open, close });
+            }
+        }
+    }
+    out
+}
+
+/// Steps over a balanced `<…>` generic block starting at `start`,
+/// returning the index after the closing `>`. `>>` closes two levels
+/// (`Vec<Vec<u32>>`), `<<` opens two (`<<T as Trait>::Out>`).
+fn skip_angles(syn: &Syntax, start: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = start;
+    while j < syn.tokens.len() {
+        match syn.tokens[j].text.as_str() {
+            "<" => depth += 1,
+            "<<" => depth += 2,
+            ">" => depth -= 1,
+            ">>" => depth -= 2,
+            _ => {}
+        }
+        j += 1;
+        if depth <= 0 {
+            break;
+        }
+    }
+    j
+}
+
+/// Walks back over the modifier tokens before a `fn` keyword, returning
+/// (`pub` unrestricted, any `pub` form, index of the item's first token).
+fn visibility(syn: &Syntax, fn_idx: usize) -> (bool, bool, usize) {
+    let toks = &syn.tokens;
+    let mut j = fn_idx;
+    let mut is_pub = false;
+    let mut is_pub_any = false;
+    while j > 0 {
+        let prev = &toks[j - 1];
+        match prev.text.as_str() {
+            "pub" => {
+                is_pub_any = true;
+                if toks.get(j).is_some_and(|n| n.text != "(") {
+                    is_pub = true;
+                }
+                j -= 1;
+            }
+            "const" | "unsafe" | "async" | "extern" | "default" => j -= 1,
+            ")" => {
+                // A `pub(crate)`/`pub(super)` restriction.
+                let Some(open) = syn.partner(j - 1) else {
+                    break;
+                };
+                if open == 0 || toks[open - 1].text != "pub" {
+                    break;
+                }
+                is_pub_any = true;
+                j = open - 1;
+            }
+            _ => break,
+        }
+    }
+    (is_pub, is_pub_any, j)
+}
+
+/// Whether the comment block directly above `start_line` (1-based)
+/// contains a `# Panics` doc section. Attribute lines between the docs
+/// and the item are stepped over.
+fn has_panics_doc(file: &SourceFile, start_line: usize) -> bool {
+    let mut l = start_line.saturating_sub(1);
+    while l > 0 {
+        l -= 1;
+        let code = file.code[l].trim();
+        if code.is_empty() || code.starts_with('#') {
+            if file.comments[l].contains("# Panics") {
+                return true;
+            }
+            continue;
+        }
+        break;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::lex;
+
+    fn parse_src(src: &str) -> Vec<FnItem> {
+        let file = lex(src);
+        let syn = crate::syntax::scan(&file);
+        parse(&file, &syn)
+    }
+
+    #[test]
+    fn free_and_impl_fns_are_distinguished() {
+        let items = parse_src(
+            "pub fn free(x: u32) -> u32 { x }\n\
+             struct Engine;\n\
+             impl Engine {\n    pub fn run(&mut self) {}\n    fn helper(&self) {}\n}\n",
+        );
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0].qualified(), "free");
+        assert!(items[0].is_pub && items[0].owner.is_none());
+        assert_eq!(items[1].qualified(), "Engine::run");
+        assert!(items[1].is_pub);
+        assert_eq!(items[2].qualified(), "Engine::helper");
+        assert!(!items[2].is_pub_any);
+    }
+
+    #[test]
+    fn trait_impls_take_the_type_after_for() {
+        let items = parse_src(
+            "impl std::fmt::Display for Finding {\n    fn fmt(&self) {}\n}\n\
+             impl<T: Clone> Wrapper<T> {\n    fn get(&self) {}\n}\n\
+             pub trait Subject {\n    fn step(&mut self);\n    fn reset(&mut self) {}\n}\n",
+        );
+        assert_eq!(items[0].owner.as_deref(), Some("Finding"));
+        assert_eq!(items[1].owner.as_deref(), Some("Wrapper"));
+        assert_eq!(items[2].owner.as_deref(), Some("Subject"));
+        assert!(items[2].body.is_none(), "signature-only trait method");
+        assert!(items[3].body.is_some(), "default trait method has a body");
+    }
+
+    #[test]
+    fn impl_trait_in_type_position_is_not_a_region() {
+        let items = parse_src(
+            "fn make(x: impl Fn() -> u32) -> impl Iterator<Item = u32> {\n    \
+             std::iter::once(x())\n}\n",
+        );
+        assert_eq!(items.len(), 1);
+        assert!(items[0].owner.is_none());
+        assert!(items[0].body.is_some());
+    }
+
+    #[test]
+    fn visibility_forms_and_extents() {
+        let src = "pub(crate) fn a() {}\npub const fn b() -> u32 { 3 }\nfn c() {\n}\n";
+        let items = parse_src(src);
+        assert!(!items[0].is_pub && items[0].is_pub_any);
+        assert!(items[1].is_pub && items[1].is_pub_any);
+        assert_eq!(items[1].start_line, 2);
+        assert!(!items[2].is_pub_any);
+        assert_eq!((items[2].line, items[2].end_line), (3, 4));
+    }
+
+    #[test]
+    fn generic_fns_and_array_return_types_parse() {
+        let items = parse_src(
+            "pub fn pick<T: Ord, const N: usize>(xs: [T; N]) -> [T; 2] {\n    todo()\n}\n",
+        );
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].name, "pick");
+        assert!(items[0].body.is_some());
+    }
+
+    #[test]
+    fn panics_doc_detection_steps_over_attributes() {
+        let src = "/// Runs a thing.\n///\n/// # Panics\n///\n/// Panics when empty.\n\
+                   #[must_use]\npub fn documented() -> u32 { 3 }\n\n\
+                   /// No panics section here.\npub fn plain() {}\n";
+        let items = parse_src(src);
+        assert!(items[0].has_panics_doc);
+        assert!(!items[1].has_panics_doc);
+    }
+
+    #[test]
+    fn test_items_are_marked() {
+        let items =
+            parse_src("fn lib() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {}\n}\n");
+        assert!(!items[0].in_test);
+        assert!(items[1].in_test);
+    }
+}

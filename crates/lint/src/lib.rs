@@ -19,7 +19,10 @@
 //! `cargo run -p rtmac-lint -- --workspace` locally, or `--explain
 //! <rule>` for the rationale behind any rule.
 
+pub mod callgraph;
 pub mod config;
+pub mod items;
+pub mod reach;
 pub mod rules;
 pub mod syntax;
 pub mod tokenize;
@@ -68,6 +71,8 @@ struct EffectiveRule {
     paths: Vec<String>,
     allow_paths: Vec<String>,
     tokens: Vec<String>,
+    /// Hot-path root functions for reachability rules.
+    roots: Vec<String>,
 }
 
 /// The resolved lint engine.
@@ -128,6 +133,16 @@ impl Engine {
                             .map(|t| (*t).to_string())
                             .collect()
                     }),
+                    roots: over.and_then(|o| o.roots.clone()).unwrap_or_else(|| {
+                        if matches!(rule.kind, RuleKind::HotPathAlloc) {
+                            rules::HOT_PATH_DEFAULT_ROOTS
+                                .iter()
+                                .map(|r| (*r).to_string())
+                                .collect()
+                        } else {
+                            Vec::new()
+                        }
+                    }),
                 }
             })
             .collect();
@@ -138,7 +153,9 @@ impl Engine {
         })
     }
 
-    /// Lints every `.rs` file and crate manifest under `root`.
+    /// Lints every `.rs` file and crate manifest under `root`: per-file
+    /// token/expression rules first, then the interprocedural passes over
+    /// the workspace call graph, then waiver application and bookkeeping.
     ///
     /// # Errors
     ///
@@ -147,10 +164,28 @@ impl Engine {
         let mut rs_files = Vec::new();
         let mut manifests = Vec::new();
         walk(root, root, &self.exclude, &mut rs_files, &mut manifests)?;
+        // Load and scan every file once; the call-graph pass reuses the
+        // same token streams.
+        let mut units = Vec::with_capacity(rs_files.len());
+        for rel in rs_files {
+            let text = fs::read_to_string(root.join(&rel))
+                .map_err(|e| format!("{rel}: cannot read: {e}"))?;
+            let file = tokenize::lex(&text);
+            let syn = syntax::scan(&file);
+            units.push(callgraph::FileUnit { rel, file, syn });
+        }
+        let mut raw_per_file: Vec<Vec<rules::RawFinding>> =
+            units.iter().map(|u| self.file_rules(u)).collect();
+        let inline_per_file: Vec<Vec<InlineWaiver>> = units
+            .iter()
+            .map(|u| collect_inline_waivers(&u.file))
+            .collect();
+        self.semantic_pass(&units, &inline_per_file, &mut raw_per_file);
+
         let mut waiver_used = vec![false; self.path_waivers.len()];
         let mut findings = Vec::new();
-        for rel in &rs_files {
-            self.lint_file(root, rel, &mut findings, &mut waiver_used)?;
+        for ((unit, raw), inline) in units.iter().zip(raw_per_file).zip(inline_per_file) {
+            self.apply_waivers(&unit.rel, raw, inline, &mut findings, &mut waiver_used);
         }
         self.check_crate_attrs(root, &manifests, &mut findings)?;
         self.report_stale_path_waivers(&waiver_used, &mut findings);
@@ -167,18 +202,8 @@ impl Engine {
             .map_or(Severity::Deny, |s| s.severity)
     }
 
-    /// Lints one source file (path relative to `root`).
-    fn lint_file(
-        &self,
-        root: &Path,
-        rel: &str,
-        findings: &mut Vec<Finding>,
-        path_waiver_used: &mut [bool],
-    ) -> Result<(), String> {
-        let text =
-            fs::read_to_string(root.join(rel)).map_err(|e| format!("{rel}: cannot read: {e}"))?;
-        let file = tokenize::lex(&text);
-        let syn = syntax::scan(&file);
+    /// Runs the per-file token/expression rules over one unit.
+    fn file_rules(&self, unit: &callgraph::FileUnit) -> Vec<rules::RawFinding> {
         let mut raw = Vec::new();
         for setting in &self.settings {
             if setting.severity == Severity::Allow {
@@ -201,13 +226,100 @@ impl Engine {
             ) {
                 continue;
             }
-            if !path_applies(rel, &setting.paths) || path_listed(rel, &setting.allow_paths) {
+            if !path_applies(&unit.rel, &setting.paths)
+                || path_listed(&unit.rel, &setting.allow_paths)
+            {
                 continue;
             }
-            raw.extend(rules::scan(setting.rule, &file, &syn, &setting.tokens));
+            raw.extend(rules::scan(
+                setting.rule,
+                &unit.file,
+                &unit.syn,
+                &setting.tokens,
+            ));
         }
+        raw
+    }
 
-        let mut inline = collect_inline_waivers(&file);
+    /// Runs the interprocedural rules over the workspace call graph and
+    /// pushes their findings into the per-file raw lists (so the normal
+    /// waiver machinery applies to them unchanged).
+    fn semantic_pass(
+        &self,
+        units: &[callgraph::FileUnit],
+        inline_per_file: &[Vec<InlineWaiver>],
+        raw_per_file: &mut [Vec<rules::RawFinding>],
+    ) {
+        let wanted: Vec<&EffectiveRule> = self
+            .settings
+            .iter()
+            .filter(|s| {
+                s.severity != Severity::Allow
+                    && matches!(
+                        s.rule.kind,
+                        RuleKind::HotPathAlloc
+                            | RuleKind::PanicReach
+                            | RuleKind::RngLane
+                            | RuleKind::DeadWaiver
+                    )
+            })
+            .collect();
+        if wanted.is_empty() {
+            return;
+        }
+        let graph = callgraph::Graph::build(units);
+        for setting in wanted {
+            let hits = match setting.rule.kind {
+                RuleKind::HotPathAlloc => reach::hot_path_alloc(
+                    units,
+                    &graph,
+                    setting.rule.id,
+                    &setting.roots,
+                    &setting.tokens,
+                ),
+                RuleKind::PanicReach => {
+                    reach::panic_reachability(units, &graph, setting.rule.id, &setting.tokens)
+                }
+                RuleKind::RngLane => {
+                    reach::rng_lane(units, &graph, setting.rule.id, &setting.tokens)
+                }
+                RuleKind::DeadWaiver => {
+                    let sites: Vec<reach::WaiverSite> = inline_per_file
+                        .iter()
+                        .enumerate()
+                        .flat_map(|(fi, ws)| {
+                            ws.iter().map(move |w| reach::WaiverSite {
+                                file: fi,
+                                line: w.line,
+                                rule: w.rule.clone(),
+                                target_line: w.target_line,
+                            })
+                        })
+                        .collect();
+                    reach::dead_waivers(units, &graph, setting.rule.id, &sites)
+                }
+                _ => Vec::new(),
+            };
+            for (fi, f) in hits {
+                let rel = &units[fi].rel;
+                if path_applies(rel, &setting.paths) && !path_listed(rel, &setting.allow_paths) {
+                    raw_per_file[fi].push(f);
+                }
+            }
+        }
+    }
+
+    /// Applies inline and path waivers to one file's raw findings, then
+    /// reports waiver bookkeeping findings (missing reasons, stale
+    /// waivers).
+    fn apply_waivers(
+        &self,
+        rel: &str,
+        raw: Vec<rules::RawFinding>,
+        mut inline: Vec<InlineWaiver>,
+        findings: &mut Vec<Finding>,
+        path_waiver_used: &mut [bool],
+    ) {
         for f in raw {
             let severity = self.severity_of(f.rule);
             let mut suppressed = false;
@@ -263,7 +375,6 @@ impl Engine {
                 });
             }
         }
-        Ok(())
     }
 
     /// The `missing-crate-attrs` rule: every `[package]` manifest either

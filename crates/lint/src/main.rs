@@ -32,6 +32,9 @@ enum Format {
     Text,
     /// A JSON array of finding objects (for problem matchers and tooling).
     Json,
+    /// A minimal SARIF 2.1.0 log (for code-scanning uploads and CI
+    /// artifacts).
+    Sarif,
 }
 
 struct Args {
@@ -46,7 +49,7 @@ struct Args {
 
 fn usage() -> &'static str {
     "usage: rtmac-lint [--workspace] [--root DIR] [--config FILE] \
-     [--format text|json] [--explain RULE] [--list-rules] [files...]"
+     [--format text|json|sarif] [--explain RULE] [--list-rules] [files...]"
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -68,9 +71,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.format = match it.next().map(String::as_str) {
                     Some("text") => Format::Text,
                     Some("json") => Format::Json,
+                    Some("sarif") => Format::Sarif,
                     other => {
                         return Err(format!(
-                            "--format needs `text` or `json`, got {other:?}\n{}",
+                            "--format needs `text`, `json`, or `sarif`, got {other:?}\n{}",
                             usage()
                         ))
                     }
@@ -176,8 +180,14 @@ fn run() -> Result<ExitCode, String> {
 
     let mut errors = 0usize;
     let mut warnings = 0usize;
-    if args.format == Format::Json {
-        outln!("{}", findings_to_json(&findings));
+    match args.format {
+        Format::Json => {
+            outln!("{}", findings_to_json(&findings));
+        }
+        Format::Sarif => {
+            outln!("{}", findings_to_sarif(&findings));
+        }
+        Format::Text => {}
     }
     for f in &findings {
         if args.format == Format::Text {
@@ -244,6 +254,83 @@ fn findings_to_json(findings: &[rtmac_lint::Finding]) -> String {
     }
     out.push(']');
     out
+}
+
+/// Serializes findings as a minimal SARIF 2.1.0 log — one run, one rule
+/// descriptor per distinct rule id, one result per finding — which is
+/// the subset code-scanning uploaders and SARIF viewers need.
+fn findings_to_sarif(findings: &[rtmac_lint::Finding]) -> String {
+    let mut rule_ids: Vec<&str> = findings.iter().map(|f| f.rule.as_str()).collect();
+    rule_ids.sort_unstable();
+    rule_ids.dedup();
+
+    let mut rules_json = String::new();
+    for (i, id) in rule_ids.iter().enumerate() {
+        if i > 0 {
+            rules_json.push(',');
+        }
+        let summary = rules::rule_by_id(id).map_or("", |r| r.summary);
+        rules_json.push_str(&format!(
+            "\n          {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}}}",
+            json_string(id),
+            json_string(summary),
+        ));
+    }
+
+    let mut results_json = String::new();
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            results_json.push(',');
+        }
+        let level = match f.severity {
+            Severity::Deny => "error",
+            Severity::Warn => "warning",
+            Severity::Allow => "note",
+        };
+        results_json.push_str(&format!(
+            "\n        {{\"ruleId\": {}, \"level\": {}, \"message\": {{\"text\": {}}}, \
+             \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": \
+             {{\"uri\": {}}}, \"region\": {{\"startLine\": {}, \"startColumn\": {}}}}}}}]}}",
+            json_string(&f.rule),
+            json_string(level),
+            json_string(&f.message),
+            json_string(&f.path),
+            f.line,
+            f.col,
+        ));
+    }
+
+    format!(
+        concat!(
+            "{{\n",
+            "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n",
+            "  \"version\": \"2.1.0\",\n",
+            "  \"runs\": [\n",
+            "    {{\n",
+            "      \"tool\": {{\n",
+            "        \"driver\": {{\n",
+            "          \"name\": \"rtmac-lint\",\n",
+            "          \"rules\": [{rules}{rules_pad}]\n",
+            "        }}\n",
+            "      }},\n",
+            "      \"results\": [{results}{results_pad}]\n",
+            "    }}\n",
+            "  ]\n",
+            "}}"
+        ),
+        rules = rules_json,
+        rules_pad = if rules_json.is_empty() {
+            ""
+        } else {
+            "\n        "
+        },
+        results = results_json,
+        results_pad = if results_json.is_empty() {
+            ""
+        } else {
+            "\n      "
+        },
+    )
 }
 
 /// Escapes a string per JSON (RFC 8259 §7).

@@ -1,0 +1,602 @@
+//! Reachability rules over the workspace call graph (DESIGN.md §13).
+//!
+//! Four interprocedural passes run here, each returning raw findings
+//! keyed by file-unit index so the engine can push them through the
+//! normal waiver and severity machinery:
+//!
+//! * `hot-path-alloc` — BFS from the configured hot-path roots; any
+//!   allocating construct (token classes from the rule's token list) in
+//!   a reachable function body is a finding, with the witness call path
+//!   in the message.
+//! * `panic-reachability` — reverse BFS from every direct panic source
+//!   (`panic!`, `.unwrap()`, `.expect()`, slice indexing); a `pub`
+//!   function that transitively reaches one must document `# Panics`.
+//! * `rng-lane-discipline` — RNG constructor tokens anywhere outside the
+//!   audited allow-paths, plus per-function duplicate lane constants
+//!   (`.rng(1)` drawn twice from the same stream).
+//! * `dead-waiver-sweep` — inline waivers sitting in functions no call
+//!   path from any entry point reaches: the justification is stale at
+//!   the call-graph level even if the waived token is still there.
+
+use std::collections::VecDeque;
+
+use crate::callgraph::{FileUnit, Graph};
+use crate::rules::RawFinding;
+use crate::syntax::TokKind;
+
+/// How one configured token detects a site.
+enum SiteClass {
+    /// `.name(` method calls.
+    Method(String),
+    /// `Type::name(` associated calls, anchored at the type token.
+    PathCall(String, String),
+    /// `name!` macro invocations.
+    Macro(String),
+    /// Slice/array indexing `expr[...]` (the `"[]"` token).
+    Index,
+}
+
+/// Parses a rule's token list into site classes: `"Type::method"`,
+/// `"macro!"`, `"[]"`, or a bare method name.
+fn classify(tokens: &[String]) -> Vec<SiteClass> {
+    tokens
+        .iter()
+        .map(|t| {
+            if t == "[]" {
+                SiteClass::Index
+            } else if let Some(m) = t.strip_suffix('!') {
+                SiteClass::Macro(m.to_string())
+            } else if let Some((ty, m)) = t.split_once("::") {
+                SiteClass::PathCall(ty.to_string(), m.to_string())
+            } else {
+                SiteClass::Method(t.clone())
+            }
+        })
+        .collect()
+}
+
+/// A matched site inside one function body.
+struct Site {
+    line: usize,
+    col: usize,
+    label: String,
+}
+
+/// Scans node `n`'s body for the given site classes, in token order.
+fn direct_sites(units: &[FileUnit], graph: &Graph, n: usize, classes: &[SiteClass]) -> Vec<Site> {
+    let toks = &units[graph.nodes[n].file].syn.tokens;
+    let mut sites = Vec::new();
+    graph.for_body_tokens(n, |k| {
+        let t = &toks[k];
+        let prev = if k > 0 { toks[k - 1].text.as_str() } else { "" };
+        let next = toks.get(k + 1).map_or("", |t| t.text.as_str());
+        for class in classes {
+            match class {
+                SiteClass::Method(m) => {
+                    if t.kind == TokKind::Ident && &t.text == m && prev == "." && next == "(" {
+                        sites.push(Site {
+                            line: t.line,
+                            col: t.col,
+                            label: format!(".{m}()"),
+                        });
+                    }
+                }
+                SiteClass::PathCall(ty, m) => {
+                    if t.kind == TokKind::Ident
+                        && &t.text == ty
+                        && next == "::"
+                        && toks.get(k + 2).is_some_and(|x| &x.text == m)
+                        && toks.get(k + 3).is_some_and(|x| x.text == "(")
+                    {
+                        sites.push(Site {
+                            line: t.line,
+                            col: t.col,
+                            label: format!("{ty}::{m}"),
+                        });
+                    }
+                }
+                SiteClass::Macro(m) => {
+                    if t.kind == TokKind::Ident && &t.text == m && next == "!" {
+                        sites.push(Site {
+                            line: t.line,
+                            col: t.col,
+                            label: format!("{m}!"),
+                        });
+                    }
+                }
+                SiteClass::Index => {
+                    if t.kind == TokKind::Open && t.text == "[" && k > 0 {
+                        let p = &toks[k - 1];
+                        let indexes = matches!(p.kind, TokKind::Ident | TokKind::Number)
+                            && !crate::callgraph::ident_is_keyword(&p.text)
+                            || p.text == ")"
+                            || p.text == "]";
+                        if indexes {
+                            sites.push(Site {
+                                line: t.line,
+                                col: t.col,
+                                label: "slice indexing".to_string(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    });
+    sites
+}
+
+/// Whether a file lives in a test-harness tree (integration tests,
+/// benches, examples) or is a build script.
+fn is_test_file(rel: &str) -> bool {
+    rel.split('/')
+        .any(|seg| matches!(seg, "tests" | "examples" | "benches"))
+        || rel.ends_with("build.rs")
+}
+
+/// Nodes matching the root patterns (`Type::name` or a bare `name`).
+fn match_roots(graph: &Graph, roots: &[String]) -> Vec<usize> {
+    let mut out = Vec::new();
+    for pat in roots {
+        for (i, node) in graph.nodes.iter().enumerate() {
+            let hit = match pat.split_once("::") {
+                Some((ty, m)) => node.item.owner.as_deref() == Some(ty) && node.item.name == m,
+                None => node.item.name == *pat,
+            };
+            if hit && !out.contains(&i) {
+                out.push(i);
+            }
+        }
+    }
+    out
+}
+
+/// The `hot-path-alloc` pass: forward BFS from the configured roots;
+/// every allocation-class site in a reachable (non-test) body is a
+/// finding carrying its witness call path.
+#[must_use]
+pub fn hot_path_alloc(
+    units: &[FileUnit],
+    graph: &Graph,
+    rule_id: &'static str,
+    roots: &[String],
+    tokens: &[String],
+) -> Vec<(usize, RawFinding)> {
+    let classes = classify(tokens);
+    let root_ids = match_roots(graph, roots);
+    let n = graph.nodes.len();
+    let mut parent = vec![usize::MAX; n];
+    let mut seen = vec![false; n];
+    let mut queue = VecDeque::new();
+    for &r in &root_ids {
+        if !seen[r] {
+            seen[r] = true;
+            queue.push_back(r);
+        }
+    }
+    while let Some(cur) = queue.pop_front() {
+        for e in &graph.edges[cur] {
+            if !seen[e.to] {
+                seen[e.to] = true;
+                parent[e.to] = cur;
+                queue.push_back(e.to);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    #[allow(clippy::needless_range_loop)] // `i` is a node id, indexed into several arrays
+    for i in 0..n {
+        if !seen[i] || graph.nodes[i].item.in_test {
+            continue;
+        }
+        let sites = direct_sites(units, graph, i, &classes);
+        if sites.is_empty() {
+            continue;
+        }
+        // Witness chain: root → … → i.
+        let mut chain = vec![graph.name_of(i)];
+        let mut cur = i;
+        while parent[cur] != usize::MAX {
+            cur = parent[cur];
+            chain.push(graph.name_of(cur));
+        }
+        chain.reverse();
+        let root_name = chain[0].clone();
+        let via = if chain.len() > 1 {
+            format!(" via {}", chain.join(" → "))
+        } else {
+            String::new()
+        };
+        for s in sites {
+            out.push((
+                graph.nodes[i].file,
+                RawFinding {
+                    line: s.line,
+                    col: s.col,
+                    rule: rule_id,
+                    message: format!(
+                        "allocating `{}` reachable from hot-path root `{root_name}`{via}; \
+                         pre-size and reuse buffers outside the interval loop",
+                        s.label
+                    ),
+                },
+            ));
+        }
+    }
+    out
+}
+
+/// The `panic-reachability` pass: reverse BFS from every direct panic
+/// source; a `pub` non-test function that reaches one must carry a
+/// `# Panics` doc section.
+#[must_use]
+pub fn panic_reachability(
+    units: &[FileUnit],
+    graph: &Graph,
+    rule_id: &'static str,
+    tokens: &[String],
+) -> Vec<(usize, RawFinding)> {
+    let classes = classify(tokens);
+    let n = graph.nodes.len();
+    let direct: Vec<Option<Site>> = (0..n)
+        .map(|i| direct_sites(units, graph, i, &classes).into_iter().next())
+        .collect();
+    let mut reverse = vec![Vec::new(); n];
+    for (from, edges) in graph.edges.iter().enumerate() {
+        for e in edges {
+            reverse[e.to].push(from);
+        }
+    }
+    let mut reaches = vec![false; n];
+    let mut via = vec![usize::MAX; n];
+    let mut queue = VecDeque::new();
+    for (i, d) in direct.iter().enumerate() {
+        if d.is_some() {
+            reaches[i] = true;
+            queue.push_back(i);
+        }
+    }
+    while let Some(cur) = queue.pop_front() {
+        for &caller in &reverse[cur] {
+            if !reaches[caller] {
+                reaches[caller] = true;
+                via[caller] = cur;
+                queue.push_back(caller);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    #[allow(clippy::needless_range_loop)] // `i` is a node id, indexed into several arrays
+    for i in 0..n {
+        let node = &graph.nodes[i];
+        if !reaches[i] || !node.item.is_pub || node.item.in_test || node.item.has_panics_doc {
+            continue;
+        }
+        // Walk the witness chain down to the direct source.
+        let mut hops = Vec::new();
+        let mut cur = i;
+        while via[cur] != usize::MAX {
+            cur = via[cur];
+            hops.push(graph.name_of(cur));
+        }
+        let site = direct[cur].as_ref().expect("chain ends at a direct source");
+        let src_rel = &units[graph.nodes[cur].file].rel;
+        let via_txt = if hops.is_empty() {
+            String::new()
+        } else {
+            format!(" (via {})", hops.join(" → "))
+        };
+        out.push((
+            node.file,
+            RawFinding {
+                line: node.item.line,
+                col: node.item.col,
+                rule: rule_id,
+                message: format!(
+                    "public `{}` can reach {} at {src_rel}:{}{via_txt}; document a \
+                     `# Panics` section or add an audited waiver",
+                    node.item.qualified(),
+                    site.label,
+                    site.line
+                ),
+            },
+        ));
+    }
+    out
+}
+
+/// The `rng-lane-discipline` pass: raw RNG constructor tokens anywhere
+/// (the allow-path exemption is applied by the engine), plus duplicate
+/// lane constants drawn from the same seed stream inside one function.
+#[must_use]
+pub fn rng_lane(
+    units: &[FileUnit],
+    graph: &Graph,
+    rule_id: &'static str,
+    tokens: &[String],
+) -> Vec<(usize, RawFinding)> {
+    let mut out = Vec::new();
+    // Raw constructors, anywhere in non-test code. Integration tests,
+    // benches, and examples count as test context: the rule guards the
+    // library's sample paths, and `#[cfg(test)]` detection cannot see a
+    // tests/ file's harness-wide helpers.
+    for (fi, unit) in units.iter().enumerate() {
+        if is_test_file(&unit.rel) {
+            continue;
+        }
+        let toks = &unit.syn.tokens;
+        for (k, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Ident || t.in_test || !tokens.iter().any(|g| g == &t.text) {
+                continue;
+            }
+            if toks.get(k + 1).is_some_and(|x| x.text == "(") {
+                out.push((
+                    fi,
+                    RawFinding {
+                        line: t.line,
+                        col: t.col,
+                        rule: rule_id,
+                        message: format!(
+                            "RNG constructed via `{}` outside the audited seed substrate; \
+                             draw generators from `SeedStream::rng`/`substream` lanes",
+                            t.text
+                        ),
+                    },
+                ));
+            }
+        }
+    }
+    // Duplicate lane constants per function.
+    for i in 0..graph.nodes.len() {
+        let node = &graph.nodes[i];
+        if node.item.in_test || is_test_file(&units[node.file].rel) {
+            continue;
+        }
+        let toks = &units[node.file].syn.tokens;
+        let mut first: std::collections::BTreeMap<(String, String), usize> = Default::default();
+        let mut dups = Vec::new();
+        graph.for_body_tokens(i, |k| {
+            let t = &toks[k];
+            if t.kind != TokKind::Ident || !matches!(t.text.as_str(), "rng" | "substream") {
+                return;
+            }
+            let pat = k >= 2
+                && toks[k - 1].text == "."
+                && toks[k - 2].kind == TokKind::Ident
+                && toks.get(k + 1).is_some_and(|x| x.text == "(")
+                && toks.get(k + 2).is_some_and(|x| x.kind == TokKind::Number)
+                && toks.get(k + 3).is_some_and(|x| x.text == ")");
+            if !pat {
+                return;
+            }
+            let recv = toks[k - 2].text.clone();
+            let lane = toks[k + 2].text.clone();
+            match first.entry((recv.clone(), lane.clone())) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(t.line);
+                }
+                std::collections::btree_map::Entry::Occupied(e) => {
+                    dups.push((t.line, t.col, recv, lane, *e.get()));
+                }
+            }
+        });
+        for (line, col, recv, lane, l0) in dups {
+            out.push((
+                node.file,
+                RawFinding {
+                    line,
+                    col,
+                    rule: rule_id,
+                    message: format!(
+                        "RNG lane {lane} drawn twice from `{recv}` in `{}` (first draw \
+                         on line {l0}); give each subsystem a distinct lane constant",
+                        node.item.qualified()
+                    ),
+                },
+            ));
+        }
+    }
+    out
+}
+
+/// One inline waiver, located for the dead-waiver sweep.
+pub struct WaiverSite {
+    /// File-unit index.
+    pub file: usize,
+    /// 1-based line of the waiver comment.
+    pub line: usize,
+    /// The waived rule id.
+    pub rule: String,
+    /// The code line the waiver covers.
+    pub target_line: usize,
+}
+
+/// The `dead-waiver-sweep` pass: forward BFS from every entry point
+/// (`pub` items, `main`, test code, top-level references, files under
+/// tests/examples/benches); a waiver inside an unreachable function is
+/// stale at the call-graph level.
+#[must_use]
+pub fn dead_waivers(
+    units: &[FileUnit],
+    graph: &Graph,
+    rule_id: &'static str,
+    waivers: &[WaiverSite],
+) -> Vec<(usize, RawFinding)> {
+    let n = graph.nodes.len();
+    let mut seen = vec![false; n];
+    let mut queue = VecDeque::new();
+    for (i, node) in graph.nodes.iter().enumerate() {
+        let entry_file = is_test_file(&units[node.file].rel);
+        if node.item.is_pub_any
+            || node.item.name == "main"
+            || node.item.in_test
+            || graph.top_refs[i]
+            || entry_file
+        {
+            seen[i] = true;
+            queue.push_back(i);
+        }
+    }
+    while let Some(cur) = queue.pop_front() {
+        for e in &graph.edges[cur] {
+            if !seen[e.to] {
+                seen[e.to] = true;
+                queue.push_back(e.to);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for w in waivers {
+        let host = graph
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, node)| {
+                node.file == w.file
+                    && node.item.start_line <= w.target_line
+                    && w.target_line <= node.item.end_line
+            })
+            .max_by_key(|(_, node)| node.item.start_line);
+        let Some((i, node)) = host else { continue };
+        if seen[i] {
+            continue;
+        }
+        out.push((
+            w.file,
+            RawFinding {
+                line: w.line,
+                col: 1,
+                rule: rule_id,
+                message: format!(
+                    "waiver for `{}` lies in `{}`, which no call path from any entry \
+                     point reaches; the justifying call path no longer exists",
+                    w.rule,
+                    node.item.qualified()
+                ),
+            },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::lex;
+
+    fn unit(rel: &str, src: &str) -> FileUnit {
+        let file = lex(src);
+        let syn = crate::syntax::scan(&file);
+        FileUnit {
+            rel: rel.to_string(),
+            file,
+            syn,
+        }
+    }
+
+    fn strs(xs: &[&str]) -> Vec<String> {
+        xs.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn hot_path_alloc_follows_call_chains() {
+        let units = [unit(
+            "a.rs",
+            "struct E;\nimpl E {\n    pub fn run(&mut self) { self.step(); }\n    \
+             fn step(&mut self) { let v = scratch(); v.len(); }\n}\n\
+             fn scratch() -> Vec<u32> { Vec::new() }\nfn unrelated() { let s = Vec::new(); }\n",
+        )];
+        let g = Graph::build(&units);
+        let hits = hot_path_alloc(
+            &units,
+            &g,
+            "hot-path-alloc",
+            &strs(&["E::run"]),
+            &strs(&["Vec::new", "clone"]),
+        );
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        let (_, f) = &hits[0];
+        assert_eq!(f.line, 6);
+        assert!(
+            f.message.contains("E::run → E::step → scratch"),
+            "{}",
+            f.message
+        );
+    }
+
+    #[test]
+    fn panic_reachability_wants_docs_on_pub_apis() {
+        let units = [unit(
+            "a.rs",
+            "pub fn undocumented(x: Option<u32>) -> u32 { inner(x) }\n\
+             fn inner(x: Option<u32>) -> u32 { x.unwrap() }\n\
+             /// # Panics\n/// When `x` is `None`.\n\
+             pub fn documented(x: Option<u32>) -> u32 { x.unwrap() }\n\
+             pub fn safe() -> u32 { 3 }\n",
+        )];
+        let g = Graph::build(&units);
+        let hits = panic_reachability(
+            &units,
+            &g,
+            "panic-reachability",
+            &strs(&["panic!", "unwrap", "expect", "[]"]),
+        );
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].1.line, 1);
+        assert!(
+            hits[0].1.message.contains("undocumented"),
+            "{}",
+            hits[0].1.message
+        );
+    }
+
+    #[test]
+    fn rng_lane_flags_constructors_and_duplicate_lanes() {
+        let units = [unit(
+            "a.rs",
+            "fn build(seeds: &SeedStream) {\n    let a = seeds.rng(1);\n    \
+             let b = seeds.rng(2);\n    let c = seeds.rng(1);\n}\n\
+             fn raw() { let r = SmallRng::seed_from_u64(7); }\n",
+        )];
+        let g = Graph::build(&units);
+        let hits = rng_lane(&units, &g, "rng-lane-discipline", &strs(&["seed_from_u64"]));
+        assert_eq!(hits.len(), 2, "{hits:?}");
+        assert!(hits[0].1.message.contains("seed_from_u64"));
+        assert_eq!(hits[1].1.line, 4, "the duplicate lane 1 draw");
+        assert!(
+            hits[1].1.message.contains("lane 1"),
+            "{}",
+            hits[1].1.message
+        );
+    }
+
+    #[test]
+    fn dead_waivers_need_an_unreachable_host() {
+        let units = [unit(
+            "a.rs",
+            "pub fn entry() { live(); }\nfn live() {}\n\
+             fn orphan() {\n    let t = 1;\n}\n",
+        )];
+        let g = Graph::build(&units);
+        let live_waiver = WaiverSite {
+            file: 0,
+            line: 2,
+            rule: "wall-clock".to_string(),
+            target_line: 2,
+        };
+        let dead_waiver = WaiverSite {
+            file: 0,
+            line: 4,
+            rule: "wall-clock".to_string(),
+            target_line: 4,
+        };
+        let hits = dead_waivers(&units, &g, "dead-waiver-sweep", &[live_waiver, dead_waiver]);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].1.line, 4);
+        assert!(
+            hits[0].1.message.contains("orphan"),
+            "{}",
+            hits[0].1.message
+        );
+    }
+}

@@ -56,7 +56,32 @@ pub enum RuleKind {
     CrateAttrs,
     /// Engine-internal rules (waiver bookkeeping); never scanned directly.
     Meta,
+    /// Interprocedural ([`crate::reach`]): allocating constructs reachable
+    /// from the configured hot-path roots over the workspace call graph.
+    HotPathAlloc,
+    /// Interprocedural ([`crate::reach`]): public APIs that transitively
+    /// reach a panic source without a `# Panics` doc section.
+    PanicReach,
+    /// Interprocedural ([`crate::reach`]): raw RNG constructors and
+    /// duplicate seed-stream lane constants.
+    RngLane,
+    /// Interprocedural ([`crate::reach`]): inline waivers hosted in
+    /// functions unreachable from any entry point.
+    DeadWaiver,
 }
+
+/// Default hot-path roots for `hot-path-alloc`: the per-interval decision
+/// paths of the scalar, batched, and faulty DP engines (Algorithm 2 runs
+/// on every link in every interval, so these must stay allocation-free).
+pub const HOT_PATH_DEFAULT_ROOTS: &[&str] = &[
+    "DpEngine::run_interval",
+    "DpEngine::run_interval_with_candidates",
+    "DpEngine::run_interval_with_coins",
+    "BatchedDpEngine::step",
+    "BatchedDpEngine::step_with_candidates",
+    "FaultyDpEngine::run_interval",
+    "FaultyDpEngine::run_interval_with_candidates",
+];
 
 /// A static rule definition. `lint.toml` can override severity, scope
 /// paths, and tokens; everything else is fixed.
@@ -367,6 +392,113 @@ pub const RULES: &[Rule] = &[
                   + warn(missing_docs)) or carry `#![forbid(unsafe_code)]` and \
                   `#![warn(missing_docs)]` at its crate root. This keeps lint levels \
                   centralized instead of drifting per crate.",
+    },
+    Rule {
+        id: "hot-path-alloc",
+        kind: RuleKind::HotPathAlloc,
+        default_severity: Severity::Deny,
+        exempt_tests: true,
+        default_tokens: &[
+            "Vec::new",
+            "Vec::with_capacity",
+            "String::new",
+            "String::from",
+            "String::with_capacity",
+            "Box::new",
+            "Rc::new",
+            "Arc::new",
+            "vec!",
+            "format!",
+            "clone",
+            "to_vec",
+            "to_owned",
+            "to_string",
+            "collect",
+            "repeat",
+        ],
+        summary: "no allocating construct reachable from the hot-path roots",
+        explain: "Algorithm 2 runs on every link in every interval, so the \
+                  per-interval decision path must be allocation-free: a single \
+                  Vec::new in a transitively-called helper turns the massive-N \
+                  batched sweep into an allocator benchmark. This rule builds the \
+                  workspace call graph (DESIGN.md §13), walks forward from the \
+                  configured `roots` (default: the DP engines' interval entry \
+                  points), and convicts every allocating construct — constructor \
+                  paths like `Vec::new`, allocating methods like `.clone()`/\
+                  `.collect()`, and macros like `vec!`/`format!` — in any reachable \
+                  function, with the witness call path in the message. Deliberately \
+                  absent from the token list: `push`/`extend`/`extend_from_slice`, \
+                  which are amortized-allocation-free on the pre-sized buffers the \
+                  engines reuse; the runtime `alloc_regression` test cross-checks \
+                  that assumption dynamically, while this rule covers call paths \
+                  the test never executes. Setup-time allocation in constructors \
+                  that the interval loop never re-enters may waive with \
+                  `// lint: allow(hot-path-alloc) — <why this runs once>`.",
+    },
+    Rule {
+        id: "panic-reachability",
+        kind: RuleKind::PanicReach,
+        default_severity: Severity::Deny,
+        exempt_tests: true,
+        default_tokens: &["panic!", "todo!", "unimplemented!", "unwrap", "expect"],
+        summary: "pub APIs reaching a panic source must document `# Panics`",
+        explain: "The Runner's panic-propagation contract (DESIGN.md §11) makes a \
+                  worker panic abort the whole batch, so a caller deserves to know \
+                  which public entry points can panic. This rule reverse-walks the \
+                  workspace call graph from every direct panic source — `panic!`-\
+                  family macros, `.unwrap()`/`.expect()` calls, and (when `[]` is in \
+                  the token list) slice indexing — and requires each `pub` function \
+                  of the scoped crates that transitively reaches one to carry a \
+                  `# Panics` doc section naming the invariant, or an audited \
+                  `// lint: allow(panic-reachability) — <reason>` waiver. The \
+                  call-graph approximation resolves method calls by name, so a \
+                  finding's witness path may go through a trait method with several \
+                  implementations; the documented invariant must cover them all.",
+    },
+    Rule {
+        id: "rng-lane-discipline",
+        kind: RuleKind::RngLane,
+        default_severity: Severity::Deny,
+        exempt_tests: true,
+        default_tokens: &["seed_from_u64", "from_seed", "from_rng"],
+        summary: "RNG construction flows from SeedStream lanes, one lane per subsystem",
+        explain: "Replicability is a statement about exact sample paths: the debt \
+                  analysis only transfers if arrivals, protocol coins, and fault \
+                  processes each consume their own independent substream. Two bug \
+                  classes break that. First, constructing an RNG directly \
+                  (`SmallRng::seed_from_u64(7)`) instead of drawing it from \
+                  `SeedStream::rng`/`substream` silently correlates it with \
+                  whatever else used that constant — only crates/sim/src/rng.rs \
+                  (the audited substrate) may name raw constructors. Second, \
+                  drawing the *same* lane constant twice from the same stream in \
+                  one function (`seeds.rng(1)` for arrivals and again for faults) \
+                  yields two identical generators; the fix that introduced the \
+                  dedicated fault lane exists precisely because of this class. The \
+                  rule flags raw constructor tokens anywhere outside the allow-\
+                  paths and duplicate `(stream, lane)` pairs per function. A \
+                  deliberate re-draw (replaying the same sequence) may waive with \
+                  `// lint: allow(rng-lane-discipline) — <why the streams must \
+                  coincide>`. Test code is exempt.",
+    },
+    Rule {
+        id: "dead-waiver-sweep",
+        kind: RuleKind::DeadWaiver,
+        default_severity: Severity::Deny,
+        exempt_tests: false,
+        default_tokens: &[],
+        summary: "waivers hosted in call-graph-unreachable functions are stale",
+        explain: "An inline waiver justifies a finding *in context*: 'this unwrap \
+                  cannot fire because the caller checked'. When refactoring \
+                  removes every call path to the host function, the justification \
+                  is dangling even though the waived token — and therefore the \
+                  line-level stale-waiver check — still matches. This rule walks \
+                  the call graph forward from every entry point (pub items, \
+                  `main`, test code, top-level references like criterion_group!, \
+                  files under tests/examples/benches) and reports waivers whose \
+                  host function no path reaches. Delete the dead code or the \
+                  waiver; if the function is reflection-reached in a way the \
+                  graph cannot see, make it `pub(crate)` so the entry-point set \
+                  includes it.",
     },
     Rule {
         id: "waiver-missing-reason",
@@ -778,7 +910,15 @@ pub fn scan(rule: &Rule, file: &SourceFile, syntax: &Syntax, tokens: &[String]) 
         RuleKind::LockLoop => {
             scan_lock_loop(rule, syntax, &mut findings);
         }
-        RuleKind::CrateAttrs | RuleKind::Meta => {}
+        // Workspace-level and interprocedural rules run in the engine
+        // (crate attrs, waiver bookkeeping) or over the call graph
+        // ([`crate::reach`]), never per file.
+        RuleKind::CrateAttrs
+        | RuleKind::Meta
+        | RuleKind::HotPathAlloc
+        | RuleKind::PanicReach
+        | RuleKind::RngLane
+        | RuleKind::DeadWaiver => {}
     }
     findings
 }

@@ -1,0 +1,23 @@
+//! Panic-reachability fixture: two pub APIs reach the same panic
+//! transitively; only the undocumented one is a finding.
+
+/// Documented contract.
+///
+/// # Panics
+///
+/// Panics when `x` is zero.
+pub fn documented(x: u32) -> u32 {
+    check(x)
+}
+
+/// Undocumented: reaches the same panic through `check`.
+pub fn undocumented(x: u32) -> u32 {
+    check(x)
+}
+
+fn check(x: u32) -> u32 {
+    if x == 0 {
+        panic!("zero input");
+    }
+    x
+}

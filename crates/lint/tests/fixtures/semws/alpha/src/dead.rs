@@ -1,0 +1,16 @@
+//! Dead-waiver fixture: the waiver below sits in a function no entry
+//! point reaches, so `dead-waiver-sweep` reports it as stale evidence.
+
+pub fn live() -> u32 {
+    reachable()
+}
+
+fn reachable() -> u32 {
+    7
+}
+
+fn orphan() -> u32 {
+    // lint: allow(hot-path-alloc) — fixture: hosted in an unreachable function
+    let v = vec![1, 2, 3];
+    v.len() as u32
+}

@@ -1,0 +1,22 @@
+//! Hot-path fixture: `Engine::run_interval` is the configured root and
+//! must stay allocation-free; the violation hides two calls deep, in a
+//! different crate (`beta/src/scratch.rs`).
+
+pub struct Engine {
+    data: Vec<u32>,
+}
+
+impl Engine {
+    pub fn run_interval(&mut self) -> u32 {
+        let staged = stage(&self.data);
+        finish(staged)
+    }
+}
+
+fn stage(data: &[u32]) -> u32 {
+    scratch_fill(data)
+}
+
+fn finish(x: u32) -> u32 {
+    x + 1
+}

@@ -1,0 +1,19 @@
+//! RNG-lane fixture: a raw constructor outside the seed substrate, and
+//! two draws from the same lane constant on one stream.
+
+pub fn raw_constructor(seed: u64) -> u64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    rng.next_u64()
+}
+
+pub fn duplicate_lanes(seeds: &SeedStream) -> (SimRng, SimRng) {
+    let first = seeds.rng(3);
+    let second = seeds.rng(3);
+    (first, second)
+}
+
+pub fn distinct_lanes(seeds: &SeedStream) -> (SimRng, SimRng) {
+    let arrivals = seeds.rng(0);
+    let protocol = seeds.rng(1);
+    (arrivals, protocol)
+}

@@ -1,0 +1,8 @@
+//! Cross-crate callee reached from alpha's hot path: the `to_vec` here
+//! is the allocation `hot-path-alloc` must convict, with a witness chain
+//! spanning both fixture crates.
+
+pub fn scratch_fill(data: &[u32]) -> u32 {
+    let copy = data.to_vec();
+    copy.len() as u32
+}

@@ -259,6 +259,43 @@ fn binary_json_format_reports_findings() {
     assert_eq!(stdout.matches("\"path\"").count(), 42);
 }
 
+/// `--format sarif` emits a SARIF 2.1.0 log with one result per finding
+/// and the deny/warn severities mapped to SARIF levels.
+#[test]
+fn binary_sarif_format_reports_findings() {
+    let root = fixture_root();
+    let out = run_binary(&[
+        "--workspace",
+        "--root",
+        root.to_str().expect("utf-8 path"),
+        "--format",
+        "sarif",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "exit code");
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 stdout");
+    for needle in [
+        r#""version": "2.1.0""#,
+        r#""name": "rtmac-lint""#,
+        // A rule descriptor and a concrete result with its position.
+        r#""id": "panic-unwrap""#,
+        r#""uri": "src/panics.rs""#,
+        r#""startLine": 5"#,
+        r#""level": "warning""#,
+    ] {
+        assert!(
+            stdout.contains(needle),
+            "sarif missing {needle:?}:\n{stdout}"
+        );
+    }
+    // One result per finding (41 errors + 1 warning).
+    assert_eq!(stdout.matches("\"ruleId\"").count(), 42);
+    // No rustc-style text lines mixed into the SARIF stream.
+    assert!(
+        !stdout.contains("src/panics.rs:5:15:"),
+        "text output leaked into SARIF mode:\n{stdout}"
+    );
+}
+
 /// The real workspace is lint-clean: the binary exits 0 from the repo
 /// root, which is exactly the CI gate.
 #[test]

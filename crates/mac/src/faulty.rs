@@ -183,6 +183,9 @@ struct Believer {
 #[derive(Debug, Clone, Default)]
 struct FaultyScratch {
     believers: Vec<Believer>,
+    /// Shuffle scratch for the candidate draw; persists across intervals
+    /// so the per-interval draw stops allocating after the first call.
+    draw_pool: Vec<usize>,
     /// Per-link index into `believers` (a link plays at most one side).
     role: Vec<Option<usize>>,
     pending_empty: Vec<bool>,
@@ -198,6 +201,8 @@ struct FaultyScratch {
     heard: Vec<bool>,
     hi_moves: Vec<usize>,
     lo_moves: Vec<usize>,
+    /// Bijectivity-check scratch for the desync epoch accounting.
+    bij_seen: Vec<bool>,
 }
 
 /// The degraded-mode DP engine: Algorithm 2 over per-link priority
@@ -387,8 +392,19 @@ impl FaultyDpEngine {
     /// Same candidate draw as the pristine engine (Step 1 / Remark 6) —
     /// kept draw-for-draw identical so the zero-fault paths replay the
     /// pristine randomness exactly.
-    fn draw_candidates(&self, rng: &mut SimRng) -> Vec<usize> {
-        crate::draw_nonadjacent_candidates(self.beliefs.len(), self.config.swap_pairs(), rng)
+    fn draw_candidates(&mut self, rng: &mut SimRng) -> Vec<usize> {
+        // lint: allow(hot-path-alloc) — report-owned candidate buffer; shuffle pool reused via FaultyScratch
+        let mut out = Vec::with_capacity(self.config.swap_pairs());
+        let mut pool = std::mem::take(&mut self.scratch.draw_pool);
+        crate::draw_nonadjacent_candidates_into(
+            self.beliefs.len(),
+            self.config.swap_pairs(),
+            rng,
+            &mut out,
+            &mut pool,
+        );
+        self.scratch.draw_pool = pool;
+        out
     }
 
     /// Runs one degraded-mode interval. Arguments as in
@@ -425,7 +441,14 @@ impl FaultyDpEngine {
         channel: &mut dyn LossModel,
         rng: &mut SimRng,
     ) -> DpIntervalReport {
-        self.run_candidates(arrivals, mu, candidates.to_vec(), channel, rng)
+        self.run_candidates(
+            arrivals,
+            mu,
+            // lint: allow(hot-path-alloc) — copies the caller's injected draw into the report-owned set
+            candidates.to_vec(),
+            channel,
+            rng,
+        )
     }
 
     fn run_candidates(
@@ -466,6 +489,7 @@ impl FaultyDpEngine {
         } = self;
         let timing = config.timing();
         let tracing = config.trace();
+        // lint: allow(hot-path-alloc) — report-owned trace; lazily allocating and empty unless tracing is on
         let mut trace: Vec<TraceEvent> = Vec::new();
         let down = |link: usize| {
             churn
@@ -487,6 +511,8 @@ impl FaultyDpEngine {
             heard,
             hi_moves,
             lo_moves,
+            bij_seen,
+            draw_pool: _,
         } = scratch;
         beliefs_before.clear();
         beliefs_before.extend_from_slice(beliefs);
@@ -784,6 +810,7 @@ impl FaultyDpEngine {
                 missed[bl.link] = 0;
             }
         }
+        // lint: allow(hot-path-alloc) — report-owned swap list; lazily allocates only when a swap commits
         let mut swaps = Vec::new();
         for (j, &c) in candidates.iter().enumerate() {
             if hi_moves[j] == 1 && lo_moves[j] == 1 {
@@ -852,10 +879,11 @@ impl FaultyDpEngine {
         // first interval whose belief multiset is not a bijection and
         // closes when bijectivity returns.
         let bijective = {
-            let mut seen = vec![false; n];
+            bij_seen.clear();
+            bij_seen.resize(n, false);
             beliefs
                 .iter()
-                .all(|&b| !std::mem::replace(&mut seen[b - 1], true))
+                .all(|&b| !std::mem::replace(&mut bij_seen[b - 1], true))
         };
         if bijective {
             if let Some(since) = self.desync_since.take() {

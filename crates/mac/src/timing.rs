@@ -54,6 +54,7 @@ impl MacTiming {
             payload_bytes,
             data_airtime,
             empty_airtime,
+            // lint: allow(hot-path-alloc) — capacity-zero until with_payloads; on the hot path only through the trait-call approximation on .timing()
             link_airtimes: Vec::new(),
         }
     }

@@ -91,6 +91,7 @@ impl FaultModel {
     #[must_use]
     pub fn none() -> Self {
         use rand::SeedableRng;
+        // lint: allow(rng-lane-discipline) — placeholder generator for the never-drawing perfect-sensing model; no lane is consumed
         Self::new(0.0, 0.0, SimRng::seed_from_u64(0))
     }
 

@@ -351,4 +351,31 @@ mod tests {
         assert!(LinkClasses::from_class_ids(Vec::new()).is_err());
         assert!(LinkClasses::from_class_ids(vec![0; 21]).is_err());
     }
+
+    /// A genuinely two-class partition at N = 4, pinned against the plain
+    /// checker: both passes certify the same engine, the symmetric one
+    /// visits exactly one representative per orbit (4!/(2!·2!) = 6 of the
+    /// 24 permutations), and the per-orbit transition fan-out is uniform,
+    /// so the work ratio equals the state ratio.
+    #[test]
+    fn two_class_partition_matches_plain_checker_at_n4() {
+        let cfg = CheckConfig::new(4, 1);
+        let classes = LinkClasses::from_class_ids(vec![0, 0, 1, 1]).unwrap();
+        assert_eq!(classes.orbit_count(), 6);
+
+        let mut subject = crate::EngineSubject::new(cfg.timing(), cfg.n);
+        let sym = check_with_symmetry(&mut subject, &cfg, &classes)
+            .expect("symmetric pass certifies the engine");
+        let mut subject = crate::EngineSubject::new(cfg.timing(), cfg.n);
+        let plain = crate::check(&mut subject, &cfg).expect("plain pass certifies the engine");
+
+        assert_eq!(sym.sigma_states, classes.orbit_count());
+        assert_eq!(plain.sigma_states, 24);
+        assert_eq!(
+            plain.transitions,
+            4 * sym.transitions,
+            "uniform fan-out: 24/6 = 4× the transitions"
+        );
+        assert_eq!(sym.max_channel_bits, plain.max_channel_bits);
+    }
 }

@@ -1,0 +1,363 @@
+//! Feasibility-aware admission control and load shedding.
+//!
+//! The DB-DP engine serves whatever link set it is given; nothing in the
+//! protocol stops an operator (or a flash crowd) from presenting an
+//! infeasible workload, and Singh–Hou–Kumar's pathwise analysis says
+//! exactly what happens then: inside the feasibility region a maximal
+//! debt-clearing policy keeps every link's debt pathwise-bounded, while
+//! outside it *some* debt grows without bound on every sample path. The
+//! remedy is classical (Jaramillo–Srikant): admit heterogeneous links
+//! against the feasibility region instead of assuming a feasible workload.
+//!
+//! [`AdmissionController`] is that gate, built on the Lemma-2 necessary
+//! condition of [`feasibility::workload_utilization`](crate::feasibility):
+//! a link set with `Σ q_n/p_n` beyond the interval's transmission budget is
+//! certainly infeasible, so the controller
+//!
+//! * **admits** an arriving link iff the admitted set *plus the arrival*
+//!   stays at or under a configured utilization threshold, and
+//! * **sheds** load when the admitted set is overloaded anyway (e.g. after
+//!   `p_n` degrades or a revival burst), by the documented deterministic
+//!   policy: drop the **lowest-debt link first**, ties broken by lowest
+//!   link index, until the survivors fit. Low debt means the protocol has
+//!   been serving the link nearly on target, so dropping it forfeits the
+//!   least accumulated service obligation; the highest-debt links — the
+//!   ones the DP weights are already prioritizing — keep their capacity.
+//!
+//! The controller is pure decision logic over plain slices — no RNG, no
+//! engine state — so the runtime gate inside `rtmac::Network` can replay
+//! its decisions exactly (a differential test pins the two together).
+
+use rtmac_model::ConfigError;
+
+/// Utilization of the admitted subset only: `Σ_{admitted} q_n/p_n /
+/// budget`, the Lemma-2 statistic the controller thresholds.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if the slice lengths disagree, `budget` is
+/// zero, or an *admitted* link carries an invalid `q_n` or `p_n` (links
+/// outside the admitted set are not validated: a crashed link may well
+/// report a degenerate success probability).
+pub fn admitted_utilization(
+    q: &[f64],
+    p: &[f64],
+    admitted: &[bool],
+    budget: u64,
+) -> Result<f64, ConfigError> {
+    if q.len() != p.len() {
+        return Err(ConfigError::LengthMismatch {
+            what: "success probabilities",
+            expected: q.len(),
+            actual: p.len(),
+        });
+    }
+    if q.len() != admitted.len() {
+        return Err(ConfigError::LengthMismatch {
+            what: "admission mask",
+            expected: q.len(),
+            actual: admitted.len(),
+        });
+    }
+    if budget == 0 {
+        return Err(ConfigError::InvalidParameter {
+            name: "transmission budget",
+            value: 0.0,
+        });
+    }
+    let mut total = 0.0;
+    for (link, ((&qn, &pn), &is_in)) in q.iter().zip(p).zip(admitted).enumerate() {
+        if !is_in {
+            continue;
+        }
+        if !pn.is_finite() || pn <= 0.0 || pn > 1.0 {
+            return Err(ConfigError::InvalidSuccessProbability { link, value: pn });
+        }
+        if !qn.is_finite() || qn < 0.0 {
+            return Err(ConfigError::InvalidRequirement { link, value: qn });
+        }
+        total += qn / pn;
+    }
+    Ok(total / budget as f64)
+}
+
+/// The online admission gate (see the module docs).
+///
+/// # Example
+///
+/// ```
+/// use rtmac_analysis::admission::AdmissionController;
+///
+/// // Budget of 10 attempts; each link costs q/p = 3 attempts.
+/// let ctl = AdmissionController::new(1.0);
+/// let q = vec![2.1; 4];
+/// let p = vec![0.7; 4];
+/// let mut admitted = vec![true, true, true, false];
+/// // Three admitted links use 9 of 10 attempts; a fourth would need 12.
+/// assert!(!ctl.admit(&q, &p, &admitted, 3, 10)?);
+/// // Drop one (say link 1 has lowest debt) and the arrival fits.
+/// admitted[1] = false;
+/// assert!(ctl.admit(&q, &p, &admitted, 3, 10)?);
+/// # Ok::<(), rtmac_model::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionController {
+    threshold: f64,
+}
+
+impl AdmissionController {
+    /// A controller admitting while the Lemma-2 utilization of the
+    /// admitted set stays at or under `threshold` (1.0 = the necessary
+    /// feasibility bound itself; smaller values leave headroom for
+    /// deadlines and burstiness, which the necessary condition ignores).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is not finite and positive.
+    #[must_use]
+    pub fn new(threshold: f64) -> Self {
+        assert!(
+            threshold.is_finite() && threshold > 0.0,
+            "admission threshold {threshold} must be finite and positive"
+        );
+        AdmissionController { threshold }
+    }
+
+    /// The utilization threshold.
+    #[must_use]
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Whether arriving link `candidate` may join: `true` iff the admitted
+    /// set *with the candidate included* stays at or under the threshold.
+    /// An already-admitted candidate is re-evaluated the same way (the
+    /// call is idempotent).
+    ///
+    /// # Errors
+    ///
+    /// As [`admitted_utilization`], plus [`ConfigError::InvalidParameter`]
+    /// when `candidate` is out of range.
+    pub fn admit(
+        &self,
+        q: &[f64],
+        p: &[f64],
+        admitted: &[bool],
+        candidate: usize,
+        budget: u64,
+    ) -> Result<bool, ConfigError> {
+        if candidate >= q.len() {
+            return Err(ConfigError::InvalidParameter {
+                name: "admission candidate",
+                value: candidate as f64,
+            });
+        }
+        let base = admitted_utilization(q, p, admitted, budget)?;
+        if !admitted[candidate] {
+            let pn = p[candidate];
+            if !pn.is_finite() || pn <= 0.0 || pn > 1.0 {
+                return Err(ConfigError::InvalidSuccessProbability {
+                    link: candidate,
+                    value: pn,
+                });
+            }
+            let qn = q[candidate];
+            if !qn.is_finite() || qn < 0.0 {
+                return Err(ConfigError::InvalidRequirement {
+                    link: candidate,
+                    value: qn,
+                });
+            }
+            return Ok(base + qn / pn / budget as f64 <= self.threshold);
+        }
+        Ok(base <= self.threshold)
+    }
+
+    /// The deterministic shedding plan for an overloaded admitted set:
+    /// returns the links to drop, in order, so that the survivors'
+    /// utilization is at or under the threshold. Policy: lowest debt
+    /// first, ties broken by lowest link index. Returns an empty plan when
+    /// the set already fits.
+    ///
+    /// The last admitted link is never shed — an "overloaded" singleton is
+    /// a configuration problem the caller must surface, not a reason to
+    /// serve nobody.
+    ///
+    /// # Errors
+    ///
+    /// As [`admitted_utilization`], plus a length check on `debts`.
+    pub fn shed_plan(
+        &self,
+        q: &[f64],
+        p: &[f64],
+        admitted: &[bool],
+        debts: &[f64],
+        budget: u64,
+    ) -> Result<Vec<usize>, ConfigError> {
+        if debts.len() != q.len() {
+            return Err(ConfigError::LengthMismatch {
+                what: "debt vector",
+                expected: q.len(),
+                actual: debts.len(),
+            });
+        }
+        let mut utilization = admitted_utilization(q, p, admitted, budget)?;
+        let mut still_in = admitted.to_vec();
+        let mut plan = Vec::new();
+        while utilization > self.threshold {
+            let survivors = still_in.iter().filter(|&&x| x).count();
+            if survivors <= 1 {
+                break;
+            }
+            // Lowest debt first; ties broken by lowest index (the `<`
+            // keeps the earliest minimum).
+            let mut victim: Option<usize> = None;
+            for link in 0..q.len() {
+                if !still_in[link] {
+                    continue;
+                }
+                match victim {
+                    Some(v) if debts[link] >= debts[v] => {}
+                    _ => victim = Some(link),
+                }
+            }
+            let Some(v) = victim else { break };
+            still_in[v] = false;
+            plan.push(v);
+            utilization -= q[v] / p[v] / budget as f64;
+        }
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feasibility::workload_utilization;
+
+    #[test]
+    fn utilization_counts_only_admitted_links() {
+        let q = [2.1, 2.1, 2.1, f64::NAN];
+        let p = [0.7, 0.7, 0.7, 0.0];
+        // Links 3's garbage parameters are ignored while it sits outside
+        // the admitted set.
+        let u = admitted_utilization(&q, &p, &[true, false, true, false], 10).unwrap();
+        assert!((u - 0.6).abs() < 1e-12);
+        assert!(admitted_utilization(&q, &p, &[true, true, true, true], 10).is_err());
+    }
+
+    #[test]
+    fn admit_thresholds_the_candidate_inclusive_set() {
+        let ctl = AdmissionController::new(1.0);
+        let q = [2.1; 4];
+        let p = [0.7; 4];
+        // 3 links × 3 attempts = 9 of 10: the fourth (needing 3 more) is
+        // rejected, but re-evaluating an existing member passes.
+        let admitted = [true, true, true, false];
+        assert!(!ctl.admit(&q, &p, &admitted, 3, 10).unwrap());
+        assert!(ctl.admit(&q, &p, &admitted, 2, 10).unwrap());
+        // With headroom the arrival is welcome.
+        let admitted = [true, true, false, false];
+        assert!(ctl.admit(&q, &p, &admitted, 3, 10).unwrap());
+    }
+
+    #[test]
+    fn shed_plan_drops_lowest_debt_first_with_index_tiebreak() {
+        let ctl = AdmissionController::new(1.0);
+        // Each admitted link costs 4 of 10: four admitted = 1.6, so two
+        // must go.
+        let q = [2.8; 4];
+        let p = [0.7; 4];
+        let admitted = [true; 4];
+        // Debts: links 1 and 3 tie at the minimum, link 0 is highest.
+        let debts = [9.0, 1.0, 5.0, 1.0];
+        let plan = ctl.shed_plan(&q, &p, &admitted, &debts, 10).unwrap();
+        assert_eq!(plan, [1, 3], "lowest debt first, index breaks the tie");
+        // The survivors fit: 2 × 0.4 = 0.8 ≤ 1.0.
+    }
+
+    #[test]
+    fn shed_plan_is_empty_when_the_set_fits() {
+        let ctl = AdmissionController::new(1.0);
+        let q = [2.1; 3];
+        let p = [0.7; 3];
+        let plan = ctl
+            .shed_plan(&q, &p, &[true, true, true], &[0.0; 3], 10)
+            .unwrap();
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn shed_plan_never_drops_the_last_link() {
+        let ctl = AdmissionController::new(0.1);
+        // A single link already over threshold: nothing to shed.
+        let q = [5.0];
+        let p = [0.5];
+        let plan = ctl.shed_plan(&q, &p, &[true], &[0.0], 10).unwrap();
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn errors_surface_mismatched_lengths_and_bad_candidates() {
+        let ctl = AdmissionController::new(1.0);
+        let q = [1.0, 1.0];
+        let p = [0.5, 0.5];
+        assert!(admitted_utilization(&q, &p, &[true], 10).is_err());
+        assert!(ctl.admit(&q, &p, &[true, true], 7, 10).is_err());
+        assert!(ctl.shed_plan(&q, &p, &[true, true], &[0.0], 10).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn rejects_nonpositive_threshold() {
+        let _ = AdmissionController::new(0.0);
+    }
+
+    #[test]
+    fn runtime_gate_replays_the_controller_exactly() {
+        // The differential pin promised by the module docs: the infallible
+        // helpers `rtmac::Network` runs online must agree with this
+        // controller on every valid input. Sweep a deterministic grid of
+        // admitted masks, debt vectors, and thresholds.
+        let q = [2.1, 0.7, 1.4, 2.8, 0.35];
+        let p = [0.7, 0.5, 1.0, 0.8, 0.35];
+        let budget = 10;
+        for mask_bits in 0u32..32 {
+            let admitted: Vec<bool> = (0..5).map(|i| mask_bits >> i & 1 == 1).collect();
+            let debts: Vec<f64> = (0..5)
+                .map(|i| f64::from((mask_bits.wrapping_mul(2_654_435_761) >> i) % 7) - 3.0)
+                .collect();
+            for threshold in [0.2, 0.5, 1.0] {
+                let ctl = AdmissionController::new(threshold);
+                let u = admitted_utilization(&q, &p, &admitted, budget).unwrap();
+                assert!(
+                    (u - rtmac::admission::admitted_utilization(&q, &p, &admitted, budget)).abs()
+                        < 1e-12
+                );
+                for candidate in 0..5 {
+                    assert_eq!(
+                        ctl.admit(&q, &p, &admitted, candidate, budget).unwrap(),
+                        rtmac::admission::admit_decision(
+                            &q, &p, &admitted, candidate, budget, threshold
+                        ),
+                        "admit mask={admitted:?} candidate={candidate} θ={threshold}"
+                    );
+                }
+                assert_eq!(
+                    ctl.shed_plan(&q, &p, &admitted, &debts, budget).unwrap(),
+                    rtmac::admission::shed_order(&q, &p, &admitted, &debts, budget, threshold),
+                    "shed mask={admitted:?} debts={debts:?} θ={threshold}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_full_set_utilization_when_everyone_is_admitted() {
+        let q = [1.0, 2.0, 0.5];
+        let p = [0.5, 0.8, 1.0];
+        let all = admitted_utilization(&q, &p, &[true; 3], 7).unwrap();
+        let reference = workload_utilization(&q, &p, 7).unwrap();
+        assert!((all - reference).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,14 @@
+//! Regenerates the correlated-fault burst sweep (Gilbert–Elliott sensing,
+//! fixed vs adaptive R2 recovery, DB-DP degraded engine).
+//! Usage: `fig_fault_burst [--quick | --intervals N]`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let intervals = rtmac_bench::intervals_from_args(&args, 5000);
+    eprintln!("running the burst sweep with {intervals} intervals per point...");
+    let table = rtmac_bench::figures::fig_fault_burst(intervals, 2018);
+    print!("{}", table.render());
+    table
+        .write_csv("bench_results", "fig_fault_burst")
+        .expect("write csv");
+}

@@ -365,6 +365,89 @@ pub fn fig_fault(intervals: usize, seed: u64) -> SeriesTable {
     table
 }
 
+/// The expected bad-burst lengths (in intervals) of the burst sweep.
+pub const BURST_LENGTHS: [f64; 4] = [1.0, 4.0, 16.0, 64.0];
+
+/// The bad-state sensing-error rates of the burst sweep.
+pub const BURST_BAD_RATES: [f64; 2] = [0.1, 0.25];
+
+/// The stationary bad fraction of the burst sweep's Gilbert–Elliott chains.
+pub const BURST_BAD_FRACTION: f64 = 0.004;
+
+/// The correlated-fault robustness sweep (DESIGN.md §14): an 8-link
+/// control network whose carrier sensing follows a per-link Gilbert–Elliott
+/// chain. The x-axis is the expected bad-burst length `L` (`p_exit = 1/L`)
+/// with the stationary bad fraction held at 0.4% (`p_enter` solved from
+/// `π = p_enter/(p_enter + p_exit)`), so every point injects the same
+/// long-run error mass and only the *correlation* of the errors varies:
+/// `L = 1` is near-memoryless, `L = 64` concentrates the same errors into
+/// rare long outages. Good-state sensing is exact; the bad state errs at
+/// each rate in [`BURST_BAD_RATES`] (both directions).
+///
+/// Each grid point runs twice — fixed R2 miss limit (the default 3) and
+/// adaptive `base = 2, cap = 32` — tabulating the mean time-to-reconverge
+/// after a priority desynchronization (0 when no desync epoch completed)
+/// and the deadline-miss rate `1 − throughput/λ` (the fraction of offered
+/// packets that missed their interval). The sweep's finding: fragmented
+/// error mass (short, frequent bursts) keeps the priority beliefs
+/// permanently desynchronized, while the same mass in rare long outages
+/// (`L = 64`) is fully absorbed — recovery completes in the clean gaps.
+#[must_use]
+pub fn fig_fault_burst(intervals: usize, seed: u64) -> SeriesTable {
+    let scenarios: Vec<_> = BURST_LENGTHS
+        .iter()
+        .flat_map(|&len| {
+            BURST_BAD_RATES.iter().flat_map(move |&bad_eps| {
+                let p_exit = 1.0 / len;
+                let p_enter = p_exit * BURST_BAD_FRACTION / (1.0 - BURST_BAD_FRACTION);
+                [false, true].map(move |adaptive| {
+                    let mut spec =
+                        FaultSpec::sensing(0.0).with_burst(p_enter, p_exit, bad_eps, bad_eps);
+                    if adaptive {
+                        spec = spec.with_adaptive_recovery(2, 32);
+                    }
+                    (adaptive, spec)
+                })
+            })
+        })
+        .map(|(_, spec)| {
+            scenario::control(8, 0.7, 0.95, seed)
+                .with_intervals(intervals)
+                .with_fault(spec)
+        })
+        .collect();
+    let mut table = SeriesTable::new(
+        "Burst sweep: 8-link control network under Gilbert-Elliott sensing, 0.4% \
+         stationary bad fraction (fixed vs adaptive R2 recovery vs expected burst length)",
+        "burst length",
+        BURST_BAD_RATES
+            .iter()
+            .flat_map(|eps| {
+                ["fixed", "adaptive"].into_iter().flat_map(move |mode| {
+                    [
+                        format!("reconverge ({mode} @{eps})"),
+                        format!("miss rate ({mode} @{eps})"),
+                    ]
+                })
+            })
+            .collect(),
+    );
+    let results = crate::parallel_map(scenarios, |sc| {
+        let report = sc.run().expect("valid burst sweep point");
+        let stats = report.fault.expect("degraded engine reports fault stats");
+        let offered = 8.0 * 0.7;
+        let miss = 1.0 - report.per_link_throughput.iter().sum::<f64>() / offered;
+        [
+            stats.mean_time_to_reconverge().unwrap_or(0.0),
+            miss.max(0.0),
+        ]
+    });
+    for (&len, grid) in BURST_LENGTHS.iter().zip(results.chunks_exact(4)) {
+        table.push_row(len, grid.iter().flatten().copied().collect());
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -422,6 +505,26 @@ mod tests {
         // Every row still delivers traffic.
         for (eps, row) in t.rows() {
             assert!(row[0] > 0.0, "no throughput at ε = {eps}");
+        }
+    }
+
+    #[test]
+    fn fig_fault_burst_sweeps_the_grid() {
+        let t = fig_fault_burst(300, 9);
+        assert_eq!(t.rows().len(), 4);
+        assert_eq!(
+            t.columns().len(),
+            8,
+            "2 bad rates x 2 recovery modes x 2 metrics"
+        );
+        for (len, row) in t.rows() {
+            for v in row {
+                assert!(v.is_finite() && *v >= 0.0, "bad cell at L = {len}");
+            }
+            // Odd columns are deadline-miss rates.
+            for i in [1, 3, 5, 7] {
+                assert!(row[i] <= 1.0, "miss rate out of range at L = {len}");
+            }
         }
     }
 

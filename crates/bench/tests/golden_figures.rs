@@ -44,6 +44,17 @@ fn fig_fault_csv_is_byte_identical() {
 }
 
 #[test]
+fn fig_fault_burst_csv_is_byte_identical() {
+    let table = figures::fig_fault_burst(VIDEO_INTERVALS, SEED);
+    assert_eq!(
+        table.to_csv(),
+        checked_in("fig_fault_burst"),
+        "fig_fault_burst regenerated through the scenario registry diverged \
+         from bench_results/fig_fault_burst.csv"
+    );
+}
+
+#[test]
 fn fig9_csv_is_byte_identical() {
     let table = figures::fig9(CONTROL_INTERVALS, SEED);
     assert_eq!(

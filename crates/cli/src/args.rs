@@ -132,7 +132,8 @@ impl NetworkOpts {
             Some(name) => scenario::by_name(name).ok_or_else(|| CliError::BadValue {
                 flag: "--scenario".into(),
                 value: name.clone(),
-                expected: "one of video20, control10, asym, tiny",
+                expected: "one of video20, control10, asym, tiny, bursty, \
+                           hidden-terminal, poisson-churn, overload-admission",
             })?,
             None => Scenario {
                 name: "custom",
@@ -157,6 +158,7 @@ impl NetworkOpts {
                 replications: 1,
                 track: None,
                 fault: None,
+                admission: None,
                 engine: EngineSpec::Timeline,
             },
         };

@@ -22,9 +22,12 @@ Usage:
   rtmac help
 
 Scenarios:
-  --scenario NAME    named workload: video20, control10, asym, or tiny.
-                     Composes with --intervals, --seed, and --policy;
-                     conflicts with the network flags below.
+  --scenario NAME    named workload: video20, control10, asym, tiny, or a
+                     robustness scenario — bursty, hidden-terminal,
+                     poisson-churn, overload-admission (DB-DP degraded
+                     engine; run/compare report fault and admission
+                     counters). Composes with --intervals, --seed, and
+                     --policy; conflicts with the network flags below.
 
 Network flags (defaults in parentheses; prefer --scenario for the paper's
 workloads — these stay supported for custom networks):
@@ -99,6 +102,30 @@ fn render_run(sc: &Scenario, report: &RunReport) -> String {
         "collisions: {}   idle slots: {}   empty packets: {}",
         report.collisions, report.idle_slots, report.empty_packets
     );
+    if let Some(fault) = &report.fault {
+        let mean = fault
+            .mean_time_to_reconverge()
+            .map_or_else(|| "n/a".to_string(), |m| format!("{m:.1}"));
+        let _ = writeln!(
+            out,
+            "faults: {} sensing flips   {} divergences   {} fallbacks   \
+             {} reconvergences (mean {mean} intervals)",
+            fault.sensing_flips, fault.divergences, fault.fallbacks, fault.reconvergences
+        );
+    }
+    if let Some(adm) = &report.admission {
+        let _ = writeln!(
+            out,
+            "admission: {}/{} links admitted   {} accepted   {} rejected   \
+             {} shed   peak utilization {:.3}",
+            adm.admitted_count(),
+            adm.admitted.len(),
+            adm.accepted,
+            adm.rejected,
+            adm.shed,
+            adm.peak_utilization
+        );
+    }
     let _ = writeln!(
         out,
         "{:>8} {:>12} {:>10} {:>10}",
@@ -345,6 +372,26 @@ mod tests {
         let report = run_scenario(&sc).unwrap();
         assert_eq!(report.intervals, 50);
         assert!(render_run(&sc, &report).contains("tiny"));
+    }
+
+    #[test]
+    fn robustness_scenario_reports_fault_and_admission_counters() {
+        let mut opts = quick_opts();
+        opts.scenario = Some("overload-admission".to_string());
+        opts.intervals = 200;
+        let sc = opts.to_scenario(PolicySpec::db_dp()).unwrap();
+        let report = run_scenario(&sc).unwrap();
+        let text = render_run(&sc, &report);
+        assert!(text.contains("faults:"), "missing fault line:\n{text}");
+        assert!(
+            text.contains("admission:"),
+            "missing admission line:\n{text}"
+        );
+        // Pristine runs keep the historical report shape.
+        let sc = quick_opts().to_scenario(PolicySpec::db_dp()).unwrap();
+        let text = render_run(&sc, &run_scenario(&sc).unwrap());
+        assert!(!text.contains("faults:"));
+        assert!(!text.contains("admission:"));
     }
 
     #[test]

@@ -66,6 +66,7 @@ proptest! {
             replications: 1,
             track: None,
             fault: None,
+            admission: None,
             engine,
         };
 

@@ -48,6 +48,7 @@
 //! # Ok::<(), rtmac_model::ConfigError>(())
 //! ```
 
+pub mod admission;
 mod network;
 mod policy;
 mod report;
@@ -55,6 +56,7 @@ pub mod runner;
 pub mod scenario;
 pub mod sync;
 
+pub use admission::AdmissionReport;
 pub use network::{Network, NetworkBuilder};
 pub use policy::{
     eq14_mu, DbDp, DcfPolicy, Eldf, FcsmaPolicy, FixedPriority, FrameCsmaPolicy, PolicyKind,
@@ -62,7 +64,7 @@ pub use policy::{
 };
 pub use report::RunReport;
 pub use runner::Runner;
-pub use scenario::{ChurnSpec, FaultSpec, PolicySpec, Scenario};
+pub use scenario::{AdmissionSpec, ChurnSpec, FaultSpec, PolicySpec, Scenario};
 
 // Re-export the substrate crates so downstream users need only one
 // dependency.

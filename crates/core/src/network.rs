@@ -1,18 +1,48 @@
 //! The end-to-end network simulator: arrivals → policy → debts → metrics.
 
 use rtmac_mac::{
-    BatchedDpEngine, DpConfig, FaultyDpEngine, IntervalOutcome, MacTiming, RecoveryConfig,
+    BatchedDpEngine, ChurnEvent, DpConfig, FaultyDpEngine, IntervalOutcome, MacTiming,
+    RecoveryConfig,
 };
 use rtmac_model::metrics::{ConvergenceTracker, DeficiencySeries};
 use rtmac_model::{ConfigError, DebtLedger, LinkId, NetworkConfig, Requirements};
 use rtmac_phy::channel::{Bernoulli, LossModel};
-use rtmac_phy::fault::{ChurnSchedule, FaultModel};
+use rtmac_phy::fault::{BurstSensing, ChurnProcess, ChurnSchedule, FaultModel, HiddenMatrix};
 use rtmac_phy::PhyProfile;
 use rtmac_sim::{Nanos, SeedStream, SimRng};
 use rtmac_traffic::{ArrivalProcess, BernoulliArrivals, BurstUniform, ConstantArrivals};
 
-use crate::scenario::{EngineSpec, FaultSpec};
+use crate::admission::{self, AdmissionReport};
+use crate::scenario::{AdmissionSpec, EngineSpec, FaultSpec};
 use crate::{DbDp, PolicyKind, RunReport, TransmissionPolicy};
+
+/// Runtime state of the feasibility-aware admission gate (see
+/// [`crate::admission`] for the decision helpers it replays).
+#[derive(Debug, Clone)]
+struct AdmissionState {
+    threshold: f64,
+    shed: bool,
+    admitted: Vec<bool>,
+    q: Vec<f64>,
+    p: Vec<f64>,
+    budget: u64,
+    accepted: u64,
+    rejected: u64,
+    shed_count: u64,
+    peak_utilization: f64,
+}
+
+impl AdmissionState {
+    fn report(&self) -> AdmissionReport {
+        AdmissionReport {
+            admitted: self.admitted.clone(),
+            accepted: self.accepted,
+            rejected: self.rejected,
+            shed: self.shed_count,
+            peak_utilization: self.peak_utilization,
+        }
+    }
+}
 
 /// A complete simulated network: topology and channel (`rtmac-model`,
 /// `rtmac-phy`), traffic (`rtmac-traffic`), a transmission policy, and the
@@ -40,6 +70,8 @@ pub struct Network {
     idle_slots: u64,
     busy_time: Nanos,
     tracked: Option<ConvergenceTracker>,
+    admission: Option<AdmissionState>,
+    churn_events_buf: Vec<ChurnEvent>,
 }
 
 impl std::fmt::Debug for Network {
@@ -130,7 +162,69 @@ impl Network {
         self.idle_slots = self.idle_slots.saturating_add(outcome.idle_slots);
         self.busy_time = self.busy_time.saturating_add(outcome.busy_time);
         self.intervals = self.intervals.saturating_add(1);
+        self.apply_admission();
         outcome
+    }
+
+    /// Drains this interval's churn transitions and replays the admission
+    /// gate over them: joiners are admitted iff the admitted set stays at
+    /// or under the utilization threshold; crashed links leave the set (and
+    /// re-apply on revival); with shedding enabled an overloaded admitted
+    /// set is trimmed lowest-debt-first. Rejected and shed links are
+    /// administratively blocked until their next revival re-evaluates them.
+    fn apply_admission(&mut self) {
+        self.churn_events_buf.clear();
+        self.policy.drain_churn_events(&mut self.churn_events_buf);
+        let Some(state) = self.admission.as_mut() else {
+            return;
+        };
+        let mut changed = false;
+        for i in 0..self.churn_events_buf.len() {
+            let ev = self.churn_events_buf[i];
+            changed = true;
+            if !ev.up {
+                // A crashed link leaves the admitted set; its revival is a
+                // fresh application.
+                state.admitted[ev.link] = false;
+                continue;
+            }
+            if admission::admit_decision(
+                &state.q,
+                &state.p,
+                &state.admitted,
+                ev.link,
+                state.budget,
+                state.threshold,
+            ) {
+                state.admitted[ev.link] = true;
+                state.accepted = state.accepted.saturating_add(1);
+                self.policy.set_blocked(ev.link, false);
+            } else {
+                state.rejected = state.rejected.saturating_add(1);
+                self.policy.set_blocked(ev.link, true);
+            }
+        }
+        if !changed {
+            return;
+        }
+        let utilization =
+            admission::admitted_utilization(&state.q, &state.p, &state.admitted, state.budget);
+        state.peak_utilization = state.peak_utilization.max(utilization);
+        if state.shed && utilization > state.threshold {
+            let order = admission::shed_order(
+                &state.q,
+                &state.p,
+                &state.admitted,
+                self.debts.debts(),
+                state.budget,
+                state.threshold,
+            );
+            for v in order {
+                state.admitted[v] = false;
+                state.shed_count = state.shed_count.saturating_add(1);
+                self.policy.set_blocked(v, true);
+            }
+        }
     }
 
     /// Runs `intervals` more intervals and returns the cumulative report.
@@ -176,6 +270,7 @@ impl Network {
             busy_time: self.busy_time,
             tracked: self.tracked.clone(),
             fault: self.policy.fault_stats(),
+            admission: self.admission.as_ref().map(AdmissionState::report),
         }
     }
 }
@@ -201,6 +296,7 @@ pub struct NetworkBuilder {
     seed: u64,
     track: Option<(LinkId, f64)>,
     fault: Option<FaultSpec>,
+    admission: Option<AdmissionSpec>,
     engine: EngineSpec,
 }
 
@@ -221,6 +317,7 @@ impl Default for NetworkBuilder {
             seed: 0,
             track: None,
             fault: None,
+            admission: None,
             engine: EngineSpec::Timeline,
         }
     }
@@ -389,6 +486,19 @@ impl NetworkBuilder {
         self
     }
 
+    /// Enables the feasibility-aware admission gate: at every churn event
+    /// the network admits or rejects arriving links against the Lemma-2
+    /// utilization threshold, and (when `spec.shed` is set) trims an
+    /// overloaded admitted set lowest-debt-first. Requires fault injection
+    /// — [`build`](Self::build) rejects admission without a
+    /// [`fault`](Self::fault) spec, because the degraded DB-DP engine is
+    /// the only substrate with churn events and administrative blocking.
+    #[must_use]
+    pub fn admission(mut self, spec: AdmissionSpec) -> Self {
+        self.admission = Some(spec);
+        self
+    }
+
     /// Selects the DP interval kernel (default [`EngineSpec::Timeline`]).
     /// [`EngineSpec::Batched`] runs the massive-N [`BatchedDpEngine`] —
     /// bit-identical results, `O(min(N, deadline/slot))` per interval —
@@ -477,8 +587,26 @@ impl NetworkBuilder {
             }
             timing = timing.with_link_payloads(&payloads);
         }
+        // Links dark at interval 0 (flash-crowd blocks, crash_at == 0
+        // events) start outside the admission gate's admitted set.
+        let initially_down: Option<Vec<bool>> = self.fault.as_ref().map(|spec| {
+            let mut down = vec![false; config.n_links()];
+            if let Some(fc) = spec.flash_crowd {
+                let end = fc.first_link.saturating_add(fc.count).min(down.len());
+                for flag in down.iter_mut().take(end).skip(fc.first_link.min(end)) {
+                    *flag = true;
+                }
+            }
+            if let Some(c) = spec.churn {
+                if c.crash_at == 0 && c.link < down.len() {
+                    down[c.link] = true;
+                }
+            }
+            down
+        });
+        let budget = timing.max_transmissions();
         let seeds = SeedStream::new(self.seed);
-        let policy: Box<dyn TransmissionPolicy> = match (kind, self.fault, self.engine) {
+        let mut policy: Box<dyn TransmissionPolicy> = match (kind, self.fault, self.engine) {
             (
                 PolicyKind::DbDp {
                     influence,
@@ -532,34 +660,147 @@ impl NetworkBuilder {
                         value: 0.0,
                     });
                 }
+                let recovery = match spec.adaptive {
+                    Some(a) => {
+                        if a.base == 0 {
+                            return Err(ConfigError::InvalidParameter {
+                                name: "adaptive recovery base (must be at least 1)",
+                                value: 0.0,
+                            });
+                        }
+                        if a.cap < a.base {
+                            return Err(ConfigError::InvalidParameter {
+                                name: "adaptive recovery cap (must be at least the base)",
+                                value: f64::from(a.cap),
+                            });
+                        }
+                        RecoveryConfig::new().with_adaptive_miss_limit(a.base, a.cap)
+                    }
+                    None => RecoveryConfig::new().with_miss_limit(spec.miss_limit),
+                };
+                let mut fault_model =
+                    FaultModel::new(spec.false_busy, spec.false_idle, seeds.rng(3));
+                if let Some(b) = spec.burst {
+                    if !(b.p_enter_bad.is_finite() && (0.0..1.0).contains(&b.p_enter_bad)) {
+                        return Err(ConfigError::InvalidParameter {
+                            name: "burst p_enter_bad (must lie in [0, 1))",
+                            value: b.p_enter_bad,
+                        });
+                    }
+                    if !(b.p_exit_bad.is_finite() && b.p_exit_bad > 0.0 && b.p_exit_bad <= 1.0) {
+                        return Err(ConfigError::InvalidParameter {
+                            name: "burst p_exit_bad (must lie in (0, 1])",
+                            value: b.p_exit_bad,
+                        });
+                    }
+                    for (name, p) in [
+                        (
+                            "burst bad_false_busy (must lie in [0, 1))",
+                            b.bad_false_busy,
+                        ),
+                        (
+                            "burst bad_false_idle (must lie in [0, 1))",
+                            b.bad_false_idle,
+                        ),
+                    ] {
+                        if !(0.0..1.0).contains(&p) {
+                            return Err(ConfigError::InvalidParameter { name, value: p });
+                        }
+                    }
+                    // Lane 5 drives the Gilbert–Elliott state chains so the
+                    // flip stream on lane 3 stays aligned with the i.i.d.
+                    // model (the equal-rate reduction law).
+                    fault_model = fault_model.with_burst(
+                        config.n_links(),
+                        BurstSensing::new(
+                            b.p_enter_bad,
+                            b.p_exit_bad,
+                            b.bad_false_busy,
+                            b.bad_false_idle,
+                        ),
+                        seeds.rng(5),
+                    );
+                }
                 let mut engine = FaultyDpEngine::new(
                     DpConfig::new(timing).with_swap_pairs(swap_pairs),
                     config.n_links(),
                 )
-                .with_fault_model(FaultModel::new(
-                    spec.false_busy,
-                    spec.false_idle,
-                    seeds.rng(3),
-                ))
-                .with_recovery(RecoveryConfig::new().with_miss_limit(spec.miss_limit));
-                if let Some(churn) = spec.churn {
-                    if churn.link >= config.n_links() {
-                        return Err(ConfigError::InvalidParameter {
-                            name: "churn link",
-                            value: churn.link as f64,
-                        });
+                .with_fault_model(fault_model)
+                .with_recovery(recovery);
+                if !spec.hidden.is_empty() {
+                    let mut matrix = HiddenMatrix::new(config.n_links());
+                    for &(listener, transmitter) in &spec.hidden {
+                        if listener >= config.n_links()
+                            || transmitter >= config.n_links()
+                            || listener == transmitter
+                        {
+                            return Err(ConfigError::InvalidParameter {
+                                name: "hidden pair (distinct in-range links required)",
+                                value: listener as f64,
+                            });
+                        }
+                        matrix.hide(listener, transmitter);
                     }
-                    if churn.down_intervals == 0 {
-                        return Err(ConfigError::InvalidParameter {
-                            name: "churn down_intervals (a crash must last at least one interval)",
-                            value: 0.0,
-                        });
+                    engine = engine.with_hidden(matrix);
+                }
+                if spec.churn.is_some() || spec.flash_crowd.is_some() || spec.poisson.is_some() {
+                    let mut churn_process = ChurnProcess::new(config.n_links());
+                    if let Some(churn) = spec.churn {
+                        if churn.link >= config.n_links() {
+                            return Err(ConfigError::InvalidParameter {
+                                name: "churn link",
+                                value: churn.link as f64,
+                            });
+                        }
+                        if churn.down_intervals == 0 {
+                            return Err(ConfigError::InvalidParameter {
+                                name: "churn down_intervals (a crash must last at least one \
+                                       interval)",
+                                value: 0.0,
+                            });
+                        }
+                        churn_process = churn_process.with_event(ChurnSchedule::new(
+                            LinkId::new(churn.link),
+                            churn.crash_at,
+                            churn.down_intervals,
+                        ));
                     }
-                    engine = engine.with_churn(ChurnSchedule::new(
-                        LinkId::new(churn.link),
-                        churn.crash_at,
-                        churn.down_intervals,
-                    ));
+                    if let Some(fc) = spec.flash_crowd {
+                        if fc.count == 0
+                            || fc.first_link.saturating_add(fc.count) > config.n_links()
+                        {
+                            return Err(ConfigError::InvalidParameter {
+                                name: "flash crowd range (must be a nonempty in-range block)",
+                                value: fc.first_link as f64,
+                            });
+                        }
+                        if fc.join_at == 0 {
+                            return Err(ConfigError::InvalidParameter {
+                                name: "flash crowd join_at (the block must start dark)",
+                                value: 0.0,
+                            });
+                        }
+                        churn_process =
+                            churn_process.with_flash_crowd(fc.first_link, fc.count, fc.join_at);
+                    }
+                    if let Some(pc) = spec.poisson {
+                        if !(pc.crash_rate.is_finite() && (0.0..1.0).contains(&pc.crash_rate)) {
+                            return Err(ConfigError::InvalidParameter {
+                                name: "poisson churn crash_rate (must lie in [0, 1))",
+                                value: pc.crash_rate,
+                            });
+                        }
+                        if !(pc.mean_down.is_finite() && pc.mean_down >= 1.0) {
+                            return Err(ConfigError::InvalidParameter {
+                                name: "poisson churn mean_down (must be at least 1 interval)",
+                                value: pc.mean_down,
+                            });
+                        }
+                        // Lane 4 is the churn process's dedicated stream.
+                        churn_process =
+                            churn_process.with_poisson(pc.crash_rate, pc.mean_down, seeds.rng(4));
+                    }
+                    engine = engine.with_churn_process(churn_process);
                 }
                 Box::new(DbDp::with_faults(
                     engine,
@@ -592,6 +833,70 @@ impl NetworkBuilder {
         };
 
         let n = config.n_links();
+        let admission_state = match self.admission {
+            None => None,
+            Some(spec) => {
+                if !(spec.threshold.is_finite() && spec.threshold > 0.0) {
+                    return Err(ConfigError::InvalidParameter {
+                        name: "admission threshold (must be finite and positive)",
+                        value: spec.threshold,
+                    });
+                }
+                let Some(down) = initially_down else {
+                    return Err(ConfigError::InvalidParameter {
+                        name: "admission (requires fault injection: the degraded DB-DP path \
+                               is the only substrate with churn events and blocking)",
+                        value: spec.threshold,
+                    });
+                };
+                if budget == 0 {
+                    return Err(ConfigError::InvalidParameter {
+                        name: "admission budget (deadline shorter than one data airtime)",
+                        value: 0.0,
+                    });
+                }
+                let q: Vec<f64> = (0..n).map(|l| requirements.q(LinkId::new(l))).collect();
+                let p = config.success_probabilities().to_vec();
+                let admitted: Vec<bool> = down.iter().map(|&d| !d).collect();
+                let mut state = AdmissionState {
+                    threshold: spec.threshold,
+                    shed: spec.shed,
+                    admitted,
+                    q,
+                    p,
+                    budget,
+                    accepted: 0,
+                    rejected: 0,
+                    shed_count: 0,
+                    peak_utilization: 0.0,
+                };
+                // Interval-0 pass: links up from the start are
+                // grandfathered in, then shed if they already overload.
+                let utilization = admission::admitted_utilization(
+                    &state.q,
+                    &state.p,
+                    &state.admitted,
+                    state.budget,
+                );
+                state.peak_utilization = utilization;
+                if state.shed && utilization > state.threshold {
+                    let zero_debts = vec![0.0; n];
+                    for v in admission::shed_order(
+                        &state.q,
+                        &state.p,
+                        &state.admitted,
+                        &zero_debts,
+                        state.budget,
+                        state.threshold,
+                    ) {
+                        state.admitted[v] = false;
+                        state.shed_count += 1;
+                        policy.set_blocked(v, true);
+                    }
+                }
+                Some(state)
+            }
+        };
         Ok(Network {
             config,
             debts: DebtLedger::new(requirements.clone()),
@@ -611,6 +916,8 @@ impl NetworkBuilder {
             idle_slots: 0,
             busy_time: Nanos::ZERO,
             tracked,
+            admission: admission_state,
+            churn_events_buf: Vec::new(),
         })
     }
 }
@@ -820,6 +1127,166 @@ mod tests {
         assert!(fault_build(FaultSpec::sensing(0.01).with_churn(9, 5, 5)).is_err());
         assert!(fault_build(FaultSpec::sensing(0.01).with_churn(1, 5, 0)).is_err());
         assert!(fault_build(FaultSpec::sensing(0.01).with_churn(1, 5, 5)).is_ok());
+    }
+
+    #[test]
+    fn burst_sensing_and_adaptive_recovery_run() {
+        let mut net = base_builder()
+            .fault(
+                FaultSpec::sensing(0.01)
+                    .with_burst(1.0 / 16.0, 0.25, 0.3, 0.3)
+                    .with_adaptive_recovery(2, 16),
+            )
+            .policy(PolicyKind::db_dp())
+            .build()
+            .unwrap();
+        let report = net.run(400);
+        let stats = report.fault.expect("degraded path reports stats");
+        assert!(
+            stats.sensing_flips > 0,
+            "bad-state ε = 0.3 over 400 intervals must flip"
+        );
+    }
+
+    #[test]
+    fn extended_fault_parameters_validated() {
+        let fb = |spec: FaultSpec| {
+            base_builder()
+                .fault(spec)
+                .policy(PolicyKind::db_dp())
+                .build()
+        };
+        // Gilbert–Elliott chain parameters.
+        assert!(fb(FaultSpec::sensing(0.01).with_burst(1.5, 0.5, 0.2, 0.2)).is_err());
+        assert!(fb(FaultSpec::sensing(0.01).with_burst(0.1, 0.0, 0.2, 0.2)).is_err());
+        assert!(fb(FaultSpec::sensing(0.01).with_burst(0.1, 0.5, 1.0, 0.2)).is_err());
+        assert!(fb(FaultSpec::sensing(0.01).with_burst(0.1, 0.5, 0.2, 0.2)).is_ok());
+        // Hidden-terminal pairs must be distinct in-range links.
+        assert!(fb(FaultSpec::sensing(0.01).with_hidden_pair(0, 0)).is_err());
+        assert!(fb(FaultSpec::sensing(0.01).with_hidden_pair(0, 9)).is_err());
+        assert!(fb(FaultSpec::sensing(0.01).with_hidden_pair(0, 3)).is_ok());
+        // Poisson churn rates.
+        assert!(fb(FaultSpec::sensing(0.01).with_poisson_churn(1.0, 5.0)).is_err());
+        assert!(fb(FaultSpec::sensing(0.01).with_poisson_churn(0.01, 0.5)).is_err());
+        assert!(fb(FaultSpec::sensing(0.01).with_poisson_churn(0.01, 5.0)).is_ok());
+        // Flash crowds.
+        assert!(fb(FaultSpec::sensing(0.01).with_flash_crowd(0, 0, 5)).is_err());
+        assert!(fb(FaultSpec::sensing(0.01).with_flash_crowd(3, 2, 5)).is_err());
+        assert!(fb(FaultSpec::sensing(0.01).with_flash_crowd(2, 2, 0)).is_err());
+        assert!(fb(FaultSpec::sensing(0.01).with_flash_crowd(2, 2, 5)).is_ok());
+        // Adaptive recovery.
+        assert!(fb(FaultSpec::sensing(0.01).with_adaptive_recovery(0, 4)).is_err());
+        assert!(fb(FaultSpec::sensing(0.01).with_adaptive_recovery(8, 4)).is_err());
+        assert!(fb(FaultSpec::sensing(0.01).with_adaptive_recovery(2, 8)).is_ok());
+    }
+
+    #[test]
+    fn admission_requires_fault_injection() {
+        assert!(matches!(
+            base_builder()
+                .admission(AdmissionSpec::new(0.9))
+                .policy(PolicyKind::db_dp())
+                .build(),
+            Err(ConfigError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn permissive_admission_leaves_the_run_untouched() {
+        let faulty = base_builder()
+            .fault(FaultSpec::sensing(0.0))
+            .policy(PolicyKind::db_dp())
+            .build()
+            .unwrap()
+            .run(150);
+        let gated = base_builder()
+            .fault(FaultSpec::sensing(0.0))
+            .admission(AdmissionSpec::new(100.0))
+            .policy(PolicyKind::db_dp())
+            .build()
+            .unwrap()
+            .run(150);
+        // A generous threshold with no churn makes no decisions, so the
+        // gated run replays the ungated one bit-for-bit.
+        assert_eq!(faulty.per_link_throughput, gated.per_link_throughput);
+        assert_eq!(faulty.deficiency, gated.deficiency);
+        let adm = gated.admission.expect("gate configured");
+        assert_eq!((adm.accepted, adm.rejected, adm.shed), (0, 0, 0));
+        assert!(adm.admitted.iter().all(|&a| a));
+        assert_eq!(faulty.admission, None);
+    }
+
+    #[test]
+    fn admission_sheds_lowest_index_on_startup_overload() {
+        // Each link needs q/p = 0.81/0.8 ≈ 1.0125 of a 16-transmission
+        // budget (~0.063 utilization); four links are ~0.25. A 0.15
+        // threshold forces two zero-debt sheds at build time, ties broken
+        // by lowest index.
+        let mut net = base_builder()
+            .fault(FaultSpec::sensing(0.0))
+            .admission(AdmissionSpec::new(0.15))
+            .policy(PolicyKind::db_dp())
+            .build()
+            .unwrap();
+        let report = net.run(50);
+        let adm = report.admission.expect("gate configured");
+        assert_eq!(adm.admitted, vec![false, false, true, true]);
+        assert_eq!(adm.shed, 2);
+        assert!(adm.peak_utilization > 0.15);
+    }
+
+    #[test]
+    fn admission_without_shedding_only_gates_arrivals() {
+        let mut net = base_builder()
+            .fault(FaultSpec::sensing(0.0))
+            .admission(AdmissionSpec::new(0.15).without_shedding())
+            .policy(PolicyKind::db_dp())
+            .build()
+            .unwrap();
+        let report = net.run(50);
+        let adm = report.admission.expect("gate configured");
+        assert!(
+            adm.admitted.iter().all(|&a| a),
+            "no shedding, nobody dropped"
+        );
+        assert_eq!(adm.shed, 0);
+    }
+
+    #[test]
+    fn admission_bounds_admitted_debts_under_flash_crowd_overload() {
+        // The pinned overload demonstration (ISSUE 9 acceptance): a 24-link
+        // flash crowd whose full set is Lemma-2 infeasible (Σ q/p ≈ 19.5 on
+        // a 16-transmission budget). With the gate, the admitted set stays
+        // under the 0.75 threshold and its debts stay bounded; without it,
+        // debts grow without bound on every sample path (Singh–Hou–Kumar).
+        let intervals = 1500;
+        let sc = crate::scenario::overload_admission(2018);
+        let gated = sc.network().unwrap().run(intervals);
+        let adm = gated.admission.expect("overload-admission carries a gate");
+        assert!(adm.accepted > 0, "some of the flash crowd fits");
+        assert!(adm.rejected > 0, "the infeasible remainder is rejected");
+        assert!(adm.peak_utilization <= 0.75 + 1e-9);
+        let max_admitted_debt = adm
+            .admitted
+            .iter()
+            .zip(&gated.final_debts)
+            .filter(|(&is_in, _)| is_in)
+            .map(|(_, &d)| d)
+            .fold(0.0f64, f64::max);
+
+        let mut ungated_sc = sc;
+        ungated_sc.admission = None;
+        let ungated = ungated_sc.network().unwrap().run(intervals);
+        let max_ungated_debt = ungated.final_debts.iter().fold(0.0f64, |a, &d| a.max(d));
+
+        assert!(
+            max_admitted_debt < 150.0,
+            "admitted-set debts stay bounded, got {max_admitted_debt}"
+        );
+        assert!(
+            max_ungated_debt > 4.0 * max_admitted_debt.max(1.0),
+            "the ungated overload blows up: {max_ungated_debt} vs {max_admitted_debt}"
+        );
     }
 
     #[test]

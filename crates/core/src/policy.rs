@@ -2,8 +2,9 @@
 //! debt-driven wrappers around the `rtmac-mac` engines.
 
 use rtmac_mac::{
-    BatchedDpEngine, CentralizedEngine, DcfConfig, DcfEngine, DpConfig, DpEngine, FaultStats,
-    FaultyDpEngine, FcsmaEngine, FcsmaQuantizer, FrameCsmaEngine, IntervalOutcome, MacTiming,
+    BatchedDpEngine, CentralizedEngine, ChurnEvent, DcfConfig, DcfEngine, DpConfig, DpEngine,
+    FaultStats, FaultyDpEngine, FcsmaEngine, FcsmaQuantizer, FrameCsmaEngine, IntervalOutcome,
+    MacTiming,
 };
 use rtmac_model::influence::{DebtInfluence, Linear, PaperLog};
 use rtmac_model::{DebtLedger, LinkId, Permutation};
@@ -42,6 +43,15 @@ pub trait TransmissionPolicy {
     fn fault_stats(&self) -> Option<FaultStats> {
         None
     }
+
+    /// Moves churn transitions (crashes/revivals) observed since the last
+    /// drain into `out`. No-op for policies without a churn substrate; the
+    /// network's admission gate calls this after every interval.
+    fn drain_churn_events(&mut self, _out: &mut Vec<ChurnEvent>) {}
+
+    /// Administratively blocks or unblocks a link (the admission gate's
+    /// reject/shed hook). No-op for policies without a blocking substrate.
+    fn set_blocked(&mut self, _link: usize, _blocked: bool) {}
 }
 
 /// Declarative policy selection used by [`crate::NetworkBuilder::policy`].
@@ -482,6 +492,18 @@ impl TransmissionPolicy for DbDp {
         match &self.driver {
             DpDriver::Pristine(_) | DpDriver::Batched(_) => None,
             DpDriver::Faulty(engine) => Some(engine.stats()),
+        }
+    }
+
+    fn drain_churn_events(&mut self, out: &mut Vec<ChurnEvent>) {
+        if let DpDriver::Faulty(engine) = &mut self.driver {
+            engine.drain_churn_events(out);
+        }
+    }
+
+    fn set_blocked(&mut self, link: usize, blocked: bool) {
+        if let DpDriver::Faulty(engine) = &mut self.driver {
+            engine.set_blocked(link, blocked);
         }
     }
 }

@@ -1,6 +1,8 @@
 //! Aggregated results of a multi-interval simulation run.
 
 use rtmac_mac::FaultStats;
+
+use crate::admission::AdmissionReport;
 use rtmac_model::metrics::{ConvergenceTracker, DeficiencySeries};
 use rtmac_model::LinkId;
 use rtmac_sim::Nanos;
@@ -42,6 +44,10 @@ pub struct RunReport {
     /// reconvergence times) when the run used the degraded DB-DP path via
     /// [`crate::NetworkBuilder::fault`]; `None` for pristine runs.
     pub fault: Option<FaultStats>,
+    /// Admission-control outcome (final admitted set, accept/reject/shed
+    /// counters, peak utilization) when the run used the gate via
+    /// [`crate::NetworkBuilder::admission`]; `None` otherwise.
+    pub admission: Option<AdmissionReport>,
 }
 
 impl RunReport {
@@ -110,6 +116,7 @@ mod tests {
             busy_time: Nanos::ZERO,
             tracked: None,
             fault: None,
+            admission: None,
         }
     }
 

@@ -12,6 +12,8 @@
 //!
 //! The registry at the bottom names the paper's workloads (`video20` and
 //! `control10` via [`video`] and [`control`], plus [`asym`] and [`tiny`])
+//! and the robustness workloads ([`bursty`], [`hidden_terminal`],
+//! [`poisson_churn`], [`overload_admission`]),
 //! and defines each figure's sweep as a
 //! base `Scenario` plus an [`Axis`] ([`fig3`].. [`fig10`]), so the bench
 //! harness, the CLI's `--scenario` flag, and the docs all speak the same
@@ -300,25 +302,93 @@ pub struct ChurnSpec {
     pub down_intervals: u64,
 }
 
-/// Declarative fault injection for the degraded-mode DP experiments:
-/// carrier-sensing error rates, an optional churn event, and the recovery
-/// rule's miss limit. Only meaningful for [`PolicySpec::DbDp`];
-/// [`NetworkBuilder::build`] rejects other policies.
-///
-/// With both probabilities zero and no churn the degraded-mode engine is
-/// still selected, but it replays the pristine engine's randomness
-/// draw-for-draw, so results are byte-identical to a fault-free run.
+/// Declarative Gilbert–Elliott bursty-sensing parameters (the mirror of
+/// [`rtmac_phy::fault::BurstSensing`]): per-link good/bad chains advanced
+/// once per interval, with elevated sensing-error rates in the bad state.
 #[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstSpec {
+    /// Per-interval probability a link's chain enters the bad state.
+    pub p_enter_bad: f64,
+    /// Per-interval probability it leaves the bad state (mean burst length
+    /// is its reciprocal).
+    pub p_exit_bad: f64,
+    /// False-busy rate while the chain sits in the bad state.
+    pub bad_false_busy: f64,
+    /// False-idle rate while the chain sits in the bad state.
+    pub bad_false_idle: f64,
+}
+
+/// Declarative Poisson crash/revive churn (the mirror of
+/// [`rtmac_phy::fault::ChurnProcess::with_poisson`]): every up link crashes
+/// with a per-interval probability; outages are exponential in length.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoissonChurnSpec {
+    /// Per-interval crash probability for each up link, in `[0, 1)`.
+    pub crash_rate: f64,
+    /// Mean outage length in intervals (at least 1).
+    pub mean_down: f64,
+}
+
+/// Declarative flash-crowd ramp (the mirror of
+/// [`rtmac_phy::fault::ChurnProcess::with_flash_crowd`]): a block of links
+/// dark from interval 0 that all join at once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlashCrowdSpec {
+    /// First link of the joining block.
+    pub first_link: usize,
+    /// Number of links in the block.
+    pub count: usize,
+    /// The interval at which the whole block comes up.
+    pub join_at: u64,
+}
+
+/// Declarative adaptive R2 recovery (the mirror of
+/// [`rtmac_mac::RecoveryConfig::with_adaptive_miss_limit`]): the per-link
+/// miss limit starts at `max(base, ⌈log₂(N+1)⌉)`, doubles (capped at
+/// `cap`) each time the fallback fires, and halves back toward the initial
+/// value whenever the adjacent claim is heard again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveRecoverySpec {
+    /// Floor of the miss limit.
+    pub base: u32,
+    /// Ceiling of the exponential backoff.
+    pub cap: u32,
+}
+
+/// Declarative fault injection for the degraded-mode DP experiments:
+/// carrier-sensing error rates (optionally modulated by a Gilbert–Elliott
+/// burst process), asymmetric hidden-terminal pairs, link churn (one
+/// scripted event, a flash-crowd ramp, and/or a Poisson crash/revive
+/// process), and the recovery rule's miss-limit policy. Only meaningful
+/// for [`PolicySpec::DbDp`]; [`NetworkBuilder::build`] rejects other
+/// policies.
+///
+/// With zero error rates, no burst process, no hidden pairs, and no churn
+/// the degraded-mode engine is still selected, but it replays the pristine
+/// engine's randomness draw-for-draw, so results are byte-identical to a
+/// fault-free run.
+#[derive(Debug, Clone, PartialEq)]
 pub struct FaultSpec {
     /// Probability an idle carrier-sense instant reads busy.
     pub false_busy: f64,
     /// Probability a busy carrier-sense instant reads idle.
     pub false_idle: f64,
-    /// Optional crash/revive event.
+    /// Optional Gilbert–Elliott bursty-sensing overlay.
+    pub burst: Option<BurstSpec>,
+    /// Asymmetric hidden-terminal `(listener, transmitter)` pairs: each
+    /// listed listener is deaf to the listed transmitter.
+    pub hidden: Vec<(usize, usize)>,
+    /// Optional scripted crash/revive event.
     pub churn: Option<ChurnSpec>,
+    /// Optional Poisson crash/revive process (seeded on its own RNG lane).
+    pub poisson: Option<PoissonChurnSpec>,
+    /// Optional flash-crowd join ramp.
+    pub flash_crowd: Option<FlashCrowdSpec>,
     /// Consecutive unheard-adjacent-claim intervals tolerated before the
-    /// R2 fallback fires.
+    /// R2 fallback fires (the fixed policy; superseded by `adaptive`).
     pub miss_limit: u32,
+    /// Optional adaptive R2 miss-limit policy; overrides `miss_limit`.
+    pub adaptive: Option<AdaptiveRecoverySpec>,
 }
 
 impl FaultSpec {
@@ -328,8 +398,13 @@ impl FaultSpec {
         FaultSpec {
             false_busy: eps,
             false_idle: eps,
+            burst: None,
+            hidden: Vec::new(),
             churn: None,
+            poisson: None,
+            flash_crowd: None,
             miss_limit: 3,
+            adaptive: None,
         }
     }
 
@@ -348,6 +423,96 @@ impl FaultSpec {
     #[must_use]
     pub fn with_miss_limit(mut self, miss_limit: u32) -> Self {
         self.miss_limit = miss_limit;
+        self
+    }
+
+    /// Layers a Gilbert–Elliott burst process over the base sensing rates.
+    #[must_use]
+    pub fn with_burst(
+        mut self,
+        p_enter_bad: f64,
+        p_exit_bad: f64,
+        bad_false_busy: f64,
+        bad_false_idle: f64,
+    ) -> Self {
+        self.burst = Some(BurstSpec {
+            p_enter_bad,
+            p_exit_bad,
+            bad_false_busy,
+            bad_false_idle,
+        });
+        self
+    }
+
+    /// Makes `listener` deaf to `transmitter` (asymmetric: add the mirrored
+    /// pair explicitly for a symmetric hidden-terminal geometry).
+    #[must_use]
+    pub fn with_hidden_pair(mut self, listener: usize, transmitter: usize) -> Self {
+        self.hidden.push((listener, transmitter));
+        self
+    }
+
+    /// Adds a seeded Poisson crash/revive process.
+    #[must_use]
+    pub fn with_poisson_churn(mut self, crash_rate: f64, mean_down: f64) -> Self {
+        self.poisson = Some(PoissonChurnSpec {
+            crash_rate,
+            mean_down,
+        });
+        self
+    }
+
+    /// Adds a flash-crowd ramp: links `first_link .. first_link + count`
+    /// dark from interval 0, all joining at `join_at`.
+    #[must_use]
+    pub fn with_flash_crowd(mut self, first_link: usize, count: usize, join_at: u64) -> Self {
+        self.flash_crowd = Some(FlashCrowdSpec {
+            first_link,
+            count,
+            join_at,
+        });
+        self
+    }
+
+    /// Switches R2 to the adaptive exponential-backoff miss limit.
+    #[must_use]
+    pub fn with_adaptive_recovery(mut self, base: u32, cap: u32) -> Self {
+        self.adaptive = Some(AdaptiveRecoverySpec { base, cap });
+        self
+    }
+}
+
+/// Declarative feasibility-aware admission control: at every churn event
+/// the network's gate re-evaluates the Lemma-2 utilization
+/// `Σ_admitted q_n/p_n / budget` and admits an arriving link only while
+/// the admitted set (candidate included) stays at or under `threshold`;
+/// with `shed` set, an overloaded admitted set is trimmed lowest-debt-first
+/// until the survivors fit. Requires fault injection (the degraded DB-DP
+/// path is the only engine with a churn/blocking substrate).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionSpec {
+    /// Utilization threshold the admitted set must stay at or under
+    /// (1.0 = the Lemma-2 necessary feasibility bound itself).
+    pub threshold: f64,
+    /// Whether to shed lowest-debt-first when the admitted set exceeds the
+    /// threshold anyway.
+    pub shed: bool,
+}
+
+impl AdmissionSpec {
+    /// Admission at the given utilization threshold, with shedding on.
+    #[must_use]
+    pub fn new(threshold: f64) -> Self {
+        AdmissionSpec {
+            threshold,
+            shed: true,
+        }
+    }
+
+    /// Disables load shedding (the gate only filters arrivals).
+    #[must_use]
+    pub fn without_shedding(mut self) -> Self {
+        self.shed = false;
         self
     }
 }
@@ -385,6 +550,9 @@ pub struct Scenario {
     /// Fault injection (sensing errors + churn) for the degraded-mode DP
     /// experiments; `None` runs every policy on its fault-free path.
     pub fault: Option<FaultSpec>,
+    /// Feasibility-aware admission control over churn events; `None` leaves
+    /// every link admitted unconditionally.
+    pub admission: Option<AdmissionSpec>,
     /// Which DP interval kernel executes the run (DB-DP only; the two
     /// engines produce bit-identical results).
     pub engine: EngineSpec,
@@ -440,6 +608,13 @@ impl Scenario {
         self
     }
 
+    /// Enables feasibility-aware admission control (requires a fault spec).
+    #[must_use]
+    pub fn with_admission(mut self, admission: AdmissionSpec) -> Self {
+        self.admission = Some(admission);
+        self
+    }
+
     /// Selects the DP interval kernel (default [`EngineSpec::Timeline`]).
     #[must_use]
     pub fn with_engine(mut self, engine: EngineSpec) -> Self {
@@ -468,8 +643,11 @@ impl Scenario {
         if let Some((link, band)) = self.track {
             b = b.track_link(LinkId::new(link), band);
         }
-        if let Some(fault) = self.fault {
-            b = b.fault(fault);
+        if let Some(fault) = &self.fault {
+            b = b.fault(fault.clone());
+        }
+        if let Some(admission) = self.admission {
+            b = b.admission(admission);
         }
         b
     }
@@ -636,6 +814,7 @@ pub fn video(n: usize, alpha: f64, rho: f64, seed: u64) -> Scenario {
         replications: 1,
         track: None,
         fault: None,
+        admission: None,
         engine: EngineSpec::Timeline,
     }
 }
@@ -662,6 +841,7 @@ pub fn video_per_link(alpha: Vec<f64>, p: Vec<f64>, rho: Vec<f64>, seed: u64) ->
         replications: 1,
         track: None,
         fault: None,
+        admission: None,
         engine: EngineSpec::Timeline,
     }
 }
@@ -687,6 +867,7 @@ pub fn control(n: usize, lambda: f64, rho: f64, seed: u64) -> Scenario {
         replications: 1,
         track: None,
         fault: None,
+        admission: None,
         engine: EngineSpec::Timeline,
     }
 }
@@ -714,6 +895,7 @@ pub fn asym(alpha_star: f64, rho: f64, seed: u64) -> Scenario {
         replications: 1,
         track: None,
         fault: None,
+        admission: None,
         engine: EngineSpec::Timeline,
     }
 }
@@ -753,16 +935,98 @@ pub fn tiny(seed: u64) -> Scenario {
         replications: 1,
         track: None,
         fault: None,
+        admission: None,
         engine: EngineSpec::Timeline,
     }
 }
 
+/// The bursty-sensing robustness workload: the control network under a
+/// high-burstiness Gilbert–Elliott sensing process (mean bad burst 16
+/// intervals, 25% error rates while bad) with adaptive R2 recovery.
+#[must_use]
+pub fn bursty(seed: u64) -> Scenario {
+    let sc = control(8, 0.7, 0.95, seed);
+    Scenario {
+        name: "bursty",
+        fault: Some(
+            FaultSpec::sensing(0.005)
+                .with_burst(1.0 / 48.0, 1.0 / 16.0, 0.25, 0.25)
+                .with_adaptive_recovery(2, 32),
+        ),
+        ..sc
+    }
+}
+
+/// The hidden-terminal robustness workload: exact sensing everywhere
+/// except an asymmetric deafness geometry — links 0 and 7 are mutually
+/// hidden, and link 3 cannot hear link 4 (but 4 hears 3).
+#[must_use]
+pub fn hidden_terminal(seed: u64) -> Scenario {
+    let sc = control(8, 0.7, 0.95, seed);
+    Scenario {
+        name: "hidden-terminal",
+        fault: Some(
+            FaultSpec::sensing(0.0)
+                .with_hidden_pair(0, 7)
+                .with_hidden_pair(7, 0)
+                .with_hidden_pair(3, 4),
+        ),
+        ..sc
+    }
+}
+
+/// The Poisson-churn robustness workload: the control network where every
+/// up link crashes with probability 0.002 per interval (mean outage 25
+/// intervals), plus light sensing noise, under adaptive R2 recovery.
+#[must_use]
+pub fn poisson_churn(seed: u64) -> Scenario {
+    let sc = control(10, 0.7, 0.99, seed);
+    Scenario {
+        name: "poisson-churn",
+        fault: Some(
+            FaultSpec::sensing(0.01)
+                .with_poisson_churn(0.002, 25.0)
+                .with_adaptive_recovery(2, 32),
+        ),
+        ..sc
+    }
+}
+
+/// The overload-admission workload: 12 links run a lightened control
+/// workload (`λ = 0.6`, 95% delivery) from interval 0, and a flash crowd
+/// of 12 more joins at interval 100. The full set is Lemma-2 infeasible
+/// (utilization ≈ 1.22 of a 16-transmission budget), so the admission gate
+/// accepts only the joiners that keep the set under its 0.75 threshold and
+/// rejects the rest. The threshold deliberately sits below the Lemma-2
+/// bound of 1: the bound is only necessary, and headroom for protocol
+/// overhead is what keeps the admitted set's debts actually bounded.
+#[must_use]
+pub fn overload_admission(seed: u64) -> Scenario {
+    let sc = control(24, 0.6, 0.95, seed);
+    Scenario {
+        name: "overload-admission",
+        fault: Some(FaultSpec::sensing(0.0).with_flash_crowd(12, 12, 100)),
+        admission: Some(AdmissionSpec::new(0.75)),
+        ..sc
+    }
+}
+
 /// Names accepted by [`by_name`] (and the CLI's `--scenario` flag).
-pub const NAMES: [&str; 4] = ["video20", "control10", "asym", "tiny"];
+pub const NAMES: [&str; 8] = [
+    "video20",
+    "control10",
+    "asym",
+    "tiny",
+    "bursty",
+    "hidden-terminal",
+    "poisson-churn",
+    "overload-admission",
+];
 
 /// Looks up a named workload: `video20` (Fig. 3's network at `α* = 0.55`),
 /// `control10` (Fig. 9's network at `λ* = 0.7`), `asym` (Figs. 7–8 at
-/// `α* = 0.7`), or `tiny`.
+/// `α* = 0.7`), `tiny`, or one of the robustness workloads (`bursty`,
+/// `hidden-terminal`, `poisson-churn`, `overload-admission`).
 #[must_use]
 pub fn by_name(name: &str) -> Option<Scenario> {
     match name {
@@ -776,6 +1040,10 @@ pub fn by_name(name: &str) -> Option<Scenario> {
         }),
         "asym" => Some(asym(0.7, 0.9, 0)),
         "tiny" => Some(tiny(0)),
+        "bursty" => Some(bursty(0)),
+        "hidden-terminal" => Some(hidden_terminal(0)),
+        "poisson-churn" => Some(poisson_churn(0)),
+        "overload-admission" => Some(overload_admission(0)),
         _ => None,
     }
 }
@@ -882,6 +1150,54 @@ mod tests {
             assert!(sc.network().is_ok(), "{name} must build");
         }
         assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn robustness_scenarios_carry_their_specs() {
+        let sc = bursty(3);
+        let fault = sc.fault.as_ref().unwrap();
+        assert!(fault.burst.is_some() && fault.adaptive.is_some());
+        assert_eq!(sc.seed, 3);
+
+        let fault = hidden_terminal(0).fault.unwrap();
+        assert_eq!(fault.hidden, vec![(0, 7), (7, 0), (3, 4)]);
+
+        let fault = poisson_churn(0).fault.unwrap();
+        assert!(fault.poisson.is_some());
+
+        let sc = overload_admission(0);
+        let fault = sc.fault.as_ref().unwrap();
+        assert!(fault.flash_crowd.is_some());
+        let adm = sc.admission.unwrap();
+        assert!((adm.threshold - 0.75).abs() < 1e-12 && adm.shed);
+
+        // The paper scenarios stay gate-free: the admission field only
+        // appears where the robustness registry asks for it.
+        for name in ["video20", "control10", "asym", "tiny"] {
+            assert_eq!(by_name(name).unwrap().admission, None);
+        }
+    }
+
+    #[test]
+    fn fault_spec_builders_compose() {
+        let spec = FaultSpec::sensing(0.01)
+            .with_burst(0.1, 0.5, 0.2, 0.3)
+            .with_hidden_pair(1, 2)
+            .with_poisson_churn(0.005, 10.0)
+            .with_flash_crowd(2, 2, 50)
+            .with_adaptive_recovery(2, 16)
+            .with_churn(0, 5, 5);
+        let burst = spec.burst.unwrap();
+        assert_eq!(
+            (burst.p_enter_bad, burst.p_exit_bad),
+            (0.1, 0.5),
+            "builders must not clobber each other"
+        );
+        assert_eq!(spec.hidden, vec![(1, 2)]);
+        assert!(spec.poisson.is_some() && spec.flash_crowd.is_some());
+        let adaptive = spec.adaptive.unwrap();
+        assert_eq!((adaptive.base, adaptive.cap), (2, 16));
+        assert!(spec.churn.is_some());
     }
 
     #[test]

@@ -21,7 +21,21 @@
 //! * **R2 (miss fallback)** — a link that plays the lower side of a drawn
 //!   pair for [`RecoveryConfig::miss_limit`] consecutive eligible intervals
 //!   without ever hearing a claim at the adjacent upper priority falls back
-//!   to `N`.
+//!   to `N`. The limit is either a fixed constant or the adaptive
+//!   exponential-backoff rule of [`MissLimit::Adaptive`], which scales the
+//!   starting limit with `⌈log₂(N + 1)⌉` and doubles a link's personal
+//!   limit each time its own R2 fires.
+//!
+//! Beyond i.i.d. sensing flips and one scripted crash, the engine drives
+//! the full correlated-fault surface of `rtmac_phy::fault`: Gilbert–Elliott
+//! bursty sensing (advanced once per interval via
+//! `FaultModel::begin_interval`), asymmetric hidden-terminal deafness
+//! ([`HiddenMatrix`] — per-listener ground-truth busy signals and
+//! claim hearing), and a general [`ChurnProcess`] (scripted events, flash
+//! crowds, Poisson crash/revive). Crash/revive transitions are exposed as
+//! [`ChurnEvent`]s through [`FaultyDpEngine::drain_churn_events`], and the
+//! admission layer can administratively exclude links with
+//! [`FaultyDpEngine::set_blocked`].
 //!
 //! A fallen-back link re-enters through the protocol's existing
 //! empty-packet claim mechanism (Step 2): the next time it is drawn as a
@@ -37,28 +51,51 @@
 use rand::Rng;
 use rtmac_model::{AdjacentTransposition, LinkId, Permutation};
 use rtmac_phy::channel::LossModel;
-use rtmac_phy::fault::{ChurnSchedule, FaultModel};
+use rtmac_phy::fault::{ChurnProcess, ChurnSchedule, FaultModel, HiddenMatrix};
 use rtmac_phy::Medium;
 use rtmac_sim::{Nanos, SimRng};
 
 use crate::{DpConfig, DpIntervalReport, FrameKind, IntervalOutcome, TraceEvent};
+
+/// The R2 miss-limit policy: how many consecutive eligible intervals a lo
+/// believer tolerates without hearing the adjacent upper claim before
+/// falling back to priority `N`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MissLimit {
+    /// A constant limit, the original rule.
+    Fixed(u32),
+    /// Exponential-backoff re-ranking: each link starts at
+    /// `max(base, ⌈log₂(N + 1)⌉)` (larger networks legitimately wait longer
+    /// between adjacent claims), *doubles* its personal limit each time its
+    /// own R2 fires (capped at `cap`, so a link on a genuinely broken
+    /// neighborhood stops thrashing the priority floor), and *halves* it
+    /// back toward the initial value every time the adjacent claim is
+    /// heard again.
+    Adaptive {
+        /// Floor of the per-link limit before the N-scaling is applied.
+        base: u32,
+        /// Hard ceiling of the per-link limit under backoff.
+        cap: u32,
+    },
+}
 
 /// Configuration of the self-stabilizing recovery rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RecoveryConfig {
     collision_fallback: bool,
     miss_fallback: bool,
-    miss_limit: u32,
+    miss_limit: MissLimit,
 }
 
 impl RecoveryConfig {
-    /// The default recovery rule: both fallbacks enabled, miss limit 3.
+    /// The default recovery rule: both fallbacks enabled, fixed miss
+    /// limit 3.
     #[must_use]
     pub fn new() -> Self {
         RecoveryConfig {
             collision_fallback: true,
             miss_fallback: true,
-            miss_limit: 3,
+            miss_limit: MissLimit::Fixed(3),
         }
     }
 
@@ -70,7 +107,7 @@ impl RecoveryConfig {
         RecoveryConfig {
             collision_fallback: false,
             miss_fallback: false,
-            miss_limit: u32::MAX,
+            miss_limit: MissLimit::Fixed(u32::MAX),
         }
     }
 
@@ -88,7 +125,7 @@ impl RecoveryConfig {
         self
     }
 
-    /// Sets the number of consecutive unheard-claim intervals tolerated
+    /// Sets a fixed number of consecutive unheard-claim intervals tolerated
     /// before the R2 fallback fires.
     ///
     /// # Panics
@@ -97,7 +134,21 @@ impl RecoveryConfig {
     #[must_use]
     pub fn with_miss_limit(mut self, limit: u32) -> Self {
         assert!(limit > 0, "miss limit must be at least one interval");
-        self.miss_limit = limit;
+        self.miss_limit = MissLimit::Fixed(limit);
+        self
+    }
+
+    /// Switches R2 to the adaptive exponential-backoff rule (see
+    /// [`MissLimit::Adaptive`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base == 0` or `cap < base`.
+    #[must_use]
+    pub fn with_adaptive_miss_limit(mut self, base: u32, cap: u32) -> Self {
+        assert!(base > 0, "miss limit base must be at least one interval");
+        assert!(cap >= base, "miss limit cap {cap} below base {base}");
+        self.miss_limit = MissLimit::Adaptive { base, cap };
         self
     }
 
@@ -113,10 +164,24 @@ impl RecoveryConfig {
         self.miss_fallback
     }
 
-    /// The R2 miss limit.
+    /// The R2 miss-limit policy.
     #[must_use]
-    pub fn miss_limit(&self) -> u32 {
+    pub fn miss_limit(&self) -> MissLimit {
         self.miss_limit
+    }
+
+    /// The per-link miss limit a fresh engine over `n_links` links starts
+    /// with under this policy.
+    #[must_use]
+    pub fn initial_miss_limit(&self, n_links: usize) -> u32 {
+        match self.miss_limit {
+            MissLimit::Fixed(limit) => limit,
+            MissLimit::Adaptive { base, cap } => {
+                // ⌈log₂(N + 1)⌉ without floats: bit length of N.
+                let scale = (usize::BITS - n_links.leading_zeros()).max(1);
+                base.max(scale).min(cap)
+            }
+        }
     }
 }
 
@@ -143,6 +208,10 @@ pub struct FaultStats {
     pub reconverge_interval_sum: u64,
     /// Carrier-sense observations flipped by the [`FaultModel`].
     pub sensing_flips: u64,
+    /// Per-burst time-to-reconverge histogram: bucket `k` counts completed
+    /// recoveries whose desync length (in intervals) fell in
+    /// `[2^k, 2^(k+1))`; the last bucket absorbs everything longer.
+    pub reconverge_hist: [u64; 16],
 }
 
 impl FaultStats {
@@ -156,6 +225,29 @@ impl FaultStats {
             Some(self.reconverge_interval_sum as f64 / self.reconvergences as f64)
         }
     }
+
+    /// The [`FaultStats::reconverge_hist`] bucket a desync burst of
+    /// `intervals` intervals lands in (log₂ bucketing, saturating at the
+    /// last bucket).
+    #[must_use]
+    pub fn reconverge_bucket(intervals: u64) -> usize {
+        let len = intervals.max(1);
+        ((u64::BITS - 1 - len.leading_zeros()) as usize).min(15)
+    }
+}
+
+/// One link crash or revival observed by the engine's churn process —
+/// drained by the admission layer via
+/// [`FaultyDpEngine::drain_churn_events`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnEvent {
+    /// The link that changed state.
+    pub link: usize,
+    /// `true` when the link came up (joined/revived), `false` when it went
+    /// down (crashed).
+    pub up: bool,
+    /// The interval at which the transition took effect.
+    pub interval: u64,
 }
 
 /// Per-interval state for one link that believes it is a side of a drawn
@@ -196,9 +288,11 @@ struct FaultyScratch {
     transmitters: Vec<usize>,
     airtimes: Vec<Nanos>,
     beliefs_before: Vec<usize>,
-    /// Indexed by priority `1..=N`: a clean (non-collided) claim at that
-    /// believed priority was heard this interval.
-    heard: Vec<bool>,
+    /// Indexed by priority `1..=N`: the link whose clean (non-collided)
+    /// claim at that believed priority went out this interval, if any.
+    /// Recording the *claimant* (not just a flag) lets the R2 rule apply
+    /// each listener's hidden-terminal deafness.
+    heard_claim: Vec<Option<usize>>,
     hi_moves: Vec<usize>,
     lo_moves: Vec<usize>,
     /// Bijectivity-check scratch for the desync epoch accounting.
@@ -235,15 +329,27 @@ pub struct FaultyDpEngine {
     config: DpConfig,
     beliefs: Vec<usize>,
     fault: FaultModel,
-    churn: Option<ChurnSchedule>,
+    churn: Option<ChurnProcess>,
+    hidden: Option<HiddenMatrix>,
     recovery: RecoveryConfig,
     interval_index: u64,
     missed: Vec<u32>,
+    /// Per-link R2 miss limit currently in force (constant under
+    /// [`MissLimit::Fixed`], backed off per link under
+    /// [`MissLimit::Adaptive`]).
+    r2_limit: Vec<u32>,
     desync_since: Option<u64>,
     stats: FaultStats,
     /// Flips folded in from fault models replaced via
     /// [`FaultyDpEngine::set_fault_model`].
     flips_base: u64,
+    /// Last known churn down-state per link, for edge detection.
+    was_down: Vec<bool>,
+    /// Links administratively blocked (admission-rejected/shed): treated
+    /// exactly like crashed links, but controlled by the caller.
+    blocked: Vec<bool>,
+    /// Crash/revive transitions not yet drained by the admission layer.
+    churn_events: Vec<ChurnEvent>,
     scratch: FaultyScratch,
 }
 
@@ -258,17 +364,23 @@ impl FaultyDpEngine {
     #[must_use]
     pub fn new(config: DpConfig, n_links: usize) -> Self {
         assert!(n_links > 0, "a network needs at least one link");
+        let recovery = RecoveryConfig::new();
         FaultyDpEngine {
             config,
             beliefs: (1..=n_links).collect(),
             fault: FaultModel::none(),
             churn: None,
-            recovery: RecoveryConfig::new(),
+            hidden: None,
             interval_index: 0,
             missed: vec![0; n_links],
+            r2_limit: vec![recovery.initial_miss_limit(n_links); n_links],
+            recovery,
             desync_since: None,
             stats: FaultStats::default(),
             flips_base: 0,
+            was_down: vec![false; n_links],
+            blocked: vec![false; n_links],
+            churn_events: Vec::new(),
             scratch: FaultyScratch::default(),
         }
     }
@@ -280,7 +392,8 @@ impl FaultyDpEngine {
         self
     }
 
-    /// Installs a crash/revive churn schedule.
+    /// Installs a single crash/revive churn event (wrapped into a
+    /// one-event [`ChurnProcess`]).
     ///
     /// # Panics
     ///
@@ -291,7 +404,42 @@ impl FaultyDpEngine {
             churn.link().index() < self.beliefs.len(),
             "churn link out of range"
         );
+        self.churn = Some(ChurnProcess::new(self.beliefs.len()).with_event(churn));
+        self
+    }
+
+    /// Installs a full churn process (scripted events, flash crowds,
+    /// Poisson crash/revive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process link count differs from the engine's.
+    #[must_use]
+    pub fn with_churn_process(mut self, churn: ChurnProcess) -> Self {
+        assert_eq!(
+            churn.n_links(),
+            self.beliefs.len(),
+            "churn process link count mismatch"
+        );
         self.churn = Some(churn);
+        self
+    }
+
+    /// Installs an asymmetric hidden-terminal matrix: each listener's
+    /// carrier-sense observations (and R2 claim hearing) ignore
+    /// transmitters hidden from it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix link count differs from the engine's.
+    #[must_use]
+    pub fn with_hidden(mut self, hidden: HiddenMatrix) -> Self {
+        assert_eq!(
+            hidden.n_links(),
+            self.beliefs.len(),
+            "hidden matrix link count mismatch"
+        );
+        self.hidden = Some(hidden);
         self
     }
 
@@ -299,6 +447,8 @@ impl FaultyDpEngine {
     #[must_use]
     pub fn with_recovery(mut self, recovery: RecoveryConfig) -> Self {
         self.recovery = recovery;
+        let initial = recovery.initial_miss_limit(self.beliefs.len());
+        self.r2_limit.iter_mut().for_each(|l| *l = initial);
         self
     }
 
@@ -326,6 +476,50 @@ impl FaultyDpEngine {
     #[must_use]
     pub fn recovery(&self) -> &RecoveryConfig {
         &self.recovery
+    }
+
+    /// The churn process, if any.
+    #[must_use]
+    pub fn churn_process(&self) -> Option<&ChurnProcess> {
+        self.churn.as_ref()
+    }
+
+    /// The hidden-terminal matrix, if any.
+    #[must_use]
+    pub fn hidden(&self) -> Option<&HiddenMatrix> {
+        self.hidden.as_ref()
+    }
+
+    /// The per-link R2 miss limits currently in force.
+    #[must_use]
+    pub fn r2_limits(&self) -> &[u32] {
+        &self.r2_limit
+    }
+
+    /// Administratively blocks or unblocks a link. A blocked link behaves
+    /// exactly like a crashed one — it neither transmits, senses, nor
+    /// updates its belief — until unblocked. This is the admission
+    /// controller's shedding hook.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn set_blocked(&mut self, link: usize, blocked: bool) {
+        assert!(link < self.blocked.len(), "blocked link out of range");
+        self.blocked[link] = blocked;
+    }
+
+    /// Whether `link` is currently administratively blocked.
+    #[must_use]
+    pub fn is_blocked(&self, link: usize) -> bool {
+        self.blocked.get(link).copied().unwrap_or(false)
+    }
+
+    /// Moves all churn transitions (crashes and revivals) recorded since
+    /// the last drain into `out`, oldest first. The admission layer calls
+    /// this after each interval to learn about joiners and leavers.
+    pub fn drain_churn_events(&mut self, out: &mut Vec<ChurnEvent>) {
+        out.append(&mut self.churn_events);
     }
 
     /// Number of intervals run so far.
@@ -481,21 +675,44 @@ impl FaultyDpEngine {
             beliefs,
             fault,
             churn,
+            hidden,
             recovery,
             missed,
+            r2_limit,
             scratch,
             stats,
+            was_down,
+            blocked,
+            churn_events,
             ..
         } = self;
         let timing = config.timing();
         let tracing = config.trace();
         // lint: allow(hot-path-alloc) — report-owned trace; lazily allocating and empty unless tracing is on
         let mut trace: Vec<TraceEvent> = Vec::new();
-        let down = |link: usize| {
-            churn
-                .as_ref()
-                .is_some_and(|c| c.link().index() == link && c.is_down(interval))
-        };
+
+        // Advance the stochastic fault processes exactly once per interval.
+        // Both calls are zero-draw no-ops for i.i.d./none sensing and
+        // scripted-only churn, preserving the pristine byte-identity.
+        fault.begin_interval();
+        if let Some(c) = churn.as_mut() {
+            c.advance_to(interval);
+        }
+        let churn = churn.as_ref();
+        let hidden = hidden.as_ref();
+        // Edge-detect churn transitions for the admission layer.
+        for (link, known) in was_down.iter_mut().enumerate() {
+            let is_down_now = churn.is_some_and(|c| c.is_down(link, interval));
+            if is_down_now != *known {
+                *known = is_down_now;
+                churn_events.push(ChurnEvent {
+                    link,
+                    up: !is_down_now,
+                    interval,
+                });
+            }
+        }
+        let down = |link: usize| blocked[link] || churn.is_some_and(|c| c.is_down(link, interval));
 
         let FaultyScratch {
             believers,
@@ -508,7 +725,7 @@ impl FaultyDpEngine {
             transmitters,
             airtimes,
             beliefs_before,
-            heard,
+            heard_claim,
             hi_moves,
             lo_moves,
             bij_seen,
@@ -591,8 +808,8 @@ impl FaultyDpEngine {
         done.resize(n, false);
         collided.clear();
         collided.resize(n, false);
-        heard.clear();
-        heard.resize(n + 1, false);
+        heard_claim.clear();
+        heard_claim.resize(n + 1, None);
         for (link, d) in done.iter_mut().enumerate() {
             if down(link) {
                 *d = true;
@@ -649,11 +866,20 @@ impl FaultyDpEngine {
             }
 
             // Step 5: carrier-sense checks at counter 1 (Eqs. 7–8), each
-            // observation filtered through the fault model.
+            // observation filtered through the fault model. With a
+            // hidden-terminal matrix the *ground-truth* busy signal is
+            // listener-specific (deafness is topology, not noise); the
+            // probabilistic flip applies on top. `sense` consumes exactly
+            // one draw per call either way, so the fault stream stays
+            // aligned with the matrix-free run.
             let busy_now = !transmitters.is_empty();
+            let busy_for = |listener: usize| match hidden {
+                Some(h) if !h.is_trivial() => h.hears_any(listener, transmitters),
+                _ => busy_now,
+            };
             for bl in believers.iter_mut() {
                 if bl.concede_armed {
-                    bl.concede = fault.sense(LinkId::new(bl.link), busy_now);
+                    bl.concede = fault.sense(LinkId::new(bl.link), busy_for(bl.link));
                     bl.concede_armed = false;
                 }
                 if bl.concede_arm_pending {
@@ -662,7 +888,7 @@ impl FaultyDpEngine {
                 }
                 if bl.wants && !bl.checked && !done[bl.link] && counter[bl.link] == 1 {
                     bl.checked = true;
-                    let heard_busy = fault.sense(LinkId::new(bl.link), busy_now);
+                    let heard_busy = fault.sense(LinkId::new(bl.link), busy_for(bl.link));
                     // hi listens for "busy", lo for "idle".
                     bl.observed = if bl.is_hi { heard_busy } else { !heard_busy };
                     if tracing {
@@ -739,7 +965,7 @@ impl FaultyDpEngine {
                 }
                 // A clean frame carries the sender's believed priority —
                 // that is the "claim heard" event the R2 rule listens for.
-                heard[beliefs_before[link]] = true;
+                heard_claim[beliefs_before[link]] = Some(link);
                 done[link] = true;
                 t = now + slot;
             } else {
@@ -853,12 +1079,32 @@ impl FaultyDpEngine {
                 continue;
             }
             let adjacent_upper = beliefs_before[link] - 1;
-            if heard[adjacent_upper] {
+            // A claim only counts if this listener can physically hear the
+            // claimant — hidden-terminal deafness is ground truth, not
+            // noise, so it bypasses the probabilistic fault model.
+            let heard_it = match heard_claim[adjacent_upper] {
+                Some(tx) => !hidden.as_ref().is_some_and(|h| h.is_hidden(link, tx)),
+                None => false,
+            };
+            if heard_it {
                 missed[link] = 0;
+                // Adaptive R2: a heard claim is evidence the neighborhood
+                // works again — halve the backed-off limit toward its
+                // initial value.
+                if let MissLimit::Adaptive { .. } = recovery.miss_limit {
+                    let initial = recovery.initial_miss_limit(n);
+                    r2_limit[link] = (r2_limit[link] / 2).max(initial);
+                }
             } else {
                 missed[link] = missed[link].saturating_add(1);
-                if missed[link] >= recovery.miss_limit {
+                if missed[link] >= r2_limit[link] {
                     missed[link] = 0;
+                    // Adaptive R2: this link just re-ranked; back off its
+                    // limit exponentially so a persistently deaf
+                    // neighborhood stops thrashing the priority floor.
+                    if let MissLimit::Adaptive { cap, .. } = recovery.miss_limit {
+                        r2_limit[link] = r2_limit[link].saturating_mul(2).min(cap);
+                    }
                     if beliefs[link] != n {
                         beliefs[link] = n;
                         stats.fallbacks += 1;
@@ -887,10 +1133,10 @@ impl FaultyDpEngine {
         };
         if bijective {
             if let Some(since) = self.desync_since.take() {
+                let burst = interval.saturating_sub(since).max(1);
                 stats.reconvergences += 1;
-                stats.reconverge_interval_sum = stats
-                    .reconverge_interval_sum
-                    .saturating_add(interval.saturating_sub(since).max(1));
+                stats.reconverge_interval_sum = stats.reconverge_interval_sum.saturating_add(burst);
+                stats.reconverge_hist[FaultStats::reconverge_bucket(burst)] += 1;
             }
         } else {
             stats.desync_intervals += 1;
@@ -918,6 +1164,7 @@ mod tests {
     use crate::{DpEngine, MacTiming};
     use proptest::prelude::*;
     use rtmac_phy::channel::Bernoulli;
+    use rtmac_phy::fault::BurstSensing;
     use rtmac_phy::PhyProfile;
     use rtmac_sim::SeedStream;
 
@@ -1254,5 +1501,246 @@ mod tests {
     fn set_beliefs_rejects_out_of_range() {
         let mut engine = FaultyDpEngine::new(DpConfig::new(timing()), 4);
         engine.set_beliefs(vec![5, 1, 2, 3]);
+    }
+
+    #[test]
+    fn adaptive_miss_limit_scales_and_backs_off() {
+        // N = 3 ⇒ initial limit max(base = 1, ⌈log₂ 4⌉ = 2) = 2. With link
+        // 0 crashed the lo side of pair C = 1 never hears the adjacent
+        // claim: the first fallback fires after 2 misses, doubles the
+        // link's personal limit to 4, and the next epoch takes 4 misses.
+        let n = 3;
+        let recovery = RecoveryConfig::new().with_adaptive_miss_limit(1, 8);
+        assert_eq!(recovery.initial_miss_limit(n), 2);
+        let mut engine = FaultyDpEngine::new(DpConfig::new(timing()), n)
+            .with_churn(ChurnSchedule::new(LinkId::new(0), 0, 1000))
+            .with_recovery(recovery);
+        let mut rng = SeedStream::new(8).rng(2);
+        let mut channel = reliable(n);
+        let mu = [1e-9; 3];
+        for k in 0..2 {
+            assert_eq!(engine.beliefs()[1], 2, "no fallback before interval {k}");
+            let _ =
+                engine.run_interval_with_candidates(&[1, 1, 1], &mu, &[1], &mut channel, &mut rng);
+        }
+        assert_eq!(engine.beliefs()[1], 3, "adaptive R2 fires after 2 misses");
+        assert_eq!(engine.r2_limits()[1], 4, "limit doubled after the fire");
+        // Second epoch: restore the belief and watch the backed-off limit
+        // tolerate twice as many silent intervals.
+        engine.set_beliefs(vec![1, 2, 3]);
+        for k in 0..4 {
+            assert_eq!(engine.beliefs()[1], 2, "no second fallback before miss {k}");
+            let _ =
+                engine.run_interval_with_candidates(&[1, 1, 1], &mu, &[1], &mut channel, &mut rng);
+        }
+        assert_eq!(engine.beliefs()[1], 3, "second fire after 4 misses");
+        assert_eq!(engine.r2_limits()[1], 8, "limit doubled again, at the cap");
+        assert_eq!(engine.stats().fallbacks, 2);
+    }
+
+    #[test]
+    fn adaptive_limit_decays_when_claims_are_heard_again() {
+        // Drive the limit up with a crashed upper neighbor, then revive it:
+        // every heard claim halves the limit back toward the initial value.
+        let n = 3;
+        let mut engine = FaultyDpEngine::new(DpConfig::new(timing()), n)
+            .with_churn(ChurnSchedule::new(LinkId::new(0), 0, 10))
+            .with_recovery(RecoveryConfig::new().with_adaptive_miss_limit(1, 16));
+        let mut rng = SeedStream::new(8).rng(2);
+        let mut channel = reliable(n);
+        let mu = [1e-9; 3];
+        for _ in 0..10 {
+            let _ =
+                engine.run_interval_with_candidates(&[1, 1, 1], &mu, &[1], &mut channel, &mut rng);
+            if engine.beliefs()[1] != 2 {
+                engine.set_beliefs(vec![1, 2, 3]); // re-arm the lo side after each fire
+            }
+        }
+        assert!(engine.r2_limits()[1] > 2, "fires backed the limit off");
+        // Upper neighbor is back: its claims now reset and decay the limit.
+        for _ in 10..20 {
+            let _ =
+                engine.run_interval_with_candidates(&[1, 1, 1], &mu, &[1], &mut channel, &mut rng);
+        }
+        assert_eq!(
+            engine.r2_limits()[1],
+            2,
+            "heard claims decay the limit back to the initial value"
+        );
+    }
+
+    #[test]
+    fn hidden_terminal_starves_r2_despite_live_claims() {
+        // Link 0 transmits a clean claim at priority 1 every interval. A
+        // listener that hears it never falls back; the same listener with
+        // link 0 in its hidden set is deaf to the claims and R2 fires.
+        let run = |hidden: Option<HiddenMatrix>| {
+            let mut engine = FaultyDpEngine::new(DpConfig::new(timing()), 3);
+            if let Some(h) = hidden {
+                engine = engine.with_hidden(h);
+            }
+            let mut rng = SeedStream::new(8).rng(2);
+            let mut channel = reliable(3);
+            let mu = [1e-9; 3];
+            let mut fell_back_at = None;
+            for k in 0..20 {
+                let _ = engine.run_interval_with_candidates(
+                    &[1, 1, 1],
+                    &mu,
+                    &[1],
+                    &mut channel,
+                    &mut rng,
+                );
+                if fell_back_at.is_none() && engine.beliefs()[1] != 2 {
+                    fell_back_at = Some(k);
+                }
+            }
+            fell_back_at
+        };
+        assert_eq!(run(None), None, "heard claims keep the lo side in place");
+        let deaf = run(Some(HiddenMatrix::new(3).with_hidden(1, 0)));
+        assert_eq!(
+            deaf,
+            Some(2),
+            "a hidden upper neighbor looks crashed: R2 fires after 3 misses"
+        );
+    }
+
+    #[test]
+    fn churn_events_are_drained_with_edges() {
+        let n = 4;
+        let mut engine = FaultyDpEngine::new(DpConfig::new(timing()), n)
+            .with_churn(ChurnSchedule::new(LinkId::new(2), 2, 3));
+        let mut rng = SeedStream::new(21).rng(2);
+        let mut channel = reliable(n);
+        let mut events = Vec::new();
+        for _ in 0..8 {
+            let _ = engine.run_interval(&[1; 4], &[0.5; 4], &mut channel, &mut rng);
+        }
+        engine.drain_churn_events(&mut events);
+        assert_eq!(
+            events,
+            [
+                ChurnEvent {
+                    link: 2,
+                    up: false,
+                    interval: 2
+                },
+                ChurnEvent {
+                    link: 2,
+                    up: true,
+                    interval: 5
+                },
+            ]
+        );
+        // Draining empties the queue.
+        events.clear();
+        engine.drain_churn_events(&mut events);
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn blocked_link_behaves_like_a_crashed_one() {
+        let n = 3;
+        let mut engine = FaultyDpEngine::new(DpConfig::new(timing()), n);
+        engine.set_blocked(0, true);
+        assert!(engine.is_blocked(0));
+        let mut rng = SeedStream::new(4).rng(2);
+        let mut channel = reliable(n);
+        for _ in 0..10 {
+            let r = engine.run_interval(&[1; 3], &[0.5; 3], &mut channel, &mut rng);
+            assert_eq!(r.outcome.deliveries[0], 0, "a blocked link never sends");
+            assert_eq!(r.outcome.attempts[0], 0);
+        }
+        // Unblocking re-admits it through the normal claim mechanism.
+        engine.set_blocked(0, false);
+        let mut delivered = 0;
+        for _ in 0..50 {
+            let r = engine.run_interval(&[1; 3], &[0.5; 3], &mut channel, &mut rng);
+            delivered += r.outcome.deliveries[0];
+        }
+        assert!(delivered > 0, "unblocked link resumes service");
+    }
+
+    #[test]
+    fn poisson_churn_and_bursty_sensing_survive_at_engine_level() {
+        let n = 6;
+        let mut engine = FaultyDpEngine::new(DpConfig::new(timing()), n)
+            .with_fault_model(
+                FaultModel::symmetric(0.02, SeedStream::new(31).rng(3)).with_burst(
+                    n,
+                    BurstSensing::new(0.05, 0.2, 0.4, 0.4),
+                    SeedStream::new(31).rng(5),
+                ),
+            )
+            .with_churn_process(ChurnProcess::new(n).with_poisson(
+                0.01,
+                8.0,
+                SeedStream::new(31).rng(4),
+            ))
+            .with_recovery(RecoveryConfig::new().with_adaptive_miss_limit(2, 32));
+        let mut rng = SeedStream::new(31).rng(2);
+        let mut channel = reliable(n);
+        for _ in 0..600 {
+            let _ = engine.run_interval(&[1; 6], &[0.4; 6], &mut channel, &mut rng);
+            assert!(engine.beliefs().iter().all(|&b| (1..=n).contains(&b)));
+        }
+        let mid = engine.stats();
+        assert!(mid.sensing_flips > 0, "bursty model must flip");
+        assert!(mid.divergences > 0, "bursty sensing must desynchronize");
+        assert!(
+            engine
+                .churn_process()
+                .is_some_and(|c| c.poisson_crashes() > 0),
+            "poisson churn must crash links"
+        );
+        // Stop injecting sensing errors: self-stabilization must close the
+        // open desync epoch even while Poisson churn keeps running.
+        engine.set_fault_model(FaultModel::none());
+        let mut healed = false;
+        for _ in 0..2000 {
+            let _ = engine.run_interval(&[1; 6], &[0.4; 6], &mut channel, &mut rng);
+            if engine.is_bijective() {
+                healed = true;
+                break;
+            }
+        }
+        assert!(healed, "recovery heals once the sensing noise stops");
+        let stats = engine.stats();
+        // The histogram partitions exactly the completed recoveries.
+        assert!(stats.reconvergences > 0);
+        assert_eq!(
+            stats.reconverge_hist.iter().sum::<u64>(),
+            stats.reconvergences
+        );
+    }
+
+    #[test]
+    fn equal_rate_burst_engine_is_byte_identical_to_iid_engine() {
+        // Engine-level reduction: the GE model with bad rates equal to the
+        // base rates replays the i.i.d. run draw-for-draw, including the
+        // per-interval begin_interval() advancement.
+        let n = 4;
+        let eps = 0.1;
+        let run = |bursty: bool| {
+            let mut fault = FaultModel::symmetric(eps, SeedStream::new(12).rng(3));
+            if bursty {
+                fault = fault.with_burst(
+                    n,
+                    BurstSensing::new(0.2, 0.5, eps, eps),
+                    SeedStream::new(12).rng(5),
+                );
+            }
+            let mut engine =
+                FaultyDpEngine::new(DpConfig::new(timing()), n).with_fault_model(fault);
+            let mut rng = SeedStream::new(12).rng(2);
+            let mut channel = reliable(n);
+            let mut reports = Vec::new();
+            for _ in 0..120 {
+                reports.push(engine.run_interval(&[1; 4], &[0.5; 4], &mut channel, &mut rng));
+            }
+            (reports, engine.beliefs().to_vec())
+        };
+        assert_eq!(run(true), run(false));
     }
 }

@@ -70,7 +70,7 @@ pub use dp::{
     draw_nonadjacent_candidates, draw_nonadjacent_candidates_into, DpConfig, DpEngine,
     DpIntervalReport, FrameKind, PairCoins, TraceEvent,
 };
-pub use faulty::{FaultStats, FaultyDpEngine, RecoveryConfig};
+pub use faulty::{ChurnEvent, FaultStats, FaultyDpEngine, MissLimit, RecoveryConfig};
 pub use fcsma::{FcsmaEngine, FcsmaQuantizer};
 pub use frame_csma::FrameCsmaEngine;
 pub use outcome::IntervalOutcome;

@@ -18,9 +18,13 @@
 //!   [`channel::GilbertElliott`] burst-loss extension used by the
 //!   robustness tests.
 //! * [`fault`] — deterministic fault injection: seeded false-busy /
-//!   false-idle carrier-sensing errors ([`fault::FaultModel`]) and scripted
-//!   link crash/revive churn ([`fault::ChurnSchedule`]) for the degraded-mode
-//!   DP experiments.
+//!   false-idle carrier-sensing errors ([`fault::FaultModel`]), optionally
+//!   driven through per-link Gilbert–Elliott good/bad chains
+//!   ([`fault::BurstSensing`]); asymmetric hidden-terminal deafness
+//!   ([`fault::HiddenMatrix`]); and link crash/revive churn, from one
+//!   scripted event ([`fault::ChurnSchedule`]) up to seeded Poisson
+//!   crash/revive processes and flash-crowd join ramps
+//!   ([`fault::ChurnProcess`]) for the degraded-mode DP experiments.
 //! * [`SenseBoard`] — a bit-per-slot-boundary claim board that lets the
 //!   batched interval kernel resolve carrier-sense checks as O(1) lookups
 //!   instead of per-link timeline walks.

@@ -52,11 +52,14 @@
 //!
 //! The `rtmac-verify` binary wires this into CI (`--quick` gates every
 //! push next to `rtmac-lint`; an `smc` smoke run guards the statistical
-//! path; a `sched --quick` run gates the runner).
+//! path; a `sched --quick` run gates the runner; a `fault-smoke` run
+//! ([`fault_smoke()`]) pins σ-liveness and reconvergence of the
+//! degraded engine at a correlated-fault corner).
 
 pub mod channel;
 pub mod checker;
 pub mod counterexample;
+pub mod fault_smoke;
 pub mod sched;
 pub mod smc;
 pub mod subject;
@@ -65,6 +68,7 @@ pub mod symmetry;
 pub use channel::BitScript;
 pub use checker::{check, full_suite, quick_suite, CheckConfig, CheckStats, Property, SuiteEntry};
 pub use counterexample::{replay, Counterexample, Step};
+pub use fault_smoke::{fault_smoke, FaultSmokeConfig, FaultSmokeReport};
 pub use sched::{
     explore, explore_panic, explore_random, replay_schedule, RunnerSubject, SchedConfig,
     SchedCounterexample, SchedProperty, SchedStats, SchedSubject,

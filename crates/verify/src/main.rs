@@ -5,6 +5,7 @@
 //! rtmac-verify [--quick | --full]   run an exhaustive suite (default: full)
 //! rtmac-verify smc [FLAGS]          statistical model checking at large N
 //! rtmac-verify sched [FLAGS]        interleaving checks of the worker pool
+//! rtmac-verify fault-smoke [FLAGS]  fault-corner smoke of the degraded engine
 //! rtmac-verify --replay FILE        re-run a recorded counterexample trace
 //! ```
 //!
@@ -16,9 +17,9 @@ use std::io::Write as _;
 
 use rtmac::runner::Runner;
 use rtmac_verify::{
-    check, check_with_symmetry, explore, explore_panic, explore_random, full_suite, quick_suite,
-    replay, smc, Counterexample, EngineSubject, LinkClasses, RunnerSubject, SchedConfig,
-    SchedCounterexample, SchedStats, SmcConfig, SuiteEntry,
+    check, check_with_symmetry, explore, explore_panic, explore_random, fault_smoke, full_suite,
+    quick_suite, replay, smc, Counterexample, EngineSubject, FaultSmokeConfig, LinkClasses,
+    RunnerSubject, SchedConfig, SchedCounterexample, SchedStats, SmcConfig, SuiteEntry,
 };
 
 /// Writes to stdout, ignoring a closed pipe (e.g. `rtmac-verify | head`).
@@ -35,6 +36,7 @@ usage:
   rtmac-verify [--quick | --full]   exhaustive suite (default: --full)
   rtmac-verify smc [FLAGS]          statistical model checking at large N
   rtmac-verify sched [FLAGS]        interleaving checks of the worker pool
+  rtmac-verify fault-smoke [FLAGS]  fault-corner smoke of the degraded engine
   rtmac-verify --replay FILE        re-run a recorded counterexample trace
 
 exhaustive modes:
@@ -63,6 +65,14 @@ write-once, and output determinism on every explored interleaving):
   --preemptions B   preemption bound for the custom config [default: 2]
   --random K        add K randomized (PCT) samples to the custom config
   --seed S          seed for randomized passes            [default: 2018]
+
+fault-smoke flags (fixed-seed survival run of the degraded engine under
+high-burstiness Gilbert-Elliott sensing plus Poisson churn; asserts
+sigma-liveness through the storm and reconvergence after it):
+  --links N         number of links                 [default: 10]
+  --intervals K     storm-phase intervals           [default: 600]
+  --heal-budget K   heal-phase interval budget      [default: 3000]
+  --seed S          root seed                       [default: 2018]
 
 Violations print a replayable counterexample trace on stdout; feed it
 back with --replay to reproduce (sched violations print the decision
@@ -98,6 +108,15 @@ fn run(args: Vec<String>) -> i32 {
                     }
                 };
             }
+            "fault-smoke" => {
+                return match parse_fault_smoke(iter.by_ref()) {
+                    Ok(cfg) => run_fault_smoke(&cfg),
+                    Err(e) => {
+                        eprintln!("rtmac-verify: {e}");
+                        2
+                    }
+                };
+            }
             "--replay" => match iter.next() {
                 Some(path) => mode = Mode::Replay(path),
                 None => {
@@ -112,7 +131,8 @@ fn run(args: Vec<String>) -> i32 {
             other => {
                 eprintln!(
                     "rtmac-verify: unknown argument {other:?} — valid modes are \
-                     --quick, --full, smc, and --replay FILE (try --help)"
+                     --quick, --full, smc, sched, fault-smoke, and --replay FILE \
+                     (try --help)"
                 );
                 return 2;
             }
@@ -358,6 +378,85 @@ fn run_sched(mode: &SchedMode) -> i32 {
         passes.len()
     );
     0
+}
+
+/// Parses the flags after the `fault-smoke` subcommand.
+fn parse_fault_smoke(iter: &mut dyn Iterator<Item = String>) -> Result<FaultSmokeConfig, String> {
+    let mut cfg = FaultSmokeConfig::new();
+    let parse = |value: &str, flag: &str| -> Result<u64, String> {
+        value
+            .parse()
+            .map_err(|_| format!("fault-smoke: invalid {flag} value {value:?}"))
+    };
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .ok_or_else(|| format!("fault-smoke: {name} needs a value"))
+        };
+        match flag.as_str() {
+            "--links" => cfg.links = parse(&value("--links")?, "--links")? as usize,
+            "--intervals" => cfg.storm_intervals = parse(&value("--intervals")?, "--intervals")?,
+            "--heal-budget" => {
+                cfg.heal_budget = parse(&value("--heal-budget")?, "--heal-budget")?;
+            }
+            "--seed" => cfg.seed = parse(&value("--seed")?, "--seed")?,
+            other => {
+                return Err(format!(
+                    "fault-smoke: unknown flag {other:?} — valid flags are --links, \
+                     --intervals, --heal-budget, --seed (try --help)"
+                ));
+            }
+        }
+    }
+    if !(2..=64).contains(&cfg.links) {
+        return Err(format!(
+            "fault-smoke: --links must be in 2..=64, got {}",
+            cfg.links
+        ));
+    }
+    if cfg.storm_intervals == 0 {
+        return Err("fault-smoke: --intervals must be at least 1".to_string());
+    }
+    Ok(cfg)
+}
+
+fn run_fault_smoke(cfg: &FaultSmokeConfig) -> i32 {
+    eprintln!(
+        "rtmac-verify: fault-smoke N={} storm={} heal-budget={} seed={}",
+        cfg.links, cfg.storm_intervals, cfg.heal_budget, cfg.seed
+    );
+    let report = fault_smoke(cfg);
+    outln!(
+        "rtmac-verify: storm: {} delivery(ies), {} sensing flip(s), {} divergence(s), \
+         {} poisson crash(es)",
+        report.storm_deliveries,
+        report.sensing_flips,
+        report.divergences,
+        report.poisson_crashes
+    );
+    match report.healed_after {
+        Some(k) => {
+            outln!(
+                "rtmac-verify: heal: bijective after {k} interval(s), {} completed recovery(ies)",
+                report.reconvergences
+            );
+        }
+        None => {
+            outln!(
+                "rtmac-verify: heal: NOT bijective within {} interval(s)",
+                cfg.heal_budget
+            );
+        }
+    }
+    if report.is_clean() {
+        eprintln!("rtmac-verify: fault-smoke clean — the degraded engine survived the corner");
+        0
+    } else {
+        for v in &report.violations {
+            eprintln!("rtmac-verify: fault-smoke VIOLATION: {v}");
+        }
+        1
+    }
 }
 
 fn run_suite(suite: &[SuiteEntry]) -> i32 {

@@ -31,6 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         replications: 1,
         track: None,
         fault: None,
+        admission: None,
         engine: EngineSpec::Timeline,
     };
     let mut network = scenario.network()?;

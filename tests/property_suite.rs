@@ -53,6 +53,7 @@ proptest! {
             replications: 1,
             track: None,
             fault: None,
+            admission: None,
             engine: EngineSpec::Timeline,
         };
         let mut net = sc.network().unwrap();

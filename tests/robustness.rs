@@ -132,6 +132,7 @@ fn extreme_parameters_smoke() {
         replications: 1,
         track: None,
         fault: None,
+        admission: None,
         engine: EngineSpec::Timeline,
     }
     .run()

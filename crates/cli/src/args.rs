@@ -35,7 +35,10 @@ impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CliError::UnknownCommand(c) => {
-                write!(f, "unknown command `{c}` (try run, compare, sweep, help)")
+                write!(
+                    f,
+                    "unknown command `{c}` (try run, compare, sweep, emulate, netd, help)"
+                )
             }
             CliError::UnknownFlag(flag) => write!(f, "unknown flag `{flag}`"),
             CliError::MissingValue(flag) => write!(f, "flag `{flag}` needs a value"),
@@ -170,6 +173,56 @@ impl NetworkOpts {
     }
 }
 
+/// Options of `rtmac emulate` — a whole deployment on one box, with the
+/// replay contract checked on request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmulateOpts {
+    /// Registry scenario name or scenario file path.
+    pub scenario: String,
+    /// Deployment-size override (`Scenario::with_links`).
+    pub links: Option<usize>,
+    /// Horizon override.
+    pub intervals: Option<usize>,
+    /// Seed override.
+    pub seed: Option<u64>,
+    /// DP interval kernel override.
+    pub engine: Option<EngineSpec>,
+    /// Transport backend for the in-process (thread) mode.
+    pub transport: rtmac_net::TransportKind,
+    /// Launch one real `rtmac-netd` process per link instead of threads.
+    pub processes: bool,
+    /// Path to the `rtmac-netd` binary (processes mode); defaults to the
+    /// binary next to the running executable.
+    pub netd: Option<String>,
+    /// Pace nodes at the scenario's real-time interval rate.
+    pub realtime: bool,
+    /// Per-node peer-silence budget in milliseconds.
+    pub timeout_ms: u64,
+    /// Write a `key=value` measurement report to this path.
+    pub report: Option<String>,
+    /// Also run the sim backend and fail unless fingerprints match.
+    pub check_replay: bool,
+}
+
+impl Default for EmulateOpts {
+    fn default() -> Self {
+        EmulateOpts {
+            scenario: "control10".to_string(),
+            links: None,
+            intervals: None,
+            seed: None,
+            engine: None,
+            transport: rtmac_net::TransportKind::Loopback,
+            processes: false,
+            netd: None,
+            realtime: false,
+            timeout_ms: 30_000,
+            report: None,
+            check_replay: false,
+        }
+    }
+}
+
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -204,6 +257,18 @@ pub enum Command {
     Timeline {
         /// Shared options (`intervals` bounds how many timelines print).
         opts: NetworkOpts,
+    },
+    /// Emulate a whole deployment (threads or `rtmac-netd` processes) on
+    /// this box and report wall-clock deadline-miss rates.
+    Emulate {
+        /// Emulation options.
+        opts: EmulateOpts,
+    },
+    /// Run one link of a UDP deployment in-process — the same flags as the
+    /// standalone `rtmac-netd` binary, parsed by `rtmac-net` itself.
+    Netd {
+        /// Raw daemon arguments, handed to [`rtmac_net::netd::parse`].
+        args: Vec<String>,
     },
     /// Print usage.
     Help,
@@ -337,8 +402,53 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
     match command.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "run" | "compare" | "sweep" | "timeline" => parse_subcommand(command, &argv[1..]),
+        "emulate" => parse_emulate(&argv[1..]),
+        "netd" => Ok(Command::Netd {
+            args: argv[1..].to_vec(),
+        }),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
+}
+
+fn parse_emulate(rest: &[String]) -> Result<Command, CliError> {
+    let mut opts = EmulateOpts::default();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value_for = || -> Result<&String, CliError> {
+            it.next()
+                .ok_or_else(|| CliError::MissingValue(flag.clone()))
+        };
+        match flag.as_str() {
+            "--scenario" => opts.scenario = value_for()?.clone(),
+            "--links" => {
+                opts.links = Some(parse_num(flag, value_for()?, "a positive integer")?);
+            }
+            "--intervals" => {
+                opts.intervals = Some(parse_num(flag, value_for()?, "an interval count")?);
+            }
+            "--seed" => opts.seed = Some(parse_num(flag, value_for()?, "an integer seed")?),
+            "--engine" => opts.engine = Some(parse_engine(flag, value_for()?)?),
+            "--transport" => {
+                let value = value_for()?;
+                opts.transport =
+                    rtmac_net::TransportKind::parse(value).ok_or_else(|| CliError::BadValue {
+                        flag: flag.clone(),
+                        value: value.clone(),
+                        expected: "loopback or udp",
+                    })?;
+            }
+            "--processes" => opts.processes = true,
+            "--netd" => opts.netd = Some(value_for()?.clone()),
+            "--realtime" => opts.realtime = true,
+            "--timeout-ms" => {
+                opts.timeout_ms = parse_num(flag, value_for()?, "a duration in ms")?;
+            }
+            "--report" => opts.report = Some(value_for()?.clone()),
+            "--check-replay" => opts.check_replay = true,
+            other => return Err(CliError::UnknownFlag(other.to_string())),
+        }
+    }
+    Ok(Command::Emulate { opts })
 }
 
 fn parse_subcommand(command: &str, rest: &[String]) -> Result<Command, CliError> {
@@ -654,6 +764,50 @@ mod tests {
             parse(&argv("sweep --param p --from 0.5 --to 0.9 --steps 0")),
             Err(CliError::BadValue { .. })
         ));
+    }
+
+    #[test]
+    fn emulate_parses_its_flags() {
+        let cmd = parse(&argv(
+            "emulate --scenario tiny --links 12 --intervals 40 --seed 7 \
+             --transport udp --processes --netd /opt/rtmac-netd --realtime \
+             --timeout-ms 5000 --report /tmp/emul.txt --check-replay",
+        ))
+        .unwrap();
+        let Command::Emulate { opts } = cmd else {
+            panic!("expected emulate");
+        };
+        assert_eq!(opts.scenario, "tiny");
+        assert_eq!(opts.links, Some(12));
+        assert_eq!(opts.intervals, Some(40));
+        assert_eq!(opts.seed, Some(7));
+        assert_eq!(opts.transport, rtmac_net::TransportKind::Udp);
+        assert!(opts.processes && opts.realtime && opts.check_replay);
+        assert_eq!(opts.timeout_ms, 5000);
+        assert_eq!(opts.netd.as_deref(), Some("/opt/rtmac-netd"));
+    }
+
+    #[test]
+    fn emulate_rejects_bad_transport_and_unknown_flags() {
+        assert!(matches!(
+            parse(&argv("emulate --transport pigeon")),
+            Err(CliError::BadValue { .. })
+        ));
+        assert!(matches!(
+            parse(&argv("emulate --frobnicate")),
+            Err(CliError::UnknownFlag(_))
+        ));
+    }
+
+    #[test]
+    fn netd_passes_raw_args_through() {
+        let cmd = parse(&argv("netd --scenario tiny --link 0")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Netd {
+                args: argv("--scenario tiny --link 0"),
+            }
+        );
     }
 
     #[test]

@@ -8,7 +8,9 @@ use rtmac::sim::Nanos;
 use rtmac::{RunReport, Runner};
 use rtmac_traffic::{ArrivalProcess, BernoulliArrivals, BurstUniform, ConstantArrivals};
 
-use crate::args::{ArrivalSpec, CliError, Command, NetworkOpts, PolicySpec, SweepParam};
+use crate::args::{
+    ArrivalSpec, CliError, Command, EmulateOpts, NetworkOpts, PolicySpec, SweepParam,
+};
 
 const USAGE: &str = "rtmac — real-time wireless MAC simulator (Hsieh & Hou, ICDCS 2018)
 
@@ -19,6 +21,10 @@ Usage:
   rtmac sweep    [--scenario NAME | network flags] --param <alpha|lambda|ratio|p>
                  --from X --to Y [--steps N] [--progress]
   rtmac timeline [network flags]   (ASCII protocol trace, <= 10 intervals)
+  rtmac emulate  [--scenario NAME|FILE] [--links N] [--intervals K] [--seed S]
+                 [--transport loopback|udp] [--processes [--netd PATH]]
+                 [--realtime] [--timeout-ms T] [--report FILE] [--check-replay]
+  rtmac netd     <rtmac-netd flags>   (one link over UDP; see OPERATIONS.md)
   rtmac help
 
 Scenarios:
@@ -48,10 +54,22 @@ Sweep flags:
   --progress         live completed/total and items/sec on stderr while
                      the sweep's (point x contender) grid runs
 
+Emulate flags (one lockstep node per link on this box; OPERATIONS.md has
+the full walkthrough):
+  --transport T      loopback (in-memory, default) or udp (localhost sockets)
+  --processes        one real rtmac-netd OS process per link over UDP
+  --netd PATH        rtmac-netd binary for --processes (default: next to rtmac)
+  --realtime         pace nodes at the scenario's deadline rate
+  --timeout-ms T     per-node peer-silence budget (30000)
+  --report FILE      write a key=value measurement report
+  --check-replay     also run the transport-free sim; fail on any
+                     decision-trace fingerprint difference
+
 Examples:
   rtmac run --scenario video20
   rtmac run --links 20 --arrivals burst:0.55 --policy db-dp --intervals 5000
   rtmac sweep --scenario control10 --param lambda --from 0.5 --to 0.9 --steps 9
+  rtmac emulate --scenario control10 --links 100 --intervals 200 --check-replay
 ";
 
 fn arrivals_box(spec: ArrivalSpec, links: usize) -> Result<Box<dyn ArrivalProcess>, CliError> {
@@ -303,6 +321,125 @@ fn render_timeline(opts: &NetworkOpts) -> Result<String, CliError> {
     Ok(out)
 }
 
+fn net_err(e: rtmac_net::NetError) -> CliError {
+    CliError::Invalid(e.to_string())
+}
+
+fn render_emulation(report: &rtmac_net::EmulationReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "emulation: {} link(s) x {} interval(s) over {}",
+        report.links, report.intervals, report.backend
+    );
+    let _ = writeln!(
+        out,
+        "decision-trace fingerprint: {:#018x}",
+        report.fingerprint
+    );
+    let _ = writeln!(
+        out,
+        "wall-clock deadline misses: {} of {} link-intervals ({:.4}%)",
+        report.misses,
+        report.links * report.intervals,
+        report.miss_rate * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "interval wall time: mean {} us, max {} us (deadline budget per interval)",
+        report.mean_interval.as_micros(),
+        report.max_interval.as_micros()
+    );
+    let _ = writeln!(
+        out,
+        "protocol outcome: total deficiency {:.4}, {} collision(s), {} empty packet(s)",
+        report.run.final_total_deficiency, report.run.collisions, report.run.empty_packets
+    );
+    out
+}
+
+fn render_emulation_kv(report: &rtmac_net::EmulationReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "backend={}", report.backend);
+    let _ = writeln!(out, "links={}", report.links);
+    let _ = writeln!(out, "intervals={}", report.intervals);
+    let _ = writeln!(out, "fingerprint={:#018x}", report.fingerprint);
+    let _ = writeln!(out, "misses={}", report.misses);
+    let _ = writeln!(out, "miss_rate={}", report.miss_rate);
+    let _ = writeln!(out, "max_interval_us={}", report.max_interval.as_micros());
+    let _ = writeln!(out, "mean_interval_us={}", report.mean_interval.as_micros());
+    let _ = writeln!(out, "deficiency={}", report.run.final_total_deficiency);
+    let _ = writeln!(out, "collisions={}", report.run.collisions);
+    let _ = writeln!(out, "empty_packets={}", report.run.empty_packets);
+    let _ = writeln!(
+        out,
+        "per_link_misses={}",
+        report
+            .per_link_misses
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    out
+}
+
+fn run_emulate(opts: &EmulateOpts) -> Result<String, CliError> {
+    let mut sc = rtmac_net::scenario_file::load(&opts.scenario).map_err(net_err)?;
+    if let Some(links) = opts.links {
+        sc = sc.with_links(links);
+    }
+    if let Some(seed) = opts.seed {
+        sc = sc.with_seed(seed);
+    }
+    if let Some(engine) = opts.engine {
+        sc = sc.with_engine(engine);
+    }
+    let intervals = opts.intervals.unwrap_or(sc.intervals);
+    let mut cfg = rtmac_net::EmulationConfig::new(sc.clone(), intervals);
+    cfg.transport = opts.transport;
+    cfg.realtime = opts.realtime;
+    cfg.sync_timeout = std::time::Duration::from_millis(opts.timeout_ms);
+    let report = if opts.processes {
+        let netd = opts
+            .netd
+            .clone()
+            .map_or_else(rtmac_net::default_netd_path, std::path::PathBuf::from);
+        rtmac_net::run_emulation_processes(&cfg, &netd).map_err(net_err)?
+    } else {
+        rtmac_net::run_emulation(&cfg).map_err(net_err)?
+    };
+    let mut out = render_emulation(&report);
+    if opts.check_replay {
+        let sim = rtmac_net::sim_trace(&sc, intervals).map_err(net_err)?;
+        if sim.fingerprint != report.fingerprint {
+            return Err(CliError::Invalid(format!(
+                "replay contract violated: sim fingerprint {:#018x} != {} fingerprint {:#018x}",
+                sim.fingerprint, report.backend, report.fingerprint
+            )));
+        }
+        let _ = writeln!(
+            out,
+            "replay contract: {} decision trace matches the sim, byte for byte",
+            report.backend
+        );
+    }
+    if let Some(path) = &opts.report {
+        std::fs::write(path, render_emulation_kv(&report))
+            .map_err(|e| CliError::Invalid(format!("cannot write report {path}: {e}")))?;
+    }
+    Ok(out)
+}
+
+fn run_netd(args: &[String]) -> Result<String, CliError> {
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        return Ok(rtmac_net::netd::USAGE.to_string());
+    }
+    let opts = rtmac_net::netd::parse(args).map_err(net_err)?;
+    let report = rtmac_net::netd::run(&opts).map_err(net_err)?;
+    Ok(rtmac_net::netd::render_report(&report))
+}
+
 /// Executes a parsed [`Command`] and returns its printable output.
 ///
 /// # Errors
@@ -327,6 +464,8 @@ pub fn execute(command: Command) -> Result<String, CliError> {
             progress,
         } => render_sweep(&opts, param, from, to, steps, progress),
         Command::Timeline { opts } => render_timeline(&opts),
+        Command::Emulate { opts } => run_emulate(&opts),
+        Command::Netd { args } => run_netd(&args),
     }
 }
 
@@ -442,6 +581,36 @@ mod tests {
                 burst_max: 6
             }
         );
+    }
+
+    #[test]
+    fn emulate_runs_and_checks_replay() {
+        let opts = EmulateOpts {
+            scenario: "tiny".to_string(),
+            intervals: Some(15),
+            check_replay: true,
+            ..EmulateOpts::default()
+        };
+        let out = run_emulate(&opts).unwrap();
+        assert!(out.contains("3 link(s)"), "{out}");
+        assert!(out.contains("replay contract"), "{out}");
+        assert!(out.contains("fingerprint"), "{out}");
+    }
+
+    #[test]
+    fn emulate_reports_unknown_scenarios() {
+        let opts = EmulateOpts {
+            scenario: "/no/such/scenario".to_string(),
+            ..EmulateOpts::default()
+        };
+        assert!(matches!(run_emulate(&opts), Err(CliError::Invalid(_))));
+    }
+
+    #[test]
+    fn netd_subcommand_surfaces_usage_and_parse_errors() {
+        assert!(run_netd(&[]).unwrap().contains("rtmac-netd"));
+        let bad = ["--frobnicate".to_string()];
+        assert!(matches!(run_netd(&bad), Err(CliError::Invalid(_))));
     }
 
     #[test]

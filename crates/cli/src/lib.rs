@@ -37,8 +37,8 @@ mod args;
 mod exec;
 
 pub use args::{
-    parse, policy_flag, render_run_command, ArrivalSpec, CliError, Command, NetworkOpts,
-    PolicySpec, SweepParam,
+    parse, policy_flag, render_run_command, ArrivalSpec, CliError, Command, EmulateOpts,
+    NetworkOpts, PolicySpec, SweepParam,
 };
 pub use exec::execute;
 

@@ -127,6 +127,18 @@ impl Network {
         self.intervals
     }
 
+    /// The per-link arrival counts sampled by the most recent
+    /// [`Network::step`] (empty before the first interval).
+    ///
+    /// This is the interval's ground truth for "did link `n` have traffic"
+    /// — the transport layer (`rtmac-net`) classifies each link's interval
+    /// as claim / busy / idle from it, and replica-based deployments use it
+    /// to stamp per-link backlog into their frames.
+    #[must_use]
+    pub fn last_arrivals(&self) -> &[u32] {
+        &self.arrivals_buf
+    }
+
     /// Simulates one interval: samples arrivals, runs the policy, settles
     /// debts, and updates the metric streams. Returns the interval outcome.
     ///

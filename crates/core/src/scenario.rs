@@ -580,6 +580,19 @@ impl Scenario {
         self
     }
 
+    /// Replaces the link count — the knob the `rtmac-net` emulation
+    /// harness turns to scale a registry scenario to hundreds of links.
+    /// [`Param::Uniform`] parameters scale automatically; explicit
+    /// [`Param::PerLink`] vectors, tracked links, and fault specs that
+    /// name links are left untouched, so a size mismatch surfaces as a
+    /// [`ConfigError`] from [`Scenario::network`] instead of silently
+    /// re-interpreting the experiment.
+    #[must_use]
+    pub fn with_links(mut self, links: usize) -> Self {
+        self.links = links;
+        self
+    }
+
     /// Replaces the replication count.
     #[must_use]
     pub fn with_replications(mut self, replications: usize) -> Self {

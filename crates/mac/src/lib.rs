@@ -73,5 +73,5 @@ pub use dp::{
 pub use faulty::{ChurnEvent, FaultStats, FaultyDpEngine, MissLimit, RecoveryConfig};
 pub use fcsma::{FcsmaEngine, FcsmaQuantizer};
 pub use frame_csma::FrameCsmaEngine;
-pub use outcome::IntervalOutcome;
+pub use outcome::{IntervalOutcome, LinkActivity};
 pub use timing::MacTiming;

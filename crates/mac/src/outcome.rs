@@ -31,7 +31,39 @@ pub struct IntervalOutcome {
     pub latency_sum: Vec<Nanos>,
 }
 
+/// A link's interval, as the medium saw it — the engine-event side of the
+/// `rtmac-net` frame mapping: each variant corresponds one-to-one to a
+/// transport frame kind, so a real deployment can reconstruct the decision
+/// stream from heard frames alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkActivity {
+    /// The link transmitted data this interval (`attempts > 0`).
+    Claim,
+    /// The link had backlog but never transmitted data — it deferred to
+    /// higher priorities, lost its access coins, or ran out of interval.
+    Busy,
+    /// The link had no traffic this interval.
+    Idle,
+}
+
 impl IntervalOutcome {
+    /// Classifies what link `link` observably did this interval, given the
+    /// `arrivals` it had at the interval start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    #[must_use]
+    pub fn link_activity(&self, link: usize, arrivals: u32) -> LinkActivity {
+        if self.attempts[link] > 0 {
+            LinkActivity::Claim
+        } else if arrivals > 0 {
+            LinkActivity::Busy
+        } else {
+            LinkActivity::Idle
+        }
+    }
+
     /// An all-zero outcome for `n` links.
     #[must_use]
     pub fn empty(n: usize) -> Self {
@@ -96,6 +128,18 @@ mod tests {
         };
         assert_eq!(o.total_deliveries(), 6);
         assert_eq!(o.total_attempts(), 8);
+    }
+
+    #[test]
+    fn activity_classification_covers_the_three_cases() {
+        let mut o = IntervalOutcome::empty(3);
+        o.attempts = vec![2, 0, 0];
+        assert_eq!(o.link_activity(0, 1), LinkActivity::Claim);
+        assert_eq!(o.link_activity(1, 3), LinkActivity::Busy);
+        assert_eq!(o.link_activity(2, 0), LinkActivity::Idle);
+        // A claim with zero recorded arrivals (e.g. leftover semantics)
+        // still reads as a claim: attempts dominate.
+        assert_eq!(o.link_activity(0, 0), LinkActivity::Claim);
     }
 
     #[test]

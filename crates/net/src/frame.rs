@@ -1,0 +1,582 @@
+//! The wire format: versioned, length-prefixed protocol frames.
+//!
+//! Every message a link node sends is one [`Frame`], encoded as a 6-byte
+//! header followed by a fixed-layout little-endian body:
+//!
+//! ```text
+//! offset  size  field
+//!      0     2  magic  0x52 0x4D ("RM")
+//!      2     1  version (currently 1)
+//!      3     1  frame kind (0 beacon, 1 claim, 2 busy, 3 idle)
+//!      4     2  body length, u16 LE
+//!      6   len  body (see Beacon / Activity)
+//! ```
+//!
+//! Decoding is total: arbitrary bytes produce a [`CodecError`], never a
+//! panic (pinned by the proptest suite in `tests/codec.rs`), and the exact
+//! byte layout is pinned by fixed golden vectors so the format cannot
+//! drift silently. DESIGN.md §15 carries the field-by-field wire diagram.
+
+use std::fmt;
+
+/// The two magic bytes opening every frame (`"RM"`).
+pub const MAGIC: [u8; 2] = *b"RM";
+
+/// The wire-format version this build speaks. A node that receives any
+/// other version reports [`CodecError::BadVersion`] instead of guessing.
+pub const VERSION: u8 = 1;
+
+/// Header length in bytes (magic + version + kind + body length).
+pub const HEADER_LEN: usize = 6;
+
+const BEACON_LEN: usize = 32;
+const ACTIVITY_LEN: usize = 36;
+
+/// Discriminates the four frame kinds on the wire.
+///
+/// # Example
+///
+/// ```
+/// use rtmac_net::FrameKind;
+///
+/// assert_eq!(FrameKind::from_wire(1), Some(FrameKind::Claim));
+/// assert_eq!(FrameKind::Claim.to_wire(), 1);
+/// assert_eq!(FrameKind::from_wire(9), None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameKind {
+    /// Startup handshake: configuration digest agreement.
+    Beacon,
+    /// The link transmitted data this interval.
+    Claim,
+    /// The link had backlog but deferred (heard a higher claim, lost its
+    /// coin flips, or ran out of interval).
+    Busy,
+    /// The link had nothing to send.
+    Idle,
+}
+
+impl FrameKind {
+    /// The on-wire discriminant byte.
+    #[must_use]
+    pub fn to_wire(self) -> u8 {
+        match self {
+            FrameKind::Beacon => 0,
+            FrameKind::Claim => 1,
+            FrameKind::Busy => 2,
+            FrameKind::Idle => 3,
+        }
+    }
+
+    /// Parses a discriminant byte; `None` for anything unassigned.
+    #[must_use]
+    pub fn from_wire(byte: u8) -> Option<Self> {
+        match byte {
+            0 => Some(FrameKind::Beacon),
+            1 => Some(FrameKind::Claim),
+            2 => Some(FrameKind::Busy),
+            3 => Some(FrameKind::Idle),
+            _ => None,
+        }
+    }
+}
+
+/// The startup handshake body: before interval 0, every node broadcasts
+/// one beacon and waits until it has heard one from every peer whose
+/// deployment facts all match its own. A mismatch is a deployment error
+/// (different scenario file, different seed, skewed build) caught before
+/// any protocol interval runs.
+///
+/// # Example
+///
+/// ```
+/// use rtmac_net::{Beacon, Frame};
+///
+/// let frame = Frame::Beacon(Beacon {
+///     link: 2,
+///     links: 10,
+///     seed: 2018,
+///     intervals: 300,
+///     config_digest: 0xfeed,
+/// });
+/// let bytes = frame.encode();
+/// assert_eq!(Frame::decode(&bytes).unwrap(), (frame, bytes.len()));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Beacon {
+    /// The sending link's index.
+    pub link: u32,
+    /// Total number of links in the deployment.
+    pub links: u32,
+    /// The shared root seed.
+    pub seed: u64,
+    /// The agreed horizon (intervals to run).
+    pub intervals: u64,
+    /// FNV-1a digest of the full scenario configuration
+    /// ([`crate::scenario_digest`]).
+    pub config_digest: u64,
+}
+
+/// The per-interval body shared by claim, busy, and idle frames: the
+/// sending link's facts for one interval, plus a digest of the sender's
+/// entire replica state so lockstep divergence is caught the moment it
+/// happens.
+///
+/// # Example
+///
+/// ```
+/// use rtmac_net::{Activity, Frame};
+///
+/// let frame = Frame::Claim(Activity {
+///     interval: 41,
+///     link: 3,
+///     rank: 0,
+///     backlog: 2,
+///     deliveries: 1,
+///     attempts: 2,
+///     state_digest: 0xabcd,
+/// });
+/// let bytes = frame.encode();
+/// assert_eq!(Frame::decode(&bytes).unwrap(), (frame, bytes.len()));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Activity {
+    /// Interval index this frame describes (0-based).
+    pub interval: u64,
+    /// The sending link's index.
+    pub link: u32,
+    /// The link's priority rank under the post-interval permutation σ
+    /// (0 = highest priority).
+    pub rank: u32,
+    /// Packets that arrived for this link at the interval start.
+    pub backlog: u32,
+    /// On-time deliveries the link achieved this interval.
+    pub deliveries: u32,
+    /// Data transmission attempts the link made this interval.
+    pub attempts: u32,
+    /// [`crate::state_digest`] over the sender's post-interval replica
+    /// state (σ and the full debt ledger).
+    pub state_digest: u64,
+}
+
+/// One protocol message: a startup [`Beacon`] or a per-interval
+/// [`Activity`] body under one of the three activity kinds.
+///
+/// # Example
+///
+/// Round trip through the codec:
+///
+/// ```
+/// use rtmac_net::{Activity, Frame, FrameKind};
+///
+/// let frame = Frame::Idle(Activity {
+///     interval: 7,
+///     link: 0,
+///     rank: 4,
+///     backlog: 0,
+///     deliveries: 0,
+///     attempts: 0,
+///     state_digest: 99,
+/// });
+/// assert_eq!(frame.kind(), FrameKind::Idle);
+/// let (decoded, consumed) = Frame::decode(&frame.encode()).unwrap();
+/// assert_eq!(decoded, frame);
+/// assert_eq!(consumed, frame.encoded_len());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Frame {
+    /// Startup handshake.
+    Beacon(Beacon),
+    /// The link transmitted data this interval.
+    Claim(Activity),
+    /// The link had backlog but deferred.
+    Busy(Activity),
+    /// The link had nothing to send.
+    Idle(Activity),
+}
+
+impl Frame {
+    /// This frame's wire discriminant.
+    #[must_use]
+    pub fn kind(&self) -> FrameKind {
+        match self {
+            Frame::Beacon(_) => FrameKind::Beacon,
+            Frame::Claim(_) => FrameKind::Claim,
+            Frame::Busy(_) => FrameKind::Busy,
+            Frame::Idle(_) => FrameKind::Idle,
+        }
+    }
+
+    /// The per-interval body, for the three activity kinds.
+    #[must_use]
+    pub fn activity(&self) -> Option<&Activity> {
+        match self {
+            Frame::Beacon(_) => None,
+            Frame::Claim(a) | Frame::Busy(a) | Frame::Idle(a) => Some(a),
+        }
+    }
+
+    /// Wraps an [`Activity`] body in the given kind.
+    ///
+    /// Passing [`FrameKind::Beacon`] returns `None`: a beacon carries a
+    /// [`Beacon`] body, not an activity body.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rtmac_net::{Activity, Frame, FrameKind};
+    ///
+    /// let body = Activity {
+    ///     interval: 0, link: 1, rank: 1, backlog: 1,
+    ///     deliveries: 0, attempts: 1, state_digest: 7,
+    /// };
+    /// let frame = Frame::from_activity(FrameKind::Claim, body).unwrap();
+    /// assert_eq!(frame, Frame::Claim(body));
+    /// assert_eq!(Frame::from_activity(FrameKind::Beacon, body), None);
+    /// ```
+    #[must_use]
+    pub fn from_activity(kind: FrameKind, body: Activity) -> Option<Self> {
+        match kind {
+            FrameKind::Beacon => None,
+            FrameKind::Claim => Some(Frame::Claim(body)),
+            FrameKind::Busy => Some(Frame::Busy(body)),
+            FrameKind::Idle => Some(Frame::Idle(body)),
+        }
+    }
+
+    /// Total encoded size in bytes (header + body).
+    #[must_use]
+    pub fn encoded_len(&self) -> usize {
+        HEADER_LEN
+            + match self {
+                Frame::Beacon(_) => BEACON_LEN,
+                _ => ACTIVITY_LEN,
+            }
+    }
+
+    /// Encodes this frame into a fresh byte vector.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Appends this frame's encoding to `out` (for trace fingerprinting
+    /// and stream transports that batch frames).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION);
+        out.push(self.kind().to_wire());
+        match self {
+            Frame::Beacon(b) => {
+                out.extend_from_slice(&(BEACON_LEN as u16).to_le_bytes());
+                out.extend_from_slice(&b.link.to_le_bytes());
+                out.extend_from_slice(&b.links.to_le_bytes());
+                out.extend_from_slice(&b.seed.to_le_bytes());
+                out.extend_from_slice(&b.intervals.to_le_bytes());
+                out.extend_from_slice(&b.config_digest.to_le_bytes());
+            }
+            Frame::Claim(a) | Frame::Busy(a) | Frame::Idle(a) => {
+                out.extend_from_slice(&(ACTIVITY_LEN as u16).to_le_bytes());
+                out.extend_from_slice(&a.interval.to_le_bytes());
+                out.extend_from_slice(&a.link.to_le_bytes());
+                out.extend_from_slice(&a.rank.to_le_bytes());
+                out.extend_from_slice(&a.backlog.to_le_bytes());
+                out.extend_from_slice(&a.deliveries.to_le_bytes());
+                out.extend_from_slice(&a.attempts.to_le_bytes());
+                out.extend_from_slice(&a.state_digest.to_le_bytes());
+            }
+        }
+    }
+
+    /// Decodes one frame from the front of `bytes`, returning it together
+    /// with the number of bytes consumed (so stream transports can decode
+    /// back-to-back frames from one buffer).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] for truncated input, a foreign magic, an
+    /// unknown version or kind, or a body length that does not match the
+    /// kind's fixed layout. Never panics, whatever the input.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rtmac_net::{CodecError, Frame};
+    ///
+    /// assert_eq!(
+    ///     Frame::decode(&[0x52, 0x4D, 9, 1, 0, 0]),
+    ///     Err(CodecError::BadVersion(9)),
+    /// );
+    /// ```
+    pub fn decode(bytes: &[u8]) -> Result<(Self, usize), CodecError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(CodecError::Truncated {
+                needed: HEADER_LEN,
+                have: bytes.len(),
+            });
+        }
+        if bytes[..2] != MAGIC {
+            return Err(CodecError::BadMagic([bytes[0], bytes[1]]));
+        }
+        if bytes[2] != VERSION {
+            return Err(CodecError::BadVersion(bytes[2]));
+        }
+        let kind = FrameKind::from_wire(bytes[3]).ok_or(CodecError::BadKind(bytes[3]))?;
+        let len = usize::from(u16::from_le_bytes([bytes[4], bytes[5]]));
+        let expected = match kind {
+            FrameKind::Beacon => BEACON_LEN,
+            _ => ACTIVITY_LEN,
+        };
+        if len != expected {
+            return Err(CodecError::BadLength {
+                kind,
+                expected,
+                actual: len,
+            });
+        }
+        let total = HEADER_LEN + len;
+        if bytes.len() < total {
+            return Err(CodecError::Truncated {
+                needed: total,
+                have: bytes.len(),
+            });
+        }
+        let body = &bytes[HEADER_LEN..total];
+        let frame = match kind {
+            FrameKind::Beacon => Frame::Beacon(Beacon {
+                link: read_u32(body, 0),
+                links: read_u32(body, 4),
+                seed: read_u64(body, 8),
+                intervals: read_u64(body, 16),
+                config_digest: read_u64(body, 24),
+            }),
+            kind => {
+                let body = Activity {
+                    interval: read_u64(body, 0),
+                    link: read_u32(body, 8),
+                    rank: read_u32(body, 12),
+                    backlog: read_u32(body, 16),
+                    deliveries: read_u32(body, 20),
+                    attempts: read_u32(body, 24),
+                    state_digest: read_u64(body, 28),
+                };
+                // from_activity only rejects Beacon, which the outer match
+                // already routed away.
+                match Frame::from_activity(kind, body) {
+                    Some(frame) => frame,
+                    None => return Err(CodecError::BadKind(bytes[3])),
+                }
+            }
+        };
+        Ok((frame, total))
+    }
+
+    /// Decodes a datagram that must contain exactly one frame.
+    ///
+    /// # Errors
+    ///
+    /// Like [`Frame::decode`], plus [`CodecError::TrailingBytes`] when the
+    /// buffer holds anything beyond the one frame — a UDP datagram carries
+    /// whole frames, so trailing garbage means corruption.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rtmac_net::{Beacon, CodecError, Frame};
+    ///
+    /// let mut bytes = Frame::Beacon(Beacon {
+    ///     link: 0, links: 2, seed: 1, intervals: 5, config_digest: 3,
+    /// })
+    /// .encode();
+    /// bytes.push(0xFF);
+    /// assert_eq!(
+    ///     Frame::decode_datagram(&bytes),
+    ///     Err(CodecError::TrailingBytes { extra: 1 }),
+    /// );
+    /// ```
+    pub fn decode_datagram(bytes: &[u8]) -> Result<Self, CodecError> {
+        let (frame, consumed) = Self::decode(bytes)?;
+        if consumed != bytes.len() {
+            return Err(CodecError::TrailingBytes {
+                extra: bytes.len() - consumed,
+            });
+        }
+        Ok(frame)
+    }
+}
+
+fn read_u32(body: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes([body[at], body[at + 1], body[at + 2], body[at + 3]])
+}
+
+fn read_u64(body: &[u8], at: usize) -> u64 {
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(&body[at..at + 8]);
+    u64::from_le_bytes(raw)
+}
+
+/// Why a byte buffer is not a valid frame.
+///
+/// # Example
+///
+/// ```
+/// use rtmac_net::{CodecError, Frame};
+///
+/// let err = Frame::decode(b"XX").unwrap_err();
+/// assert!(matches!(err, CodecError::Truncated { .. }));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// Fewer bytes than the frame (or its header) needs.
+    Truncated {
+        /// Bytes required to make progress.
+        needed: usize,
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// The first two bytes are not [`MAGIC`] — not our protocol at all.
+    BadMagic([u8; 2]),
+    /// A version this build does not speak.
+    BadVersion(u8),
+    /// An unassigned frame-kind discriminant.
+    BadKind(u8),
+    /// The length field disagrees with the kind's fixed body layout.
+    BadLength {
+        /// The declared kind.
+        kind: FrameKind,
+        /// The body length that kind requires.
+        expected: usize,
+        /// The length field's value.
+        actual: usize,
+    },
+    /// A datagram held extra bytes after the frame.
+    TrailingBytes {
+        /// How many bytes were left over.
+        extra: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { needed, have } => {
+                write!(f, "truncated frame: need {needed} byte(s), have {have}")
+            }
+            CodecError::BadMagic(m) => write!(f, "bad frame magic {m:#04x?}"),
+            CodecError::BadVersion(v) => write!(f, "unsupported frame version {v}"),
+            CodecError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            CodecError::BadLength {
+                kind,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "bad body length for {kind:?} frame: expected {expected}, got {actual}"
+            ),
+            CodecError::TrailingBytes { extra } => {
+                write!(f, "datagram holds {extra} trailing byte(s) after the frame")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_activity() -> Activity {
+        Activity {
+            interval: 300,
+            link: 7,
+            rank: 2,
+            backlog: 4,
+            deliveries: 3,
+            attempts: 5,
+            state_digest: 0x1234_5678_9ABC_DEF0,
+        }
+    }
+
+    #[test]
+    fn all_kinds_round_trip() {
+        let frames = [
+            Frame::Beacon(Beacon {
+                link: 1,
+                links: 10,
+                seed: 2018,
+                intervals: 300,
+                config_digest: 42,
+            }),
+            Frame::Claim(sample_activity()),
+            Frame::Busy(sample_activity()),
+            Frame::Idle(sample_activity()),
+        ];
+        for frame in frames {
+            let bytes = frame.encode();
+            assert_eq!(bytes.len(), frame.encoded_len());
+            assert_eq!(Frame::decode(&bytes).unwrap(), (frame, bytes.len()));
+            assert_eq!(Frame::decode_datagram(&bytes).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn header_fields_checked_in_order() {
+        let good = Frame::Idle(sample_activity()).encode();
+
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert_eq!(Frame::decode(&bad), Err(CodecError::BadMagic([b'X', b'M'])));
+
+        let mut bad = good.clone();
+        bad[2] = 2;
+        assert_eq!(Frame::decode(&bad), Err(CodecError::BadVersion(2)));
+
+        let mut bad = good.clone();
+        bad[3] = 200;
+        assert_eq!(Frame::decode(&bad), Err(CodecError::BadKind(200)));
+
+        let mut bad = good;
+        bad[4] = 1;
+        assert!(matches!(
+            Frame::decode(&bad),
+            Err(CodecError::BadLength { .. })
+        ));
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let bytes = Frame::Claim(sample_activity()).encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                matches!(
+                    Frame::decode(&bytes[..cut]),
+                    Err(CodecError::Truncated { .. })
+                ),
+                "prefix of {cut} byte(s) must be truncated"
+            );
+        }
+    }
+
+    #[test]
+    fn streams_decode_back_to_back() {
+        let a = Frame::Claim(sample_activity());
+        let b = Frame::Beacon(Beacon {
+            link: 0,
+            links: 3,
+            seed: 9,
+            intervals: 20,
+            config_digest: 5,
+        });
+        let mut stream = a.encode();
+        b.encode_into(&mut stream);
+        let (first, used) = Frame::decode(&stream).unwrap();
+        let (second, rest) = Frame::decode(&stream[used..]).unwrap();
+        assert_eq!(first, a);
+        assert_eq!(second, b);
+        assert_eq!(used + rest, stream.len());
+    }
+}

@@ -1,0 +1,210 @@
+//! The [`Transport`] trait and the in-memory loopback backend.
+//!
+//! A transport moves *encoded frames* between link nodes — nothing else.
+//! All protocol decisions live in the deterministic replica each node
+//! steps locally, so swapping transports can change wall-clock timing and
+//! delivery order but never the decision trace (the replay contract,
+//! DESIGN.md §15).
+
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::time::Duration;
+
+use crate::error::NetError;
+use crate::frame::Frame;
+
+/// One link's endpoint on some interconnect.
+///
+/// Implementations must deliver every broadcast frame to every *other*
+/// endpoint (a node never receives its own frames) and must carry the
+/// encoded bytes produced by [`Frame::encode`] — the codec is part of the
+/// replay contract, so a backend may not shortcut it by passing decoded
+/// structures around. Delivery may be delayed and (for lossy backends)
+/// dropped or duplicated; [`crate::LinkNode`] tolerates both by
+/// re-broadcasting and deduplicating. Reordering across intervals is fine;
+/// the node buffers ahead-of-schedule frames.
+///
+/// # Example
+///
+/// ```
+/// use std::time::Duration;
+/// use rtmac_net::{Beacon, Frame, LoopbackHub, Transport};
+///
+/// let mut eps = LoopbackHub::endpoints(2);
+/// let frame = Frame::Beacon(Beacon {
+///     link: 0, links: 2, seed: 1, intervals: 5, config_digest: 9,
+/// });
+/// eps[0].broadcast(&frame).unwrap();
+/// let got = eps[1].recv(Duration::from_millis(100)).unwrap();
+/// assert_eq!(got, Some(frame));
+/// ```
+pub trait Transport {
+    /// Sends one frame to every peer endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Io`] when the interconnect is gone (e.g. every
+    /// peer endpoint has been dropped, or the socket failed).
+    fn broadcast(&mut self, frame: &Frame) -> Result<(), NetError>;
+
+    /// Waits up to `timeout` for the next frame; `Ok(None)` means nothing
+    /// arrived in time (the caller decides whether to re-broadcast or give
+    /// up).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Codec`] for an undecodable frame and
+    /// [`NetError::Io`] for a dead interconnect.
+    fn recv(&mut self, timeout: Duration) -> Result<Option<Frame>, NetError>;
+
+    /// The link index this endpoint speaks for.
+    fn local_link(&self) -> usize;
+
+    /// Number of links on the interconnect.
+    fn n_links(&self) -> usize;
+
+    /// Human-readable backend name (`"loopback"`, `"udp"`, ...).
+    fn name(&self) -> &'static str;
+}
+
+/// The in-memory backend: every endpoint holds an MPSC sender to each
+/// peer, and frames travel as encoded byte vectors so the codec sits on
+/// the path exactly as it does over a socket. Lossless and FIFO per
+/// sender–receiver pair — the reference transport the replay contract
+/// measures UDP against.
+///
+/// See the [`Transport`] trait example for usage.
+#[derive(Debug)]
+pub struct LoopbackHub {
+    link: usize,
+    peers: Vec<Sender<Vec<u8>>>,
+    inbox: Receiver<Vec<u8>>,
+}
+
+impl LoopbackHub {
+    /// Builds a fully-connected hub of `n` endpoints, one per link, in
+    /// link order. Endpoint `i` is the transport for link `i`; hand each
+    /// to its node's thread.
+    #[must_use]
+    pub fn endpoints(n: usize) -> Vec<LoopbackHub> {
+        let (senders, inboxes): (Vec<_>, Vec<_>) = (0..n).map(|_| mpsc::channel()).unzip();
+        inboxes
+            .into_iter()
+            .enumerate()
+            .map(|(link, inbox)| LoopbackHub {
+                link,
+                peers: senders
+                    .iter()
+                    .enumerate()
+                    .filter(|&(peer, _)| peer != link)
+                    .map(|(_, tx)| tx.clone())
+                    .collect(),
+                inbox,
+            })
+            .collect()
+    }
+}
+
+impl Transport for LoopbackHub {
+    fn broadcast(&mut self, frame: &Frame) -> Result<(), NetError> {
+        let bytes = frame.encode();
+        let mut delivered = self.peers.is_empty();
+        for tx in &self.peers {
+            // A dropped peer (its node finished or failed) is fine as long
+            // as someone is still listening; all-gone is a dead hub.
+            delivered |= tx.send(bytes.clone()).is_ok();
+        }
+        if delivered {
+            Ok(())
+        } else {
+            Err(NetError::Io("loopback hub: every peer is gone".to_string()))
+        }
+    }
+
+    fn recv(&mut self, timeout: Duration) -> Result<Option<Frame>, NetError> {
+        match self.inbox.recv_timeout(timeout) {
+            Ok(bytes) => Ok(Some(Frame::decode_datagram(&bytes)?)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(NetError::Io(
+                "loopback hub: every sender is gone".to_string(),
+            )),
+        }
+    }
+
+    fn local_link(&self) -> usize {
+        self.link
+    }
+
+    fn n_links(&self) -> usize {
+        self.peers.len() + 1
+    }
+
+    fn name(&self) -> &'static str {
+        "loopback"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{Activity, Beacon};
+
+    fn beacon(link: u32) -> Frame {
+        Frame::Beacon(Beacon {
+            link,
+            links: 3,
+            seed: 0,
+            intervals: 1,
+            config_digest: 0,
+        })
+    }
+
+    #[test]
+    fn broadcast_reaches_every_peer_but_not_self() {
+        let mut eps = LoopbackHub::endpoints(3);
+        eps[0].broadcast(&beacon(0)).unwrap();
+        let short = Duration::from_millis(50);
+        assert_eq!(eps[1].recv(short).unwrap(), Some(beacon(0)));
+        assert_eq!(eps[2].recv(short).unwrap(), Some(beacon(0)));
+        assert_eq!(eps[0].recv(Duration::from_millis(1)).unwrap(), None);
+    }
+
+    #[test]
+    fn frames_travel_as_bytes() {
+        // The hub must round-trip through the codec, not hand structures
+        // across: a frame with every field populated survives intact.
+        let frame = Frame::Claim(Activity {
+            interval: u64::MAX,
+            link: 1,
+            rank: 2,
+            backlog: 3,
+            deliveries: 4,
+            attempts: 5,
+            state_digest: u64::MAX - 1,
+        });
+        let mut eps = LoopbackHub::endpoints(2);
+        eps[1].broadcast(&frame).unwrap();
+        assert_eq!(eps[0].recv(Duration::from_millis(50)).unwrap(), Some(frame));
+    }
+
+    #[test]
+    fn dead_hub_reports_io_errors() {
+        let mut eps = LoopbackHub::endpoints(2);
+        let mut survivor = eps.pop().unwrap();
+        drop(eps);
+        assert!(matches!(
+            survivor.broadcast(&beacon(1)),
+            Err(NetError::Io(_))
+        ));
+        assert!(matches!(
+            survivor.recv(Duration::from_millis(1)),
+            Err(NetError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn single_endpoint_hub_is_trivially_fine() {
+        let mut eps = LoopbackHub::endpoints(1);
+        assert_eq!(eps[0].n_links(), 1);
+        eps[0].broadcast(&beacon(0)).unwrap();
+    }
+}

@@ -1,0 +1,196 @@
+//! Codec properties and byte goldens for the wire format.
+//!
+//! Two property suites and one set of fixed vectors:
+//!
+//! * every constructible [`Frame`] survives encode → decode unchanged;
+//! * no byte buffer — random, truncated, or bit-flipped — makes the
+//!   decoder panic: it returns a frame or a [`CodecError`], always;
+//! * the exact byte layout of version 1 is pinned by golden vectors, so
+//!   any change to the format must also change this file (and bump the
+//!   wire version per DESIGN.md §15).
+//!
+//! The vendored proptest has no `prop_map`/`prop_oneof`, so frames are
+//! built from raw numeric dimensions inside each property body.
+
+use proptest::prelude::*;
+use rtmac_net::{Activity, Beacon, CodecError, Frame, FrameKind};
+
+/// Builds one of the four frame kinds from flat numeric dimensions.
+/// `kind` 0 maps to a beacon (reinterpreting the first five dimensions);
+/// 1..=3 map to the activity kinds.
+#[allow(clippy::cast_possible_truncation, clippy::too_many_arguments)]
+fn build_frame(kind: u8, d0: u64, d1: u64, d2: u64, d3: u64, d4: u64, d5: u64, d6: u64) -> Frame {
+    if kind == 0 {
+        return Frame::Beacon(Beacon {
+            link: d0 as u32,
+            links: d1 as u32,
+            seed: d2,
+            intervals: d3,
+            config_digest: d4,
+        });
+    }
+    let body = Activity {
+        interval: d0,
+        link: d1 as u32,
+        rank: d2 as u32,
+        backlog: d3 as u32,
+        deliveries: d4 as u32,
+        attempts: d5 as u32,
+        state_digest: d6,
+    };
+    let kind = FrameKind::from_wire(kind).unwrap_or(FrameKind::Idle);
+    Frame::from_activity(kind, body).unwrap_or(Frame::Idle(body))
+}
+
+proptest! {
+    #[test]
+    fn every_frame_round_trips(
+        kind in 0u8..=3,
+        d0 in 0u64..=u64::MAX,
+        d1 in 0u64..=u64::MAX,
+        d2 in 0u64..=u64::MAX,
+        d3 in 0u64..=u64::MAX,
+        d4 in 0u64..=u64::MAX,
+        d5 in 0u64..=u64::MAX,
+        d6 in 0u64..=u64::MAX,
+    ) {
+        let frame = build_frame(kind, d0, d1, d2, d3, d4, d5, d6);
+        let bytes = frame.encode();
+        prop_assert_eq!(bytes.len(), frame.encoded_len());
+        let decoded = Frame::decode(&bytes);
+        prop_assert_eq!(decoded, Ok((frame, bytes.len())));
+        prop_assert_eq!(Frame::decode_datagram(&bytes), Ok(frame));
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoder(
+        bytes in proptest::collection::vec(0u8..=255, 0..128),
+    ) {
+        // Total decoding: any result is fine, panicking is not. The call
+        // itself is the assertion.
+        let _ = Frame::decode(&bytes);
+        let _ = Frame::decode_datagram(&bytes);
+    }
+
+    #[test]
+    fn every_strict_prefix_is_rejected_cleanly(
+        kind in 0u8..=3,
+        d0 in 0u64..=u64::MAX,
+        d1 in 0u64..=u64::MAX,
+        d2 in 0u64..=u64::MAX,
+        cut_seed in 0usize..=usize::MAX,
+    ) {
+        let bytes = build_frame(kind, d0, d1, d2, d0, d1, d2, d0).encode();
+        let cut = cut_seed % bytes.len(); // 0..len, never the full frame
+        prop_assert!(matches!(
+            Frame::decode(&bytes[..cut]),
+            Err(CodecError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn single_byte_corruption_never_panics(
+        kind in 0u8..=3,
+        d0 in 0u64..=u64::MAX,
+        d1 in 0u64..=u64::MAX,
+        d2 in 0u64..=u64::MAX,
+        at_seed in 0usize..=usize::MAX,
+        flip in 1u8..=255,
+    ) {
+        let mut bytes = build_frame(kind, d0, d1, d2, d0, d1, d2, d0).encode();
+        let at = at_seed % bytes.len();
+        bytes[at] ^= flip;
+        // A flipped body byte still decodes (to a different frame); a
+        // flipped header byte errors. Either way: no panic, and a clean
+        // decode must consume the whole buffer.
+        if let Ok((_, consumed)) = Frame::decode(&bytes) {
+            prop_assert_eq!(consumed, bytes.len());
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_fails_datagrams_but_not_streams(
+        kind in 0u8..=3,
+        d0 in 0u64..=u64::MAX,
+        d1 in 0u64..=u64::MAX,
+        d2 in 0u64..=u64::MAX,
+        extra in proptest::collection::vec(0u8..=255, 1..16),
+    ) {
+        let frame = build_frame(kind, d0, d1, d2, d0, d1, d2, d0);
+        let mut bytes = frame.encode();
+        let frame_len = bytes.len();
+        bytes.extend_from_slice(&extra);
+        prop_assert_eq!(
+            Frame::decode_datagram(&bytes),
+            Err(CodecError::TrailingBytes { extra: extra.len() })
+        );
+        // The stream decoder reads exactly one frame and reports where
+        // the next one starts.
+        prop_assert_eq!(Frame::decode(&bytes), Ok((frame, frame_len)));
+    }
+}
+
+/// The version-1 beacon layout, byte for byte. Changing any of these
+/// bytes is a wire-format break: bump the wire version and update
+/// DESIGN.md §15 alongside this golden.
+#[test]
+fn beacon_golden_vector() {
+    let frame = Frame::Beacon(Beacon {
+        link: 2,
+        links: 10,
+        seed: 2018,
+        intervals: 300,
+        config_digest: 0x0123_4567_89AB_CDEF,
+    });
+    let expected: Vec<u8> = [
+        vec![0x52, 0x4D], // magic "RM"
+        vec![0x01],       // version 1
+        vec![0x00],       // kind 0 = beacon
+        vec![0x20, 0x00], // body length 32, u16 LE
+        2u32.to_le_bytes().to_vec(),
+        10u32.to_le_bytes().to_vec(),
+        2018u64.to_le_bytes().to_vec(),
+        300u64.to_le_bytes().to_vec(),
+        0x0123_4567_89AB_CDEFu64.to_le_bytes().to_vec(),
+    ]
+    .concat();
+    assert_eq!(frame.encode(), expected);
+    assert_eq!(Frame::decode_datagram(&expected), Ok(frame));
+}
+
+/// The version-1 activity layout under all three kinds, byte for byte.
+#[test]
+fn activity_golden_vector() {
+    let body = Activity {
+        interval: 41,
+        link: 3,
+        rank: 1,
+        backlog: 2,
+        deliveries: 1,
+        attempts: 2,
+        state_digest: 0xFEDC_BA98_7654_3210,
+    };
+    let body_bytes: Vec<u8> = [
+        41u64.to_le_bytes().to_vec(),
+        3u32.to_le_bytes().to_vec(),
+        1u32.to_le_bytes().to_vec(),
+        2u32.to_le_bytes().to_vec(),
+        1u32.to_le_bytes().to_vec(),
+        2u32.to_le_bytes().to_vec(),
+        0xFEDC_BA98_7654_3210u64.to_le_bytes().to_vec(),
+    ]
+    .concat();
+    for (frame, kind_byte) in [
+        (Frame::Claim(body), 0x01u8),
+        (Frame::Busy(body), 0x02),
+        (Frame::Idle(body), 0x03),
+    ] {
+        let expected: Vec<u8> = [
+            vec![0x52, 0x4D, 0x01, kind_byte, 0x24, 0x00], // header; len 36
+            body_bytes.clone(),
+        ]
+        .concat();
+        assert_eq!(frame.encode(), expected);
+        assert_eq!(Frame::decode_datagram(&expected), Ok(frame));
+    }
+}
